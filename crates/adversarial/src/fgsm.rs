@@ -1,0 +1,169 @@
+//! Untargeted Fast Gradient Sign Method (paper Equation (1)).
+
+use crate::report::ConfusionRates;
+use dlbench_nn::{Network, SoftmaxCrossEntropy};
+use dlbench_tensor::Tensor;
+
+/// FGSM parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FgsmConfig {
+    /// Perturbation magnitude ε (the paper's §III.E uses 0.001 on raw
+    /// MNIST pixels; calibrate per input pipeline).
+    pub epsilon: f32,
+    /// Optional clamp range keeping the adversarial example a valid
+    /// input (e.g. `(0, 1)` for raw pixels; `None` for standardized
+    /// inputs).
+    pub clamp: Option<(f32, f32)>,
+}
+
+/// Result of one FGSM crafting attempt.
+#[derive(Debug, Clone)]
+pub struct FgsmReport {
+    /// The crafted example `x + ε·sign(∇ₓL)`.
+    pub adversarial: Tensor,
+    /// Model prediction on the original input.
+    pub original_pred: usize,
+    /// Model prediction on the adversarial input.
+    pub adversarial_pred: usize,
+    /// Whether the prediction changed (untargeted success).
+    pub success: bool,
+}
+
+/// Crafts one untargeted adversarial example for a single sample
+/// (`x` is `[1, …]`, `label` its true class).
+pub fn fgsm(net: &mut Network, x: &Tensor, label: usize, config: &FgsmConfig) -> FgsmReport {
+    assert_eq!(x.shape()[0], 1, "fgsm operates on single samples");
+    let logits = net.forward(x, false);
+    let original_pred = logits.argmax_rows()[0];
+
+    let mut loss = SoftmaxCrossEntropy::new();
+    loss.forward(&logits, &[label]);
+    net.zero_grads();
+    let grad_x = net.backward(&loss.backward());
+
+    let mut adversarial = x.clone();
+    for (v, &g) in adversarial.data_mut().iter_mut().zip(grad_x.data()) {
+        *v += config.epsilon * sign(g);
+    }
+    if let Some((lo, hi)) = config.clamp {
+        adversarial.clamp_inplace(lo, hi);
+    }
+    let adv_logits = net.forward(&adversarial, false);
+    let adversarial_pred = adv_logits.argmax_rows()[0];
+    FgsmReport {
+        adversarial,
+        original_pred,
+        adversarial_pred,
+        success: adversarial_pred != label,
+    }
+}
+
+/// The paper's `sign()` (Equation (1)): −1 / 0 / +1.
+fn sign(v: f32) -> f32 {
+    if v > 0.0 {
+        1.0
+    } else if v < 0.0 {
+        -1.0
+    } else {
+        0.0
+    }
+}
+
+/// Runs FGSM over a labelled set and tallies per-source-class success
+/// rates and the distribution of classes adversarial examples fall
+/// into (paper Figure 8).
+///
+/// Only samples the model classifies correctly are attacked (an
+/// already-misclassified input needs no crafting).
+pub fn fgsm_success_rates(
+    net: &mut Network,
+    images: &Tensor,
+    labels: &[usize],
+    num_classes: usize,
+    config: &FgsmConfig,
+) -> ConfusionRates {
+    assert_eq!(images.shape()[0], labels.len(), "image/label mismatch");
+    let mut rates = ConfusionRates::new(num_classes);
+    for (i, &label) in labels.iter().enumerate() {
+        let x = images.slice_batch(i);
+        let report = fgsm(net, &x, label, config);
+        if report.original_pred != label {
+            continue;
+        }
+        rates.record(label, report.adversarial_pred);
+    }
+    rates
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dlbench_nn::{Initializer, Linear};
+    use dlbench_tensor::SeededRng;
+
+    fn linear_net(rng: &mut SeededRng) -> Network {
+        let mut net = Network::new("fgsm-toy");
+        net.push(Linear::new(4, 3, Initializer::Xavier, rng));
+        net
+    }
+
+    #[test]
+    fn sign_matches_paper_definition() {
+        assert_eq!(sign(3.2), 1.0);
+        assert_eq!(sign(-0.1), -1.0);
+        assert_eq!(sign(0.0), 0.0);
+    }
+
+    #[test]
+    fn perturbation_is_linf_bounded() {
+        let mut rng = SeededRng::new(1);
+        let mut net = linear_net(&mut rng);
+        let x = Tensor::randn(&[1, 4], 0.0, 1.0, &mut rng);
+        let report = fgsm(&mut net, &x, 0, &FgsmConfig { epsilon: 0.1, clamp: None });
+        for (a, b) in report.adversarial.data().iter().zip(x.data()) {
+            assert!((a - b).abs() <= 0.1 + 1e-6);
+        }
+    }
+
+    #[test]
+    fn large_epsilon_flips_a_confident_linear_model() {
+        // A linear model's loss gradient points away from the true
+        // class; a big enough step must change the argmax.
+        let mut rng = SeededRng::new(2);
+        let mut net = linear_net(&mut rng);
+        let x = Tensor::randn(&[1, 4], 0.0, 1.0, &mut rng);
+        let label = net.forward(&x, false).argmax_rows()[0];
+        let report = fgsm(&mut net, &x, label, &FgsmConfig { epsilon: 10.0, clamp: None });
+        assert!(report.success, "eps=10 should dominate a unit-scale input");
+    }
+
+    #[test]
+    fn clamp_keeps_valid_range() {
+        let mut rng = SeededRng::new(3);
+        let mut net = linear_net(&mut rng);
+        let x = Tensor::rand_uniform(&[1, 4], 0.0, 1.0, &mut rng);
+        let report =
+            fgsm(&mut net, &x, 0, &FgsmConfig { epsilon: 5.0, clamp: Some((0.0, 1.0)) });
+        assert!(report.adversarial.min() >= 0.0);
+        assert!(report.adversarial.max() <= 1.0);
+    }
+
+    #[test]
+    fn success_rates_skip_misclassified() {
+        let mut rng = SeededRng::new(4);
+        let mut net = linear_net(&mut rng);
+        let images = Tensor::randn(&[6, 4], 0.0, 1.0, &mut rng);
+        // Deliberately wrong labels: nothing is originally correct, so
+        // nothing is attacked.
+        let preds = net.forward(&images, false).argmax_rows();
+        let wrong: Vec<usize> = preds.iter().map(|&p| (p + 1) % 3).collect();
+        let rates = fgsm_success_rates(
+            &mut net,
+            &images,
+            &wrong,
+            3,
+            &FgsmConfig { epsilon: 0.1, clamp: None },
+        );
+        assert_eq!(rates.total_attempts(), 0);
+    }
+}

@@ -1,0 +1,127 @@
+//! Random-noise "attack" baseline.
+//!
+//! The paper's robustness metric covers "targeted attacks and random
+//! (untargeted) attacks". Random perturbations of the same L∞ magnitude
+//! as FGSM are the control condition: a model whose accuracy collapses
+//! under random noise is fragile independent of gradients, while the
+//! FGSM-minus-noise gap isolates the *adversarial* component of the
+//! vulnerability.
+
+use crate::report::ConfusionRates;
+use dlbench_nn::Network;
+use dlbench_tensor::{SeededRng, Tensor};
+
+/// Random-perturbation parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NoiseConfig {
+    /// L∞ magnitude of the perturbation (compare with FGSM's ε).
+    pub epsilon: f32,
+    /// Sign-noise (`±ε`, matching FGSM's step geometry) vs uniform in
+    /// `[-ε, ε]`.
+    pub sign_noise: bool,
+    /// Valid input range for clamping.
+    pub clamp: Option<(f32, f32)>,
+}
+
+/// Perturbs one sample with random noise and reports the prediction
+/// flip, tallied exactly like the gradient attacks.
+pub fn noise_attack(
+    net: &mut Network,
+    x: &Tensor,
+    label: usize,
+    config: &NoiseConfig,
+    rng: &mut SeededRng,
+) -> (usize, usize, bool) {
+    assert_eq!(x.shape()[0], 1, "noise_attack operates on single samples");
+    let original_pred = net.forward(x, false).argmax_rows()[0];
+    let mut adv = x.clone();
+    for v in adv.data_mut() {
+        let delta = if config.sign_noise {
+            if rng.bernoulli(0.5) {
+                config.epsilon
+            } else {
+                -config.epsilon
+            }
+        } else {
+            rng.uniform(-config.epsilon, config.epsilon)
+        };
+        *v += delta;
+    }
+    if let Some((lo, hi)) = config.clamp {
+        adv.clamp_inplace(lo, hi);
+    }
+    let adversarial_pred = net.forward(&adv, false).argmax_rows()[0];
+    (original_pred, adversarial_pred, adversarial_pred != label)
+}
+
+/// Noise campaign over a labelled set.
+pub fn noise_success_rates(
+    net: &mut Network,
+    images: &Tensor,
+    labels: &[usize],
+    num_classes: usize,
+    config: &NoiseConfig,
+    rng: &mut SeededRng,
+) -> ConfusionRates {
+    assert_eq!(images.shape()[0], labels.len(), "image/label mismatch");
+    let mut rates = ConfusionRates::new(num_classes);
+    for (i, &label) in labels.iter().enumerate() {
+        let x = images.slice_batch(i);
+        let (orig, adv, _) = noise_attack(net, &x, label, config, rng);
+        if orig != label {
+            continue;
+        }
+        rates.record(label, adv);
+    }
+    rates
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dlbench_nn::{Initializer, Linear};
+
+    fn toy_net(rng: &mut SeededRng) -> Network {
+        let mut net = Network::new("noise-toy");
+        net.push(Linear::new(6, 4, Initializer::Xavier, rng));
+        net
+    }
+
+    #[test]
+    fn zero_epsilon_never_flips() {
+        let mut rng = SeededRng::new(1);
+        let mut net = toy_net(&mut rng);
+        let images = Tensor::rand_uniform(&[10, 6], 0.0, 1.0, &mut rng);
+        let labels = net.forward(&images, false).argmax_rows();
+        let config = NoiseConfig { epsilon: 0.0, sign_noise: true, clamp: None };
+        let rates =
+            noise_success_rates(&mut net, &images, &labels, 4, &config, &mut rng);
+        assert_eq!(rates.mean_success_rate(), 0.0);
+        assert_eq!(rates.total_attempts(), 10);
+    }
+
+    #[test]
+    fn perturbation_bounded() {
+        let mut rng = SeededRng::new(2);
+        let mut net = toy_net(&mut rng);
+        let x = Tensor::rand_uniform(&[1, 6], 0.3, 0.7, &mut rng);
+        let config = NoiseConfig { epsilon: 0.1, sign_noise: false, clamp: None };
+        // Re-run the perturbation and check the bound by reconstructing
+        // from the attack's contract: original stays fixed.
+        let before = x.clone();
+        let _ = noise_attack(&mut net, &x, 0, &config, &mut rng);
+        assert_eq!(x, before, "input must not be mutated");
+    }
+
+    #[test]
+    fn large_noise_flips_some_predictions() {
+        let mut rng = SeededRng::new(3);
+        let mut net = toy_net(&mut rng);
+        let images = Tensor::rand_uniform(&[40, 6], 0.0, 1.0, &mut rng);
+        let labels = net.forward(&images, false).argmax_rows();
+        let config = NoiseConfig { epsilon: 2.0, sign_noise: true, clamp: None };
+        let rates =
+            noise_success_rates(&mut net, &images, &labels, 4, &config, &mut rng);
+        assert!(rates.mean_success_rate() > 0.1, "huge noise should flip something");
+    }
+}

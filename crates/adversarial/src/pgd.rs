@@ -1,0 +1,210 @@
+//! Projected Gradient Descent attack (Madry et al., 2017 — the paper's
+//! reference [33]).
+//!
+//! PGD is FGSM iterated with an L∞ projection back into the ε-ball
+//! around the original input: the strongest first-order untargeted
+//! attack in the paper's citation set, included here as the benchmark's
+//! "beyond" extension for stress-testing robustness rankings obtained
+//! with single-step FGSM.
+
+use crate::fgsm::FgsmReport;
+use crate::report::ConfusionRates;
+use dlbench_nn::{Network, SoftmaxCrossEntropy};
+use dlbench_tensor::{SeededRng, Tensor};
+
+/// PGD parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PgdConfig {
+    /// L∞ ball radius around the original input.
+    pub epsilon: f32,
+    /// Per-step size (typically `epsilon / 4`).
+    pub step: f32,
+    /// Number of gradient steps.
+    pub steps: usize,
+    /// Randomize the starting point inside the ε-ball (Madry-style).
+    pub random_start: bool,
+    /// Valid input range for clamping, if any.
+    pub clamp: Option<(f32, f32)>,
+}
+
+impl PgdConfig {
+    /// A canonical configuration: 10 steps of ε/4 with random start.
+    pub fn standard(epsilon: f32) -> Self {
+        Self { epsilon, step: epsilon / 4.0, steps: 10, random_start: true, clamp: Some((0.0, 1.0)) }
+    }
+}
+
+/// Crafts one untargeted PGD example for a single sample.
+pub fn pgd(
+    net: &mut Network,
+    x: &Tensor,
+    label: usize,
+    config: &PgdConfig,
+    rng: &mut SeededRng,
+) -> FgsmReport {
+    assert_eq!(x.shape()[0], 1, "pgd operates on single samples");
+    let original_pred = net.forward(x, false).argmax_rows()[0];
+
+    let mut adv = x.clone();
+    if config.random_start {
+        for v in adv.data_mut() {
+            *v += rng.uniform(-config.epsilon, config.epsilon);
+        }
+    }
+    for _ in 0..config.steps {
+        let logits = net.forward(&adv, false);
+        let mut loss = SoftmaxCrossEntropy::new();
+        loss.forward(&logits, &[label]);
+        net.zero_grads();
+        let grad = net.backward(&loss.backward());
+        for (v, &g) in adv.data_mut().iter_mut().zip(grad.data()) {
+            *v += config.step * if g > 0.0 { 1.0 } else if g < 0.0 { -1.0 } else { 0.0 };
+        }
+        // Project back into the eps-ball, then into the valid range.
+        for (v, &orig) in adv.data_mut().iter_mut().zip(x.data()) {
+            *v = v.clamp(orig - config.epsilon, orig + config.epsilon);
+        }
+        if let Some((lo, hi)) = config.clamp {
+            adv.clamp_inplace(lo, hi);
+        }
+    }
+    let adversarial_pred = net.forward(&adv, false).argmax_rows()[0];
+    FgsmReport {
+        adversarial: adv,
+        original_pred,
+        adversarial_pred,
+        success: adversarial_pred != label,
+    }
+}
+
+/// PGD with random restarts (Madry et al. evaluate with up to 20):
+/// returns the first successful attempt, or the last attempt if none
+/// succeed. Restarts recover the cases where a single ascent path stalls
+/// on dead-ReLU plateaus or converges to a non-flipping corner of the
+/// ε-ball.
+pub fn pgd_with_restarts(
+    net: &mut Network,
+    x: &Tensor,
+    label: usize,
+    config: &PgdConfig,
+    restarts: usize,
+    rng: &mut SeededRng,
+) -> FgsmReport {
+    assert!(restarts >= 1, "at least one attempt required");
+    let mut last = None;
+    for attempt in 0..restarts {
+        let cfg = PgdConfig { random_start: attempt > 0 || config.random_start, ..*config };
+        let report = pgd(net, x, label, &cfg, rng);
+        if report.success {
+            return report;
+        }
+        last = Some(report);
+    }
+    last.expect("restarts >= 1")
+}
+
+/// PGD campaign over a labelled set (same tallying as FGSM's).
+pub fn pgd_success_rates(
+    net: &mut Network,
+    images: &Tensor,
+    labels: &[usize],
+    num_classes: usize,
+    config: &PgdConfig,
+    rng: &mut SeededRng,
+) -> ConfusionRates {
+    assert_eq!(images.shape()[0], labels.len(), "image/label mismatch");
+    let mut rates = ConfusionRates::new(num_classes);
+    for (i, &label) in labels.iter().enumerate() {
+        let x = images.slice_batch(i);
+        let report = pgd(net, &x, label, config, rng);
+        if report.original_pred != label {
+            continue;
+        }
+        rates.record(label, report.adversarial_pred);
+    }
+    rates
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fgsm::{fgsm, FgsmConfig};
+    use dlbench_nn::{Initializer, Linear, Relu};
+
+    fn toy_net(rng: &mut SeededRng) -> Network {
+        let mut net = Network::new("pgd-toy");
+        net.push(Linear::new(6, 8, Initializer::Xavier, rng));
+        net.push(Relu::new());
+        net.push(Linear::new(8, 4, Initializer::Xavier, rng));
+        net
+    }
+
+    #[test]
+    fn stays_in_epsilon_ball() {
+        let mut rng = SeededRng::new(1);
+        let mut net = toy_net(&mut rng);
+        let x = Tensor::rand_uniform(&[1, 6], 0.2, 0.8, &mut rng);
+        let config = PgdConfig { clamp: None, ..PgdConfig::standard(0.1) };
+        let report = pgd(&mut net, &x, 0, &config, &mut rng);
+        for (a, b) in report.adversarial.data().iter().zip(x.data()) {
+            assert!((a - b).abs() <= 0.1 + 1e-5);
+        }
+    }
+
+    #[test]
+    fn restarted_pgd_at_least_as_strong_as_fgsm() {
+        // Over a batch of random inputs, multi-restart PGD flips at
+        // least as many predictions as single-step FGSM at the same
+        // epsilon. (A single ascent path can stall on dead-ReLU
+        // plateaus, which is exactly why restarts are standard.)
+        let mut rng = SeededRng::new(2);
+        let mut net = toy_net(&mut rng);
+        let eps = 0.15;
+        let mut fgsm_wins = 0;
+        let mut pgd_wins = 0;
+        for i in 0..30 {
+            let x = Tensor::rand_uniform(&[1, 6], 0.0, 1.0, &mut rng.fork(i));
+            let label = net.forward(&x, false).argmax_rows()[0];
+            let f = fgsm(&mut net, &x, label, &FgsmConfig { epsilon: eps, clamp: Some((0.0, 1.0)) });
+            let p = pgd_with_restarts(
+                &mut net,
+                &x,
+                label,
+                &PgdConfig { random_start: false, ..PgdConfig::standard(eps) },
+                8,
+                &mut rng,
+            );
+            fgsm_wins += f.success as usize;
+            pgd_wins += p.success as usize;
+        }
+        assert!(pgd_wins >= fgsm_wins, "PGD {pgd_wins} < FGSM {fgsm_wins}");
+    }
+
+    #[test]
+    fn clamped_outputs_valid() {
+        let mut rng = SeededRng::new(3);
+        let mut net = toy_net(&mut rng);
+        let x = Tensor::rand_uniform(&[1, 6], 0.0, 1.0, &mut rng);
+        let report = pgd(&mut net, &x, 1, &PgdConfig::standard(0.5), &mut rng);
+        assert!(report.adversarial.min() >= 0.0);
+        assert!(report.adversarial.max() <= 1.0);
+    }
+
+    #[test]
+    fn campaign_skips_misclassified() {
+        let mut rng = SeededRng::new(4);
+        let mut net = toy_net(&mut rng);
+        let images = Tensor::rand_uniform(&[5, 6], 0.0, 1.0, &mut rng);
+        let preds = net.forward(&images, false).argmax_rows();
+        let wrong: Vec<usize> = preds.iter().map(|&p| (p + 1) % 4).collect();
+        let rates = pgd_success_rates(
+            &mut net,
+            &images,
+            &wrong,
+            4,
+            &PgdConfig::standard(0.1),
+            &mut rng,
+        );
+        assert_eq!(rates.total_attempts(), 0);
+    }
+}

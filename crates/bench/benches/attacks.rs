@@ -1,0 +1,45 @@
+//! Criterion micro-benchmarks of the adversarial attack kernels.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use dlbench_adversarial::{fgsm, jsma, FgsmConfig, JsmaConfig};
+use dlbench_bench::BENCH_SEED;
+use dlbench_nn::{Conv2d, Flatten, Initializer, Linear, MaxPool2d, Network, Relu};
+use dlbench_tensor::{SeededRng, Tensor};
+
+fn small_mnist_net(rng: &mut SeededRng) -> Network {
+    let mut net = Network::new("attack-bench");
+    net.push(Conv2d::new(1, 8, 5, 1, 0, Initializer::Xavier, rng));
+    net.push(Relu::new());
+    net.push(MaxPool2d::new(2, 2, true));
+    net.push(Flatten::new());
+    net.push(Linear::new(8 * 6 * 6, 10, Initializer::Xavier, rng));
+    net
+}
+
+fn bench_fgsm(c: &mut Criterion) {
+    let mut rng = SeededRng::new(BENCH_SEED);
+    let mut net = small_mnist_net(&mut rng);
+    let x = Tensor::rand_uniform(&[1, 1, 16, 16], 0.0, 1.0, &mut rng);
+    let config = FgsmConfig { epsilon: 0.1, clamp: Some((0.0, 1.0)) };
+    c.bench_function("fgsm_single", |bench| {
+        bench.iter(|| black_box(fgsm(&mut net, black_box(&x), 3, &config)))
+    });
+}
+
+fn bench_jsma(c: &mut Criterion) {
+    let mut rng = SeededRng::new(BENCH_SEED);
+    let mut net = small_mnist_net(&mut rng);
+    let x = Tensor::rand_uniform(&[1, 1, 16, 16], 0.0, 1.0, &mut rng);
+    // Small distortion budget keeps the bench per-iteration shaped.
+    let config = JsmaConfig { theta: 0.3, max_distortion: 0.05, clamp: (0.0, 1.0) };
+    c.bench_function("jsma_budgeted", |bench| {
+        bench.iter(|| black_box(jsma(&mut net, black_box(&x), 7, &config)))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_fgsm, bench_jsma
+}
+criterion_main!(benches);

@@ -1,0 +1,64 @@
+//! The paper harness: regenerates **every table and figure** of the
+//! paper's evaluation section and prints them in order.
+//!
+//! ```sh
+//! DLBENCH_SCALE=small cargo bench --bench figures          # default
+//! DLBENCH_SCALE=tiny  cargo bench --bench figures          # quick pass
+//! cargo bench --bench figures -- fig_5 table_viii          # a subset
+//! ```
+//!
+//! Accuracy columns are measured by really training the scaled
+//! configurations; time columns are simulated for the full paper-scale
+//! schedules on the modelled Xeon E5-1620 / GTX 1080 Ti (see
+//! `dlbench-simtime`). JSON copies of every report are written to
+//! `target/dlbench-reports/`.
+
+use dlbench_core::{BenchmarkRunner, ExperimentId};
+use dlbench_frameworks::Scale;
+use std::time::Instant;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).filter(|a| !a.starts_with('-')).collect();
+    if std::env::args().any(|a| a == "--list") {
+        println!("figures: bench");
+        return;
+    }
+    let scale = Scale::from_env();
+    let mut runner = BenchmarkRunner::new(scale, 42);
+    let out_dir = std::path::Path::new("target").join("dlbench-reports");
+    let _ = std::fs::create_dir_all(&out_dir);
+
+    let selected: Vec<ExperimentId> = if args.is_empty() {
+        ExperimentId::ALL.to_vec()
+    } else {
+        args.iter()
+            .filter_map(|key| {
+                let id = ExperimentId::from_key(key);
+                if id.is_none() {
+                    eprintln!("unknown experiment key: {key}");
+                }
+                id
+            })
+            .collect()
+    };
+
+    println!("DLBench paper harness — scale {scale:?}, seed 42");
+    println!("regenerating {} paper artifacts\n", selected.len());
+    let started = Instant::now();
+    for id in selected {
+        let t0 = Instant::now();
+        let report = id.run(&mut runner);
+        println!("{}", report.render());
+        println!("  [{} regenerated in {:.1}s]\n", id.key(), t0.elapsed().as_secs_f64());
+        let path = out_dir.join(format!("{}.json", id.key()));
+        if let Err(e) = std::fs::write(&path, report.to_json()) {
+            eprintln!("could not write {}: {e}", path.display());
+        }
+    }
+    println!(
+        "done: {} training cells, {:.1}s total; JSON reports in {}",
+        runner.trained_cells(),
+        started.elapsed().as_secs_f64(),
+        out_dir.display()
+    );
+}

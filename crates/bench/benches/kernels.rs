@@ -1,0 +1,68 @@
+//! Criterion micro-benchmarks of the tensor substrate: GEMM, im2col,
+//! softmax and elementwise kernels — the primitives every framework
+//! personality's cost is made of.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use dlbench_bench::BENCH_SEED;
+use dlbench_tensor::{gemm, im2col, Conv2dGeometry, SeededRng, Tensor};
+
+fn bench_gemm(c: &mut Criterion) {
+    let mut rng = SeededRng::new(BENCH_SEED);
+    let mut group = c.benchmark_group("gemm");
+    for &n in &[32usize, 128] {
+        let a = Tensor::randn(&[n, n], 0.0, 1.0, &mut rng);
+        let b = Tensor::randn(&[n, n], 0.0, 1.0, &mut rng);
+        group.bench_function(format!("{n}x{n}x{n}"), |bench| {
+            bench.iter(|| black_box(a.matmul(&b)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_im2col(c: &mut Criterion) {
+    let mut rng = SeededRng::new(BENCH_SEED);
+    // Caffe LeNet conv1 geometry at native MNIST size.
+    let geo = Conv2dGeometry {
+        in_channels: 1,
+        in_h: 28,
+        in_w: 28,
+        kernel_h: 5,
+        kernel_w: 5,
+        stride: 1,
+        pad: 0,
+    };
+    let input = Tensor::randn(&[1, 28 * 28], 0.0, 1.0, &mut rng);
+    let mut cols = vec![0.0f32; geo.patch_len() * geo.out_plane()];
+    c.bench_function("im2col_lenet_conv1", |bench| {
+        bench.iter(|| im2col(&geo, black_box(input.data()), black_box(&mut cols)))
+    });
+}
+
+fn bench_softmax(c: &mut Criterion) {
+    let mut rng = SeededRng::new(BENCH_SEED);
+    let logits = Tensor::randn(&[100, 10], 0.0, 3.0, &mut rng);
+    c.bench_function("softmax_rows_100x10", |bench| {
+        bench.iter(|| black_box(&logits).softmax_rows())
+    });
+}
+
+fn bench_gemm_raw(c: &mut Criterion) {
+    let mut rng = SeededRng::new(BENCH_SEED);
+    // The TF-MNIST fc1 shape: [batch 50] 3136 -> 1024.
+    let a = Tensor::randn(&[50, 3136], 0.0, 1.0, &mut rng);
+    let b = Tensor::randn(&[3136, 1024], 0.0, 0.1, &mut rng);
+    let mut out = vec![0.0f32; 50 * 1024];
+    c.bench_function("gemm_tf_mnist_fc1", |bench| {
+        bench.iter(|| {
+            out.iter_mut().for_each(|v| *v = 0.0);
+            gemm(50, 3136, 1024, black_box(a.data()), black_box(b.data()), &mut out);
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_gemm, bench_im2col, bench_softmax, bench_gemm_raw
+}
+criterion_main!(benches);

@@ -1,0 +1,22 @@
+//! # dlbench-bench
+//!
+//! Benchmark targets for the DLBench suite:
+//!
+//! * `kernels`, `layers`, `attacks` — Criterion micro-benchmarks of the
+//!   numeric substrate, the layer forward/backward passes, and the
+//!   adversarial attack kernels.
+//! * `ablation` — ablations of the design choices DESIGN.md calls out
+//!   (execution styles, conv lowering).
+//! * `sweeps` — batch-size / learning-rate sensitivity sweeps (the
+//!   hyperparameter-interaction discussion of the paper's §II).
+//! * `figures` — the paper harness: regenerates **every table and
+//!   figure** of the paper's evaluation (`cargo bench --bench figures`).
+//!   Scale is controlled by `DLBENCH_SCALE` (`tiny`/`small`/`paper`).
+//!
+//! This crate intentionally has no library API; see the bench targets.
+
+#![forbid(unsafe_code)]
+
+/// Shared helper: a deterministic seed used by all bench targets so
+/// Criterion comparisons are stable across runs.
+pub const BENCH_SEED: u64 = 0xD1_BE_4C;

@@ -1,0 +1,325 @@
+//! CLI subcommand implementations.
+
+use crate::args::ParsedArgs;
+use dlbench_adversarial::{
+    fgsm_success_rates, jsma_success_matrix, noise_success_rates, pgd_success_rates, FgsmConfig,
+    JsmaConfig, NoiseConfig, PgdConfig,
+};
+use dlbench_core::runner::BenchmarkRunner;
+use dlbench_core::ExperimentId;
+use dlbench_data::{DatasetKind, SynthCifar10, SynthMnist};
+use dlbench_frameworks::{trainer, DefaultSetting, FrameworkKind, Scale};
+use dlbench_simtime::devices;
+use dlbench_tensor::SeededRng;
+
+pub(crate) fn parse_framework(raw: &str) -> Result<FrameworkKind, String> {
+    match raw.to_ascii_lowercase().as_str() {
+        "tf" | "tensorflow" => Ok(FrameworkKind::TensorFlow),
+        "caffe" => Ok(FrameworkKind::Caffe),
+        "torch" => Ok(FrameworkKind::Torch),
+        other => Err(format!("unknown framework `{other}` (tf|caffe|torch)")),
+    }
+}
+
+pub(crate) fn parse_dataset(raw: &str) -> Result<DatasetKind, String> {
+    match raw.to_ascii_lowercase().as_str() {
+        "mnist" => Ok(DatasetKind::Mnist),
+        "cifar10" | "cifar-10" | "cifar" => Ok(DatasetKind::Cifar10),
+        other => Err(format!("unknown dataset `{other}` (mnist|cifar10)")),
+    }
+}
+
+pub(crate) fn parse_scale(raw: Option<&str>) -> Result<Scale, String> {
+    match raw.map(str::to_ascii_lowercase).as_deref() {
+        None | Some("tiny") => Ok(Scale::Tiny),
+        Some("small") => Ok(Scale::Small),
+        Some("paper") => Ok(Scale::Paper),
+        Some(other) => Err(format!("unknown scale `{other}` (tiny|small|paper)")),
+    }
+}
+
+/// `dlbench list`
+pub fn list() -> Result<(), String> {
+    println!("{:<12} {}", "key", "artifact");
+    for id in ExperimentId::ALL {
+        let kind = if id.needs_training() { "measured" } else { "static" };
+        println!("{:<12} [{kind}]", id.key());
+    }
+    println!("\nrun with: dlbench run <key>… [--scale tiny|small|paper]");
+    Ok(())
+}
+
+/// `dlbench info`
+pub fn info() -> Result<(), String> {
+    for fw in FrameworkKind::ALL {
+        let m = fw.meta();
+        println!("{}", fw.name());
+        println!("  version    {} ({})", m.version, m.hash_tag);
+        println!("  library    {}", m.library);
+        println!("  interfaces {}", m.interfaces);
+        println!("  LoC        {}", m.lines_of_code);
+        println!("  license    {}", m.license);
+        println!("  website    {}", m.website);
+        let p = fw.execution_profile();
+        println!(
+            "  profile    cpu eff {:.3}, gpu eff {:.2}, dispatch {:.0}us, iter overhead {:.1}ms",
+            p.cpu_efficiency, p.gpu_efficiency, p.dispatch_us, p.iter_overhead_ms
+        );
+    }
+    Ok(())
+}
+
+/// `dlbench run`
+pub fn run(args: &ParsedArgs) -> Result<(), String> {
+    let scale = parse_scale(args.get("scale"))?;
+    let seed = args.get_parsed("seed", 42u64)?;
+    let mut runner = BenchmarkRunner::new(scale, seed);
+    let ids: Vec<ExperimentId> = if args.positionals.is_empty() {
+        ExperimentId::ALL.to_vec()
+    } else {
+        args.positionals
+            .iter()
+            .map(|k| {
+                ExperimentId::from_key(k).ok_or_else(|| format!("unknown experiment `{k}`"))
+            })
+            .collect::<Result<_, _>>()?
+    };
+    let out_dir = args.get("out").unwrap_or("target/dlbench-reports");
+    for id in ids {
+        let report = id.run(&mut runner);
+        println!("{}", report.render());
+        if args.flag("bars") {
+            print!("{}", report.render_bars());
+        }
+        if args.flag("json") {
+            std::fs::create_dir_all(out_dir)
+                .map_err(|e| format!("cannot create {out_dir}: {e}"))?;
+            let path = format!("{out_dir}/{}.json", id.key());
+            std::fs::write(&path, report.to_json())
+                .map_err(|e| format!("cannot write {path}: {e}"))?;
+            println!("  [json written to {path}]");
+        }
+    }
+    Ok(())
+}
+
+fn cell_from_args(args: &ParsedArgs) -> Result<(FrameworkKind, DefaultSetting, DatasetKind), String> {
+    let host = parse_framework(args.get("framework").unwrap_or("tf"))?;
+    let dataset = parse_dataset(args.get("dataset").unwrap_or("mnist"))?;
+    let owner = match args.get("setting-owner") {
+        Some(raw) => parse_framework(raw)?,
+        None => host,
+    };
+    let tuned_for = match args.get("setting-dataset") {
+        Some(raw) => parse_dataset(raw)?,
+        None => dataset,
+    };
+    Ok((host, DefaultSetting::new(owner, tuned_for), dataset))
+}
+
+/// `dlbench train`
+pub fn train(args: &ParsedArgs) -> Result<(), String> {
+    let scale = parse_scale(args.get("scale"))?;
+    let seed = args.get_parsed("seed", 42u64)?;
+    let (host, setting, dataset) = cell_from_args(args)?;
+    println!(
+        "training {} with setting {} on {} (scale {scale:?}, seed {seed})",
+        host.name(),
+        setting.label(),
+        dataset.name()
+    );
+    let mut out = trainer::run_training(host, setting, dataset, scale, seed);
+    let cpu = out.simulated_times(&devices::xeon_e5_1620());
+    let gpu = out.simulated_times(&devices::gtx_1080_ti());
+    println!("accuracy        {:.2}%", out.accuracy * 100.0);
+    println!("converged       {}", out.converged);
+    println!("final loss      {:.4}", out.final_loss());
+    println!("iterations      {} (paper budget {})", out.executed_iterations, out.paper_iterations);
+    println!("wall train      {:.1}s (this host, reduced scale)", out.wall_train_seconds);
+    println!("sim train CPU   {:.2}s   GPU {:.2}s (paper-scale schedule)", cpu.train_seconds, gpu.train_seconds);
+    println!("sim test  CPU   {:.2}s   GPU {:.2}s", cpu.test_seconds, gpu.test_seconds);
+    if let Some(path) = args.get("save") {
+        let mut file = std::fs::File::create(path)
+            .map_err(|e| format!("cannot create {path}: {e}"))?;
+        dlbench_nn::save_parameters(&mut out.model, &mut file)
+            .map_err(|e| format!("checkpoint failed: {e}"))?;
+        println!("checkpoint      written to {path}");
+    }
+    Ok(())
+}
+
+/// `dlbench attack`
+pub fn attack(args: &ParsedArgs) -> Result<(), String> {
+    let scale = parse_scale(args.get("scale"))?;
+    let seed = args.get_parsed("seed", 42u64)?;
+    let epsilon = args.get_parsed("epsilon", 0.15f32)?;
+    let kind = args.get("attack").unwrap_or("fgsm").to_ascii_lowercase();
+    let (host, setting, dataset) = cell_from_args(args)?;
+    if dataset != DatasetKind::Mnist {
+        return Err("attacks are defined on the MNIST cells (paper §III.E)".into());
+    }
+    println!(
+        "{kind} attack vs {} ({} setting), epsilon {epsilon}, scale {scale:?}",
+        host.name(),
+        setting.label()
+    );
+    let mut out = trainer::run_training(host, setting, dataset, scale, seed);
+    let (_, test) = trainer::generate_data(dataset, scale, seed);
+    let mut rng = SeededRng::new(seed).fork(0xA77);
+    match kind.as_str() {
+        "fgsm" => {
+            let config = FgsmConfig { epsilon, clamp: Some((0.0, 1.0)) };
+            let rates =
+                fgsm_success_rates(&mut out.model, &test.images, &test.labels, 10, &config);
+            print_rates("per-source-digit success", &rates.success_rates());
+            println!("mean success rate: {:.3}", rates.mean_success_rate());
+        }
+        "pgd" => {
+            let config = PgdConfig::standard(epsilon);
+            let rates = pgd_success_rates(
+                &mut out.model,
+                &test.images,
+                &test.labels,
+                10,
+                &config,
+                &mut rng,
+            );
+            print_rates("per-source-digit success", &rates.success_rates());
+            println!("mean success rate: {:.3}", rates.mean_success_rate());
+        }
+        "noise" => {
+            let config = NoiseConfig { epsilon, sign_noise: true, clamp: Some((0.0, 1.0)) };
+            let rates = noise_success_rates(
+                &mut out.model,
+                &test.images,
+                &test.labels,
+                10,
+                &config,
+                &mut rng,
+            );
+            print_rates("per-source-digit success", &rates.success_rates());
+            println!(
+                "mean success rate: {:.3} (random-noise baseline at the same epsilon)",
+                rates.mean_success_rate()
+            );
+        }
+        "jsma" => {
+            let source = args.get_parsed("source", 1usize)?;
+            let config = JsmaConfig::default();
+            let (rates, mean_iters) = jsma_success_matrix(
+                &mut out.model,
+                &test.images,
+                &test.labels,
+                source,
+                10,
+                &config,
+            );
+            print_rates(&format!("crafting digit {source} into target"), &rates);
+            println!("mean saliency iterations per attempt: {mean_iters:.1}");
+        }
+        other => return Err(format!("unknown attack `{other}` (fgsm|pgd|jsma|noise)")),
+    }
+    Ok(())
+}
+
+fn print_rates(title: &str, rates: &[f32]) {
+    println!("{title}:");
+    for (i, r) in rates.iter().enumerate() {
+        println!("  {i}: {r:.3}");
+    }
+}
+
+/// `dlbench ablate`
+pub fn ablate(args: &ParsedArgs) -> Result<(), String> {
+    let scale = parse_scale(args.get("scale"))?;
+    let seed = args.get_parsed("seed", 42u64)?;
+    let report = dlbench_core::extensions::regularizer_robustness(scale, seed);
+    println!("{}", report.render());
+    Ok(())
+}
+
+/// `dlbench stats`
+pub fn stats(args: &ParsedArgs) -> Result<(), String> {
+    let dataset = parse_dataset(args.get("dataset").unwrap_or("mnist"))?;
+    let size = args.get_parsed("size", dataset.native_size())?;
+    let samples = args.get_parsed("samples", 512usize)?;
+    let seed = args.get_parsed("seed", 42u64)?;
+    let data = match dataset {
+        DatasetKind::Mnist => SynthMnist::generate(samples, size, seed),
+        DatasetKind::Cifar10 => SynthCifar10::generate(samples, size, seed),
+    };
+    let s = data.stats();
+    println!("{} stand-in ({samples} samples @{size}x{size}, seed {seed})", dataset.name());
+    println!("  pixel entropy   {:.2} bits (32-bin histogram)", s.pixel_entropy);
+    println!("  sparsity        {:.1}% of pixels below 0.1", s.sparsity * 100.0);
+    for (ch, (m, sd)) in s.channel_means.iter().zip(&s.channel_stds).enumerate() {
+        println!("  channel {ch}       mean {m:.3}, std {sd:.3}");
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn framework_parsing() {
+        assert_eq!(parse_framework("tf").unwrap(), FrameworkKind::TensorFlow);
+        assert_eq!(parse_framework("TensorFlow").unwrap(), FrameworkKind::TensorFlow);
+        assert_eq!(parse_framework("caffe").unwrap(), FrameworkKind::Caffe);
+        assert_eq!(parse_framework("Torch").unwrap(), FrameworkKind::Torch);
+        assert!(parse_framework("mxnet").is_err());
+    }
+
+    #[test]
+    fn dataset_parsing() {
+        assert_eq!(parse_dataset("mnist").unwrap(), DatasetKind::Mnist);
+        assert_eq!(parse_dataset("CIFAR-10").unwrap(), DatasetKind::Cifar10);
+        assert!(parse_dataset("imagenet").is_err());
+    }
+
+    #[test]
+    fn scale_parsing_defaults_to_tiny() {
+        assert_eq!(parse_scale(None).unwrap(), Scale::Tiny);
+        assert_eq!(parse_scale(Some("paper")).unwrap(), Scale::Paper);
+        assert!(parse_scale(Some("huge")).is_err());
+    }
+
+    #[test]
+    fn cell_from_args_defaults_setting_to_host_and_dataset() {
+        let parsed = crate::args::parse(&[
+            "train".into(),
+            "--framework".into(),
+            "caffe".into(),
+            "--dataset".into(),
+            "cifar10".into(),
+        ])
+        .unwrap();
+        let (host, setting, dataset) = cell_from_args(&parsed).unwrap();
+        assert_eq!(host, FrameworkKind::Caffe);
+        assert_eq!(dataset, DatasetKind::Cifar10);
+        assert_eq!(setting.owner, FrameworkKind::Caffe);
+        assert_eq!(setting.tuned_for, DatasetKind::Cifar10);
+    }
+
+    #[test]
+    fn cell_from_args_supports_transplants() {
+        let parsed = crate::args::parse(&[
+            "train".into(),
+            "--framework".into(),
+            "tf".into(),
+            "--dataset".into(),
+            "mnist".into(),
+            "--setting-owner".into(),
+            "caffe".into(),
+            "--setting-dataset".into(),
+            "cifar10".into(),
+        ])
+        .unwrap();
+        let (host, setting, dataset) = cell_from_args(&parsed).unwrap();
+        assert_eq!(host, FrameworkKind::TensorFlow);
+        assert_eq!(dataset, DatasetKind::Mnist);
+        assert_eq!(setting.owner, FrameworkKind::Caffe);
+        assert_eq!(setting.tuned_for, DatasetKind::Cifar10);
+    }
+}

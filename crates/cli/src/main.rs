@@ -1,0 +1,75 @@
+//! `dlbench` — command-line interface for the DLBench suite.
+//!
+//! ```text
+//! dlbench list                                   # experiments in the registry
+//! dlbench info                                   # framework metadata (Table I)
+//! dlbench run fig_1 table_viii --scale tiny      # regenerate paper artifacts
+//! dlbench train --framework caffe --dataset mnist --save model.ckpt
+//! dlbench attack --attack pgd --framework tf --epsilon 0.2
+//! dlbench stats --dataset cifar10 --size 32
+//! ```
+
+mod args;
+mod commands;
+
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+dlbench — benchmarking deep learning framework personalities
+
+USAGE:
+    dlbench <command> [args] [--options]
+
+COMMANDS:
+    list                          list the experiment registry
+    info                          framework metadata (paper Table I)
+    run <experiment>…             regenerate paper tables/figures
+                                  [--scale tiny|small|paper] [--seed N]
+                                  [--bars] [--json] [--out DIR]
+    train                         train one benchmark cell
+                                  [--framework tf|caffe|torch]
+                                  [--dataset mnist|cifar10]
+                                  [--setting-owner tf|caffe|torch]
+                                  [--setting-dataset mnist|cifar10]
+                                  [--scale …] [--seed N] [--save FILE]
+    attack                        attack a trained cell
+                                  [--attack fgsm|pgd|jsma|noise]
+                                  [--framework …] [--epsilon X] [--seed N]
+    stats                         dataset characterization statistics
+                                  [--dataset …] [--size N] [--samples N]
+    ablate                        regularizer-robustness ablation (extension)
+                                  [--scale …] [--seed N]
+    help                          this message
+";
+
+fn main() -> ExitCode {
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    let parsed = match args::parse(&raw) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if parsed.command.is_empty() || parsed.command == "help" || parsed.flag("help") {
+        println!("{USAGE}");
+        return ExitCode::SUCCESS;
+    }
+    let result = match parsed.command.as_str() {
+        "list" => commands::list(),
+        "info" => commands::info(),
+        "run" => commands::run(&parsed),
+        "train" => commands::train(&parsed),
+        "attack" => commands::attack(&parsed),
+        "stats" => commands::stats(&parsed),
+        "ablate" => commands::ablate(&parsed),
+        other => Err(format!("unknown command `{other}`\n\n{USAGE}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

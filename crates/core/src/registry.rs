@@ -1,0 +1,171 @@
+//! The experiment registry: every table and figure of the paper's
+//! evaluation, enumerable and runnable.
+
+use crate::experiments;
+use crate::report::ExperimentReport;
+use crate::runner::BenchmarkRunner;
+
+/// Identifier of one paper artifact the suite can regenerate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ExperimentId {
+    /// Table I: framework properties.
+    TableI,
+    /// Table II: MNIST training defaults.
+    TableII,
+    /// Table III: CIFAR-10 training defaults.
+    TableIII,
+    /// Table IV: MNIST architectures.
+    TableIV,
+    /// Table V: CIFAR-10 architectures.
+    TableV,
+    /// Figure 1: MNIST own defaults (CPU/GPU).
+    Fig1,
+    /// Figure 2: CIFAR-10 own defaults (CPU/GPU).
+    Fig2,
+    /// Figure 3: MNIST dataset-dependent defaults.
+    Fig3,
+    /// Figure 4: CIFAR-10 dataset-dependent defaults.
+    Fig4,
+    /// Figure 5: Caffe loss curves on CIFAR-10.
+    Fig5,
+    /// Figure 6: MNIST framework-dependent defaults.
+    Fig6,
+    /// Figure 7: CIFAR-10 framework-dependent defaults.
+    Fig7,
+    /// Table VI: MNIST summary.
+    TableVI,
+    /// Table VII: CIFAR-10 summary.
+    TableVII,
+    /// Figure 8: untargeted FGSM success rates.
+    Fig8,
+    /// Figure 9: targeted JSMA success rates for digit 1.
+    Fig9,
+    /// Table VIII: targeted-attack crafting times.
+    TableVIII,
+    /// Table IX: feature-map/regularizer impact.
+    TableIX,
+}
+
+impl ExperimentId {
+    /// All experiments in the paper's presentation order.
+    pub const ALL: [ExperimentId; 18] = [
+        ExperimentId::TableI,
+        ExperimentId::TableII,
+        ExperimentId::TableIII,
+        ExperimentId::TableIV,
+        ExperimentId::TableV,
+        ExperimentId::Fig1,
+        ExperimentId::Fig2,
+        ExperimentId::Fig3,
+        ExperimentId::Fig4,
+        ExperimentId::Fig5,
+        ExperimentId::Fig6,
+        ExperimentId::Fig7,
+        ExperimentId::TableVI,
+        ExperimentId::TableVII,
+        ExperimentId::Fig8,
+        ExperimentId::Fig9,
+        ExperimentId::TableVIII,
+        ExperimentId::TableIX,
+    ];
+
+    /// Registry key (`"fig_1"`, `"table_vi"`, …).
+    pub fn key(&self) -> &'static str {
+        match self {
+            ExperimentId::TableI => "table_i",
+            ExperimentId::TableII => "table_ii",
+            ExperimentId::TableIII => "table_iii",
+            ExperimentId::TableIV => "table_iv",
+            ExperimentId::TableV => "table_v",
+            ExperimentId::Fig1 => "fig_1",
+            ExperimentId::Fig2 => "fig_2",
+            ExperimentId::Fig3 => "fig_3",
+            ExperimentId::Fig4 => "fig_4",
+            ExperimentId::Fig5 => "fig_5",
+            ExperimentId::Fig6 => "fig_6",
+            ExperimentId::Fig7 => "fig_7",
+            ExperimentId::TableVI => "table_vi",
+            ExperimentId::TableVII => "table_vii",
+            ExperimentId::Fig8 => "fig_8",
+            ExperimentId::Fig9 => "fig_9",
+            ExperimentId::TableVIII => "table_viii",
+            ExperimentId::TableIX => "table_ix",
+        }
+    }
+
+    /// Looks an experiment up by registry key.
+    pub fn from_key(key: &str) -> Option<ExperimentId> {
+        ExperimentId::ALL.iter().copied().find(|e| e.key() == key)
+    }
+
+    /// Whether this experiment needs training runs (static configuration
+    /// tables do not).
+    pub fn needs_training(&self) -> bool {
+        !matches!(
+            self,
+            ExperimentId::TableI
+                | ExperimentId::TableII
+                | ExperimentId::TableIII
+                | ExperimentId::TableIV
+                | ExperimentId::TableV
+        )
+    }
+
+    /// Regenerates the experiment.
+    pub fn run(&self, runner: &mut BenchmarkRunner) -> ExperimentReport {
+        match self {
+            ExperimentId::TableI => experiments::table_i(),
+            ExperimentId::TableII => experiments::table_ii(),
+            ExperimentId::TableIII => experiments::table_iii(),
+            ExperimentId::TableIV => experiments::table_iv(),
+            ExperimentId::TableV => experiments::table_v(),
+            ExperimentId::Fig1 => experiments::fig1(runner),
+            ExperimentId::Fig2 => experiments::fig2(runner),
+            ExperimentId::Fig3 => experiments::fig3(runner),
+            ExperimentId::Fig4 => experiments::fig4(runner),
+            ExperimentId::Fig5 => experiments::fig5(runner),
+            ExperimentId::Fig6 => experiments::fig6(runner),
+            ExperimentId::Fig7 => experiments::fig7(runner),
+            ExperimentId::TableVI => experiments::table_vi(runner),
+            ExperimentId::TableVII => experiments::table_vii(runner),
+            ExperimentId::Fig8 => experiments::fig8(runner),
+            ExperimentId::Fig9 => experiments::fig9(runner),
+            ExperimentId::TableVIII => experiments::table_viii(runner),
+            ExperimentId::TableIX => experiments::table_ix(runner),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_covers_every_paper_artifact() {
+        // 9 tables + 9 figures.
+        assert_eq!(ExperimentId::ALL.len(), 18);
+        let tables = ExperimentId::ALL.iter().filter(|e| e.key().starts_with("table")).count();
+        let figs = ExperimentId::ALL.iter().filter(|e| e.key().starts_with("fig")).count();
+        assert_eq!(tables, 9);
+        assert_eq!(figs, 9);
+    }
+
+    #[test]
+    fn keys_roundtrip() {
+        for e in ExperimentId::ALL {
+            assert_eq!(ExperimentId::from_key(e.key()), Some(e));
+        }
+        assert_eq!(ExperimentId::from_key("fig_42"), None);
+    }
+
+    #[test]
+    fn static_tables_run_without_training() {
+        let mut runner = BenchmarkRunner::new(dlbench_frameworks::Scale::Tiny, 1);
+        for e in ExperimentId::ALL.iter().filter(|e| !e.needs_training()) {
+            let report = e.run(&mut runner);
+            assert_eq!(report.id, e.key());
+            assert!(!report.facts.is_empty());
+        }
+        assert_eq!(runner.trained_cells(), 0);
+    }
+}

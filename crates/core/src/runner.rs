@@ -1,0 +1,133 @@
+//! Cached experiment runner.
+
+use crate::metrics::CellMetrics;
+use dlbench_data::DatasetKind;
+use dlbench_frameworks::{trainer, DefaultSetting, FrameworkKind, Scale};
+use dlbench_simtime::Device;
+use std::collections::HashMap;
+
+/// Key for one device-independent training run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TrainKey {
+    /// Host framework.
+    pub host: FrameworkKind,
+    /// Applied default setting.
+    pub setting: DefaultSetting,
+    /// Dataset trained on.
+    pub dataset: DatasetKind,
+}
+
+/// Runs benchmark cells, memoizing the expensive device-independent
+/// training so that CPU and GPU rows of the same configuration — and
+/// experiments sharing cells (Figures 1/3/6 all contain the own-default
+/// MNIST cells) — train exactly once.
+pub struct BenchmarkRunner {
+    scale: Scale,
+    seed: u64,
+    cache: HashMap<TrainKey, trainer::TrainOutcome>,
+    /// Cached targeted-attack campaign (Figure 9 and Tables VIII/IX
+    /// share it).
+    pub(crate) jsma_cache: Option<crate::experiments::JsmaCampaign>,
+}
+
+impl BenchmarkRunner {
+    /// Creates a runner at the given scale and master seed.
+    pub fn new(scale: Scale, seed: u64) -> Self {
+        Self { scale, seed, cache: HashMap::new(), jsma_cache: None }
+    }
+
+    /// The runner's scale.
+    pub fn scale(&self) -> Scale {
+        self.scale
+    }
+
+    /// The runner's master seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Number of distinct training runs performed so far.
+    pub fn trained_cells(&self) -> usize {
+        self.cache.len()
+    }
+
+    /// Trains (or fetches) the outcome for a key and applies `f` to it.
+    ///
+    /// The closure receives a mutable outcome because attack metrics
+    /// drive the cached model's forward/backward passes.
+    pub fn with_outcome<R>(
+        &mut self,
+        key: TrainKey,
+        f: impl FnOnce(&mut trainer::TrainOutcome) -> R,
+    ) -> R {
+        let seed = self.seed;
+        let scale = self.scale;
+        let outcome = self
+            .cache
+            .entry(key)
+            .or_insert_with(|| trainer::run_training(key.host, key.setting, key.dataset, scale, seed));
+        f(outcome)
+    }
+
+    /// Metrics for a full cell (training run + device timing model).
+    pub fn metrics(
+        &mut self,
+        key: TrainKey,
+        device: &Device,
+        label: impl Into<String>,
+    ) -> CellMetrics {
+        let device_label = device.kind.label().to_string();
+        let label = label.into();
+        let device = device.clone();
+        self.with_outcome(key, |out| {
+            let times = out.simulated_times(&device);
+            CellMetrics {
+                label,
+                device: device_label,
+                train_time_s: times.train_seconds,
+                test_time_s: times.test_seconds,
+                accuracy_pct: out.accuracy * 100.0,
+                converged: out.converged,
+                wall_train_s: out.wall_train_seconds,
+            }
+        })
+    }
+
+    /// Convenience: a framework running its own default on a dataset.
+    pub fn own_default_key(host: FrameworkKind, dataset: DatasetKind) -> TrainKey {
+        TrainKey { host, setting: DefaultSetting::new(host, dataset), dataset }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dlbench_simtime::devices;
+
+    #[test]
+    fn cache_avoids_retraining() {
+        let mut runner = BenchmarkRunner::new(Scale::Tiny, 7);
+        let key = BenchmarkRunner::own_default_key(FrameworkKind::Caffe, DatasetKind::Mnist);
+        let m1 = runner.metrics(key, &devices::gtx_1080_ti(), "Caffe");
+        assert_eq!(runner.trained_cells(), 1);
+        // Second device reuses the same training.
+        let m2 = runner.metrics(key, &devices::xeon_e5_1620(), "Caffe");
+        assert_eq!(runner.trained_cells(), 1);
+        assert_eq!(m1.accuracy_pct, m2.accuracy_pct);
+        assert!(m2.train_time_s > m1.train_time_s, "CPU slower than GPU");
+    }
+
+    #[test]
+    fn distinct_settings_are_distinct_cells() {
+        let mut runner = BenchmarkRunner::new(Scale::Tiny, 7);
+        let own = BenchmarkRunner::own_default_key(FrameworkKind::Caffe, DatasetKind::Mnist);
+        let cross = TrainKey {
+            host: FrameworkKind::Caffe,
+            setting: DefaultSetting::new(FrameworkKind::Torch, DatasetKind::Mnist),
+            dataset: DatasetKind::Mnist,
+        };
+        runner.metrics(own, &devices::gtx_1080_ti(), "a");
+        runner.metrics(cross, &devices::gtx_1080_ti(), "b");
+        assert_eq!(runner.trained_cells(), 2);
+    }
+}

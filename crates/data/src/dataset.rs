@@ -1,0 +1,188 @@
+//! In-memory labelled image dataset.
+
+use crate::stats::DatasetStats;
+use dlbench_tensor::Tensor;
+
+/// Which reference dataset a generated set stands in for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DatasetKind {
+    /// MNIST stand-in (grayscale, sparse, low entropy).
+    Mnist,
+    /// CIFAR-10 stand-in (RGB, dense, high entropy).
+    Cifar10,
+}
+
+impl DatasetKind {
+    /// Channel count of the reference data.
+    pub fn channels(&self) -> usize {
+        match self {
+            DatasetKind::Mnist => 1,
+            DatasetKind::Cifar10 => 3,
+        }
+    }
+
+    /// Native side length of the reference data (28 or 32).
+    pub fn native_size(&self) -> usize {
+        match self {
+            DatasetKind::Mnist => 28,
+            DatasetKind::Cifar10 => 32,
+        }
+    }
+
+    /// Reference training-set size from the paper (60,000 / 50,000).
+    pub fn paper_train_samples(&self) -> usize {
+        match self {
+            DatasetKind::Mnist => 60_000,
+            DatasetKind::Cifar10 => 50_000,
+        }
+    }
+
+    /// Display name matching the paper.
+    pub fn name(&self) -> &'static str {
+        match self {
+            DatasetKind::Mnist => "MNIST",
+            DatasetKind::Cifar10 => "CIFAR-10",
+        }
+    }
+}
+
+/// A labelled image dataset held in memory: images `[N, C, H, W]` in
+/// `[0, 1]` plus integer class labels.
+#[derive(Debug, Clone)]
+pub struct Dataset {
+    /// Which reference dataset this stands in for.
+    pub kind: DatasetKind,
+    /// Image tensor `[N, C, H, W]` with values in `[0, 1]`.
+    pub images: Tensor,
+    /// Class label per image.
+    pub labels: Vec<usize>,
+    /// Number of classes (10 for both reference datasets).
+    pub num_classes: usize,
+}
+
+impl Dataset {
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Whether the dataset is empty.
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+
+    /// Image side length.
+    pub fn size(&self) -> usize {
+        self.images.shape()[2]
+    }
+
+    /// Channel count.
+    pub fn channels(&self) -> usize {
+        self.images.shape()[1]
+    }
+
+    /// Splits off the first `n` samples as one dataset and the rest as
+    /// another (generators already randomize order, so a prefix split is
+    /// unbiased).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n > len()`.
+    pub fn split(&self, n: usize) -> (Dataset, Dataset) {
+        assert!(n <= self.len(), "split point beyond dataset");
+        let sample: usize = self.images.shape()[1..].iter().product();
+        let head = Tensor::from_vec(
+            &[n, self.channels(), self.size(), self.size()],
+            self.images.data()[..n * sample].to_vec(),
+        )
+        .expect("head slice is consistent");
+        let tail_n = self.len() - n;
+        let tail = Tensor::from_vec(
+            &[tail_n, self.channels(), self.size(), self.size()],
+            self.images.data()[n * sample..].to_vec(),
+        )
+        .expect("tail slice is consistent");
+        (
+            Dataset {
+                kind: self.kind,
+                images: head,
+                labels: self.labels[..n].to_vec(),
+                num_classes: self.num_classes,
+            },
+            Dataset {
+                kind: self.kind,
+                images: tail,
+                labels: self.labels[n..].to_vec(),
+                num_classes: self.num_classes,
+            },
+        )
+    }
+
+    /// Gathers a batch of samples at the given indices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is out of range.
+    pub fn gather(&self, indices: &[usize]) -> (Tensor, Vec<usize>) {
+        let sample: usize = self.images.shape()[1..].iter().product();
+        let mut data = Vec::with_capacity(indices.len() * sample);
+        let mut labels = Vec::with_capacity(indices.len());
+        for &i in indices {
+            assert!(i < self.len(), "gather index {i} out of range");
+            data.extend_from_slice(&self.images.data()[i * sample..(i + 1) * sample]);
+            labels.push(self.labels[i]);
+        }
+        let images = Tensor::from_vec(
+            &[indices.len(), self.channels(), self.size(), self.size()],
+            data,
+        )
+        .expect("gathered batch is consistent");
+        (images, labels)
+    }
+
+    /// Characterization statistics (entropy, sparsity, channel moments)
+    /// used by the benchmark's dataset-analysis metric.
+    pub fn stats(&self) -> DatasetStats {
+        DatasetStats::measure(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy() -> Dataset {
+        let images = Tensor::arange(2 * 1 * 2 * 2).reshape(&[2, 1, 2, 2]).unwrap();
+        Dataset { kind: DatasetKind::Mnist, images, labels: vec![3, 7], num_classes: 10 }
+    }
+
+    #[test]
+    fn split_partitions_samples() {
+        let d = toy();
+        let (a, b) = d.split(1);
+        assert_eq!(a.len(), 1);
+        assert_eq!(b.len(), 1);
+        assert_eq!(a.labels, vec![3]);
+        assert_eq!(b.labels, vec![7]);
+        assert_eq!(b.images.data(), &[4.0, 5.0, 6.0, 7.0]);
+    }
+
+    #[test]
+    fn gather_reorders() {
+        let d = toy();
+        let (imgs, labels) = d.gather(&[1, 0]);
+        assert_eq!(labels, vec![7, 3]);
+        assert_eq!(imgs.shape(), &[2, 1, 2, 2]);
+        assert_eq!(&imgs.data()[..4], &[4.0, 5.0, 6.0, 7.0]);
+    }
+
+    #[test]
+    fn kind_metadata() {
+        assert_eq!(DatasetKind::Mnist.channels(), 1);
+        assert_eq!(DatasetKind::Cifar10.channels(), 3);
+        assert_eq!(DatasetKind::Mnist.native_size(), 28);
+        assert_eq!(DatasetKind::Cifar10.native_size(), 32);
+        assert_eq!(DatasetKind::Mnist.paper_train_samples(), 60_000);
+        assert_eq!(DatasetKind::Cifar10.paper_train_samples(), 50_000);
+    }
+}

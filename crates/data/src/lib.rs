@@ -1,0 +1,46 @@
+//! # dlbench-data
+//!
+//! Dataset substrate for the DLBench suite: procedural, seed-deterministic
+//! stand-ins for MNIST and CIFAR-10, plus the per-framework preprocessing
+//! pipelines and the dataset-characterization statistics the benchmark
+//! reports.
+//!
+//! The paper's datasets are gated (no network access in the reproduction
+//! environment), so we substitute generators that preserve the properties
+//! the paper's analysis leans on:
+//!
+//! * [`SynthMnist`] — sparse, grayscale, **low-entropy** glyph images
+//!   (seven-segment-style digit skeletons with affine jitter and noise);
+//!   easily learnable to ≥99% accuracy by LeNet-class models.
+//! * [`SynthCifar10`] — color-rich, texture-rich, **high-entropy** images
+//!   (class-specific palette × texture × shape composites with strong
+//!   intra-class variation); separates model capacity and training-budget
+//!   differences the way CIFAR-10 does in the paper.
+//!
+//! ## Example
+//!
+//! ```
+//! use dlbench_data::SynthMnist;
+//!
+//! let data = SynthMnist::generate(128, 28, 42);
+//! assert_eq!(data.images.shape(), &[128, 1, 28, 28]);
+//! assert_eq!(data.labels.len(), 128);
+//! assert!(data.stats().sparsity > 0.5, "MNIST-like data is mostly background");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod batch;
+mod cifar;
+mod dataset;
+mod mnist;
+mod preprocess;
+mod stats;
+
+pub use batch::BatchIter;
+pub use cifar::SynthCifar10;
+pub use dataset::{Dataset, DatasetKind};
+pub use mnist::SynthMnist;
+pub use preprocess::Preprocessing;
+pub use stats::DatasetStats;

@@ -1,0 +1,112 @@
+//! Dataset characterization statistics.
+//!
+//! The paper attributes the MNIST-vs-CIFAR performance gap to data
+//! entropy ("the sparseness and gray scale of MNIST give the data low
+//! entropy"). The benchmark therefore reports these statistics alongside
+//! every experiment so the claim is checkable against the data actually
+//! used.
+
+use crate::dataset::Dataset;
+
+/// Summary statistics for a dataset.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DatasetStats {
+    /// Number of samples.
+    pub samples: usize,
+    /// Channels × height × width.
+    pub dims: (usize, usize, usize),
+    /// Shannon entropy (bits) of the pixel-intensity histogram (32 bins).
+    pub pixel_entropy: f32,
+    /// Fraction of pixels with intensity below 0.1.
+    pub sparsity: f32,
+    /// Per-channel means.
+    pub channel_means: Vec<f32>,
+    /// Per-channel standard deviations.
+    pub channel_stds: Vec<f32>,
+}
+
+impl DatasetStats {
+    /// Measures statistics over the whole dataset.
+    pub fn measure(dataset: &Dataset) -> Self {
+        let c = dataset.channels();
+        let hw = dataset.size() * dataset.size();
+        let n = dataset.len();
+        let mut means = vec![0.0f32; c];
+        let mut sqs = vec![0.0f32; c];
+        for s in 0..n {
+            for ch in 0..c {
+                let off = (s * c + ch) * hw;
+                for &v in &dataset.images.data()[off..off + hw] {
+                    means[ch] += v;
+                    sqs[ch] += v * v;
+                }
+            }
+        }
+        let count = (n * hw) as f32;
+        let channel_means: Vec<f32> = means.iter().map(|m| m / count).collect();
+        let channel_stds: Vec<f32> = sqs
+            .iter()
+            .zip(&channel_means)
+            .map(|(sq, m)| (sq / count - m * m).max(0.0).sqrt())
+            .collect();
+        DatasetStats {
+            samples: n,
+            dims: (c, dataset.size(), dataset.size()),
+            pixel_entropy: dataset.images.histogram_entropy(32),
+            sparsity: dataset.images.sparsity(0.1),
+            channel_means,
+            channel_stds,
+        }
+    }
+}
+
+impl std::fmt::Display for DatasetStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} samples, {}x{}x{}, entropy {:.2} bits, sparsity {:.1}%",
+            self.samples,
+            self.dims.0,
+            self.dims.1,
+            self.dims.2,
+            self.pixel_entropy,
+            self.sparsity * 100.0
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{SynthCifar10, SynthMnist};
+
+    #[test]
+    fn mnist_profile_low_entropy_sparse() {
+        let d = SynthMnist::generate(60, 16, 1);
+        let s = d.stats();
+        assert_eq!(s.samples, 60);
+        assert_eq!(s.dims, (1, 16, 16));
+        assert!(s.sparsity > 0.5);
+        assert_eq!(s.channel_means.len(), 1);
+    }
+
+    #[test]
+    fn cifar_profile_high_entropy_dense() {
+        let mnist = SynthMnist::generate(60, 16, 2).stats();
+        let cifar = SynthCifar10::generate(60, 16, 2).stats();
+        assert!(cifar.pixel_entropy > mnist.pixel_entropy);
+        assert!(cifar.sparsity < mnist.sparsity);
+        assert_eq!(cifar.channel_means.len(), 3);
+        // CIFAR-like data is roughly mid-gray on average.
+        for m in &cifar.channel_means {
+            assert!((0.2..0.8).contains(m), "channel mean {m}");
+        }
+    }
+
+    #[test]
+    fn display_is_humane() {
+        let d = SynthMnist::generate(10, 12, 3);
+        let text = format!("{}", d.stats());
+        assert!(text.contains("10 samples"));
+        assert!(text.contains("entropy"));
+    }
+}

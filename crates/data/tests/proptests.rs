@@ -1,0 +1,81 @@
+//! Property-based tests for the dataset generators.
+
+use dlbench_data::{Preprocessing, SynthCifar10, SynthMnist};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn mnist_generator_contract(n in 1usize..64, size in 8usize..24, seed in 0u64..500) {
+        let d = SynthMnist::generate(n, size, seed);
+        prop_assert_eq!(d.len(), n);
+        prop_assert_eq!(d.images.shape(), &[n, 1, size, size]);
+        prop_assert!(d.images.min() >= 0.0 && d.images.max() <= 1.0);
+        prop_assert!(d.labels.iter().all(|&l| l < 10));
+        // Deterministic.
+        let d2 = SynthMnist::generate(n, size, seed);
+        prop_assert_eq!(d.images.data(), d2.images.data());
+    }
+
+    #[test]
+    fn cifar_generator_contract(n in 1usize..48, size in 8usize..20, seed in 0u64..500) {
+        let d = SynthCifar10::generate(n, size, seed);
+        prop_assert_eq!(d.images.shape(), &[n, 3, size, size]);
+        prop_assert!(d.images.min() >= 0.0 && d.images.max() <= 1.0);
+        let d2 = SynthCifar10::generate(n, size, seed);
+        prop_assert_eq!(d.images.data(), d2.images.data());
+        prop_assert_eq!(d.labels, d2.labels);
+    }
+
+    #[test]
+    fn class_balance_within_one(n in 10usize..200, seed in 0u64..200) {
+        let d = SynthMnist::generate(n, 12, seed);
+        let mut counts = [0usize; 10];
+        for &l in &d.labels {
+            counts[l] += 1;
+        }
+        let max = counts.iter().max().unwrap();
+        let min = counts.iter().min().unwrap();
+        prop_assert!(max - min <= 1, "counts {counts:?}");
+    }
+
+    #[test]
+    fn split_conserves_samples(n in 2usize..50, at_frac in 0.1f64..0.9, seed in 0u64..200) {
+        let d = SynthMnist::generate(n, 10, seed);
+        let at = ((n as f64 * at_frac) as usize).clamp(1, n - 1);
+        let (a, b) = d.split(at);
+        prop_assert_eq!(a.len() + b.len(), n);
+        prop_assert_eq!(a.images.len() + b.images.len(), d.images.len());
+        let mut rejoined = a.labels.clone();
+        rejoined.extend(&b.labels);
+        prop_assert_eq!(rejoined, d.labels);
+    }
+
+    #[test]
+    fn standardize_is_shift_scale_invariant_in_prediction_order(
+        n in 1usize..8, seed in 0u64..200,
+    ) {
+        // Standardizing x and standardizing 0.5*x + 0.1 give the same
+        // result (per-image affine invariance).
+        let d = SynthCifar10::generate(n, 10, seed);
+        let shifted = d.images.map(|v| 0.5 * v + 0.1);
+        let a = Preprocessing::Standardize.apply(&d.images, &[]);
+        let b = Preprocessing::Standardize.apply(&shifted, &[]);
+        for (x, y) in a.data().iter().zip(b.data()) {
+            prop_assert!((x - y).abs() < 1e-2, "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn mean_subtract_is_idempotent_on_centered_data(n in 2usize..20, seed in 0u64..200) {
+        let d = SynthCifar10::generate(n, 10, seed);
+        let means = Preprocessing::channel_means(&d);
+        let centered = Preprocessing::MeanSubtract.apply(&d.images, &means);
+        // Means of centered data are ~0; subtracting them again is a
+        // no-op.
+        let zero_means = vec![0.0f32; 3];
+        let again = Preprocessing::MeanSubtract.apply(&centered, &zero_means);
+        prop_assert_eq!(centered.data(), again.data());
+    }
+}

@@ -1,0 +1,67 @@
+//! Calibration probe (ignored by default): prints accuracy and
+//! simulated times for all own-default cells at Small scale.
+//!
+//! Run with:
+//! `cargo test -p dlbench-frameworks --test calibration -- --ignored --nocapture`
+
+use dlbench_data::DatasetKind;
+use dlbench_frameworks::{trainer, DefaultSetting, FrameworkKind, Scale};
+use dlbench_simtime::devices;
+
+#[test]
+#[ignore = "calibration probe, minutes of runtime"]
+fn own_defaults_small_scale() {
+    for ds in [DatasetKind::Mnist, DatasetKind::Cifar10] {
+        for fw in FrameworkKind::ALL {
+            let out =
+                trainer::run_training(fw, DefaultSetting::new(fw, ds), ds, Scale::Small, 42);
+            let cpu = out.simulated_times(&devices::xeon_e5_1620());
+            let gpu = out.simulated_times(&devices::gtx_1080_ti());
+            println!(
+                "{:10} on {:8}: acc {:5.1}% loss {:6.3} conv {} iters {:5} wall {:6.1}s | sim CPU {:9.1}/{:6.2}s GPU {:8.1}/{:5.2}s",
+                fw.name(),
+                ds.name(),
+                out.accuracy * 100.0,
+                out.final_loss(),
+                out.converged,
+                out.executed_iterations,
+                out.wall_train_seconds,
+                cpu.train_seconds,
+                cpu.test_seconds,
+                gpu.train_seconds,
+                gpu.test_seconds,
+            );
+        }
+    }
+}
+
+#[test]
+#[ignore = "calibration probe, minutes of runtime"]
+fn cross_dataset_small_scale() {
+    // The paper's headline failures: Caffe's MNIST setting on CIFAR-10
+    // (divergence) and TF's CIFAR setting on MNIST (works well).
+    for (host, tuned_for, ds) in [
+        (FrameworkKind::Caffe, DatasetKind::Mnist, DatasetKind::Cifar10),
+        (FrameworkKind::TensorFlow, DatasetKind::Cifar10, DatasetKind::Mnist),
+        (FrameworkKind::Caffe, DatasetKind::Cifar10, DatasetKind::Mnist),
+        (FrameworkKind::Torch, DatasetKind::Mnist, DatasetKind::Cifar10),
+    ] {
+        let out = trainer::run_training(
+            host,
+            DefaultSetting::new(host, tuned_for),
+            ds,
+            Scale::Small,
+            42,
+        );
+        println!(
+            "{:10} ({}-{:8}) on {:8}: acc {:5.1}% loss {:6.3} conv {}",
+            host.name(),
+            host.abbrev(),
+            tuned_for.name(),
+            ds.name(),
+            out.accuracy * 100.0,
+            out.final_loss(),
+            out.converged,
+        );
+    }
+}

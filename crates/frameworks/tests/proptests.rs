@@ -1,0 +1,112 @@
+//! Property-based tests for the configuration database and trainer
+//! helpers.
+
+use dlbench_data::{DatasetKind, Preprocessing};
+use dlbench_frameworks::{trainer, DefaultSetting, FrameworkKind};
+use dlbench_tensor::{SeededRng, Tensor};
+use proptest::prelude::*;
+
+fn any_framework() -> impl Strategy<Value = FrameworkKind> {
+    prop::sample::select(vec![
+        FrameworkKind::TensorFlow,
+        FrameworkKind::Caffe,
+        FrameworkKind::Torch,
+    ])
+}
+
+fn any_dataset() -> impl Strategy<Value = DatasetKind> {
+    prop::sample::select(vec![DatasetKind::Mnist, DatasetKind::Cifar10])
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn every_arch_builds_at_any_reasonable_size(
+        fw in any_framework(),
+        ds in any_dataset(),
+        size in 10usize..33,
+        width in 0.25f32..1.0,
+        seed in 0u64..200,
+    ) {
+        let setting = DefaultSetting::new(fw, ds);
+        let spec = trainer::effective_arch(fw, &setting);
+        let c = ds.channels();
+        let mut rng = SeededRng::new(seed);
+        let mut net = spec.build((c, size, size), width, fw.initializer(), &mut rng);
+        let x = Tensor::randn(&[2, c, size, size], 0.0, 1.0, &mut rng);
+        let y = net.forward(&x, true);
+        prop_assert_eq!(y.shape(), &[2, 10]);
+        prop_assert!(!y.has_non_finite());
+    }
+
+    #[test]
+    fn paper_cost_monotone_in_batch_and_size(
+        fw in any_framework(),
+        ds in any_dataset(),
+        batch in 1usize..64,
+    ) {
+        let spec = DefaultSetting::new(fw, ds).arch();
+        let native = ds.native_size();
+        let input = (ds.channels(), native, native);
+        let c1 = spec.paper_cost(input, batch);
+        let c2 = spec.paper_cost(input, batch + 1);
+        prop_assert!(c2.fwd_flops > c1.fwd_flops);
+        prop_assert!(c2.bwd_flops > c1.bwd_flops);
+        prop_assert_eq!(c1.params, c2.params, "params are batch-independent");
+    }
+
+    #[test]
+    fn effective_preprocessing_only_breaks_caffe_cross_dataset(
+        host in any_framework(),
+        owner in any_framework(),
+        tuned in any_dataset(),
+        ds in any_dataset(),
+    ) {
+        let setting = DefaultSetting::new(owner, tuned);
+        let effective = trainer::effective_preprocessing(host, &setting, ds);
+        let declared = setting.training().preprocessing;
+        let is_caffe_transplant = host == FrameworkKind::Caffe
+            && owner == FrameworkKind::Caffe
+            && tuned != ds
+            && declared == Preprocessing::Raw01;
+        if is_caffe_transplant {
+            prop_assert_eq!(effective, Preprocessing::RawBytes);
+        } else {
+            prop_assert_eq!(effective, declared);
+        }
+    }
+
+    #[test]
+    fn dropout_travels_with_tensorflow_host(
+        owner in any_framework(),
+        ds in any_dataset(),
+    ) {
+        use dlbench_frameworks::LayerSpecEntry;
+        let setting = DefaultSetting::new(owner, ds);
+        let tf_arch = trainer::effective_arch(FrameworkKind::TensorFlow, &setting);
+        prop_assert!(
+            tf_arch.entries.iter().any(|e| matches!(e, LayerSpecEntry::Dropout { .. })),
+            "TF host must insert dropout"
+        );
+        for host in [FrameworkKind::Caffe, FrameworkKind::Torch] {
+            let arch = trainer::effective_arch(host, &setting);
+            prop_assert!(
+                !arch.entries.iter().any(|e| matches!(e, LayerSpecEntry::Dropout { .. })),
+                "{host} must not use dropout"
+            );
+        }
+    }
+
+    #[test]
+    fn generated_data_is_shared_across_settings(
+        ds in any_dataset(),
+        seed in 0u64..100,
+    ) {
+        use dlbench_frameworks::Scale;
+        let (a, _) = trainer::generate_data(ds, Scale::Tiny, seed);
+        let (b, _) = trainer::generate_data(ds, Scale::Tiny, seed);
+        prop_assert_eq!(a.images.data(), b.images.data());
+        prop_assert_eq!(a.labels, b.labels);
+    }
+}

@@ -1,0 +1,153 @@
+//! Pointwise activation layers.
+
+use crate::layer::Layer;
+use crate::profile::LayerCost;
+use dlbench_tensor::Tensor;
+
+/// Rectified linear unit, `y = max(0, x)` (TensorFlow and Caffe default).
+#[derive(Default)]
+pub struct Relu {
+    mask: Vec<bool>,
+}
+
+impl Relu {
+    /// Creates a ReLU layer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Layer for Relu {
+    fn name(&self) -> &'static str {
+        "relu"
+    }
+
+    fn summary(&self) -> String {
+        "ReLU".to_string()
+    }
+
+    fn forward(&mut self, input: &Tensor, _train: bool) -> Tensor {
+        self.mask = input.data().iter().map(|&v| v > 0.0).collect();
+        input.map(|v| v.max(0.0))
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        assert_eq!(grad_out.len(), self.mask.len(), "backward before forward");
+        let mut g = grad_out.clone();
+        for (v, &keep) in g.data_mut().iter_mut().zip(&self.mask) {
+            if !keep {
+                *v = 0.0;
+            }
+        }
+        g
+    }
+
+    fn output_shape(&self, input_shape: &[usize]) -> Vec<usize> {
+        input_shape.to_vec()
+    }
+
+    fn cost(&self, input_shape: &[usize]) -> LayerCost {
+        let n: u64 = input_shape.iter().product::<usize>() as u64;
+        LayerCost {
+            fwd_flops: n,
+            bwd_flops: n,
+            params: 0,
+            activations: n,
+            fwd_kernels: 1,
+            bwd_kernels: 1,
+        }
+    }
+}
+
+/// Hyperbolic tangent activation (Torch7's LeNet default).
+#[derive(Default)]
+pub struct Tanh {
+    cached_output: Option<Tensor>,
+}
+
+impl Tanh {
+    /// Creates a tanh layer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Layer for Tanh {
+    fn name(&self) -> &'static str {
+        "tanh"
+    }
+
+    fn summary(&self) -> String {
+        "Tanh".to_string()
+    }
+
+    fn forward(&mut self, input: &Tensor, _train: bool) -> Tensor {
+        let out = input.map(f32::tanh);
+        self.cached_output = Some(out.clone());
+        out
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let y = self.cached_output.as_ref().expect("backward before forward");
+        assert_eq!(grad_out.len(), y.len(), "grad shape mismatch");
+        let mut g = grad_out.clone();
+        for (gv, &yv) in g.data_mut().iter_mut().zip(y.data()) {
+            *gv *= 1.0 - yv * yv;
+        }
+        g
+    }
+
+    fn output_shape(&self, input_shape: &[usize]) -> Vec<usize> {
+        input_shape.to_vec()
+    }
+
+    fn cost(&self, input_shape: &[usize]) -> LayerCost {
+        let n: u64 = input_shape.iter().product::<usize>() as u64;
+        LayerCost {
+            // tanh ≈ 8 flops per element on the reference device model.
+            fwd_flops: 8 * n,
+            bwd_flops: 3 * n,
+            params: 0,
+            activations: n,
+            fwd_kernels: 1,
+            bwd_kernels: 1,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn relu_clamps_negatives() {
+        let mut relu = Relu::new();
+        let x = Tensor::from_vec(&[4], vec![-1.0, 0.0, 2.0, -0.5]).unwrap();
+        let y = relu.forward(&x, true);
+        assert_eq!(y.data(), &[0.0, 0.0, 2.0, 0.0]);
+        let g = Tensor::ones(&[4]);
+        let gx = relu.backward(&g);
+        assert_eq!(gx.data(), &[0.0, 0.0, 1.0, 0.0]);
+    }
+
+    #[test]
+    fn tanh_gradient_matches_finite_difference() {
+        let mut tanh = Tanh::new();
+        let x = Tensor::from_vec(&[3], vec![-0.7, 0.1, 1.3]).unwrap();
+        tanh.forward(&x, true);
+        let gx = tanh.backward(&Tensor::ones(&[3]));
+        let eps = 1e-3f32;
+        for i in 0..3 {
+            let num = ((x.data()[i] + eps).tanh() - (x.data()[i] - eps).tanh()) / (2.0 * eps);
+            assert!((gx.data()[i] - num).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn shapes_pass_through() {
+        let relu = Relu::new();
+        assert_eq!(relu.output_shape(&[2, 3, 4, 5]), vec![2, 3, 4, 5]);
+        let tanh = Tanh::new();
+        assert_eq!(tanh.output_shape(&[7]), vec![7]);
+    }
+}

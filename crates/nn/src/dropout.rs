@@ -1,0 +1,134 @@
+//! Inverted dropout regularization (TensorFlow's default regularizer in
+//! the paper's comparison).
+
+use crate::layer::Layer;
+use crate::profile::LayerCost;
+use dlbench_tensor::{SeededRng, Tensor};
+
+/// Inverted dropout: during training each activation is zeroed with
+/// probability `rate` and survivors are scaled by `1/(1-rate)`; at test
+/// time the layer is the identity.
+pub struct Dropout {
+    rate: f32,
+    rng: SeededRng,
+    mask: Vec<f32>,
+    last_train: bool,
+}
+
+impl Dropout {
+    /// Creates a dropout layer with the given drop probability.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 <= rate < 1`.
+    pub fn new(rate: f32, rng: SeededRng) -> Self {
+        assert!((0.0..1.0).contains(&rate), "dropout rate must be in [0, 1)");
+        Self { rate, rng, mask: Vec::new(), last_train: false }
+    }
+
+    /// The drop probability.
+    pub fn rate(&self) -> f32 {
+        self.rate
+    }
+}
+
+impl Layer for Dropout {
+    fn name(&self) -> &'static str {
+        "dropout"
+    }
+
+    fn summary(&self) -> String {
+        format!("Dropout({})", self.rate)
+    }
+
+    fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
+        self.last_train = train;
+        if !train || self.rate == 0.0 {
+            return input.clone();
+        }
+        let keep = 1.0 - self.rate;
+        let scale = 1.0 / keep;
+        self.mask = (0..input.len())
+            .map(|_| if self.rng.bernoulli(keep) { scale } else { 0.0 })
+            .collect();
+        let mut out = input.clone();
+        for (v, &m) in out.data_mut().iter_mut().zip(&self.mask) {
+            *v *= m;
+        }
+        out
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        if !self.last_train || self.rate == 0.0 {
+            return grad_out.clone();
+        }
+        assert_eq!(grad_out.len(), self.mask.len(), "backward before forward");
+        let mut g = grad_out.clone();
+        for (v, &m) in g.data_mut().iter_mut().zip(&self.mask) {
+            *v *= m;
+        }
+        g
+    }
+
+    fn output_shape(&self, input_shape: &[usize]) -> Vec<usize> {
+        input_shape.to_vec()
+    }
+
+    fn cost(&self, input_shape: &[usize]) -> LayerCost {
+        let n: u64 = input_shape.iter().product::<usize>() as u64;
+        LayerCost {
+            fwd_flops: 2 * n,
+            bwd_flops: n,
+            params: 0,
+            activations: n,
+            fwd_kernels: 1,
+            bwd_kernels: 1,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eval_mode_is_identity() {
+        let mut d = Dropout::new(0.5, SeededRng::new(1));
+        let x = Tensor::arange(10);
+        let y = d.forward(&x, false);
+        assert_eq!(y, x);
+        let g = d.backward(&Tensor::ones(&[10]));
+        assert_eq!(g.data(), &[1.0f32; 10][..]);
+    }
+
+    #[test]
+    fn train_mode_zeroes_and_scales() {
+        let mut d = Dropout::new(0.5, SeededRng::new(2));
+        let x = Tensor::ones(&[10_000]);
+        let y = d.forward(&x, true);
+        let zeros = y.data().iter().filter(|&&v| v == 0.0).count();
+        let kept = y.data().iter().filter(|&&v| (v - 2.0).abs() < 1e-6).count();
+        assert_eq!(zeros + kept, 10_000);
+        assert!((zeros as f32 / 10_000.0 - 0.5).abs() < 0.03);
+        // Expected value preserved.
+        assert!((y.mean() - 1.0).abs() < 0.05);
+    }
+
+    #[test]
+    fn backward_uses_same_mask() {
+        let mut d = Dropout::new(0.3, SeededRng::new(3));
+        let x = Tensor::ones(&[100]);
+        let y = d.forward(&x, true);
+        let g = d.backward(&Tensor::ones(&[100]));
+        for (yv, gv) in y.data().iter().zip(g.data()) {
+            assert_eq!(yv, gv, "mask must match between forward and backward");
+        }
+    }
+
+    #[test]
+    fn zero_rate_is_identity_even_in_train() {
+        let mut d = Dropout::new(0.0, SeededRng::new(4));
+        let x = Tensor::arange(5);
+        assert_eq!(d.forward(&x, true), x);
+    }
+}

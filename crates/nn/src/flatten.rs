@@ -1,0 +1,67 @@
+//! Reshape layer bridging convolutional and fully-connected stacks.
+
+use crate::layer::Layer;
+use crate::profile::LayerCost;
+use dlbench_tensor::Tensor;
+
+/// Flattens `[N, …]` to `[N, prod(…)]`, remembering the input shape for
+/// the backward reshape.
+#[derive(Default)]
+pub struct Flatten {
+    cached_shape: Vec<usize>,
+}
+
+impl Flatten {
+    /// Creates a flatten layer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Layer for Flatten {
+    fn name(&self) -> &'static str {
+        "flatten"
+    }
+
+    fn summary(&self) -> String {
+        "Flatten".to_string()
+    }
+
+    fn forward(&mut self, input: &Tensor, _train: bool) -> Tensor {
+        assert!(input.rank() >= 1, "Flatten expects a batched tensor");
+        self.cached_shape = input.shape().to_vec();
+        let n = input.shape()[0];
+        let rest: usize = input.shape()[1..].iter().product();
+        input.reshape(&[n, rest]).expect("flatten reshape preserves element count")
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        assert!(!self.cached_shape.is_empty(), "backward before forward");
+        grad_out.reshape(&self.cached_shape).expect("unflatten reshape preserves element count")
+    }
+
+    fn output_shape(&self, input_shape: &[usize]) -> Vec<usize> {
+        vec![input_shape[0], input_shape[1..].iter().product()]
+    }
+
+    fn cost(&self, _input_shape: &[usize]) -> LayerCost {
+        // Pure metadata operation: free on device, no kernel launch.
+        LayerCost::default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flatten_roundtrip() {
+        let mut f = Flatten::new();
+        let x = Tensor::arange(24).reshape(&[2, 3, 2, 2]).unwrap();
+        let y = f.forward(&x, true);
+        assert_eq!(y.shape(), &[2, 12]);
+        let gx = f.backward(&y);
+        assert_eq!(gx.shape(), x.shape());
+        assert_eq!(gx.data(), x.data());
+    }
+}

@@ -1,0 +1,127 @@
+//! Weight initialization schemes.
+//!
+//! Each reference framework ships a different default initializer, and
+//! the paper's accuracy differences partly flow from these choices, so
+//! they are modelled explicitly:
+//!
+//! * TensorFlow's MNIST/CIFAR tutorials use truncated normal draws with
+//!   a small constant bias ([`Initializer::TruncatedNormal`]).
+//! * Caffe's LeNet/CIFAR prototxts use Xavier/MSRA-style fan-scaled
+//!   uniform draws ([`Initializer::Xavier`]).
+//! * Torch7's `nn` modules default to LeCun-style `±1/sqrt(fan_in)`
+//!   uniform draws ([`Initializer::LecunUniform`]).
+
+use dlbench_tensor::{SeededRng, Tensor};
+
+/// A weight-initialization scheme.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Initializer {
+    /// Normal draws truncated to two standard deviations, with the given
+    /// standard deviation and constant bias value (TensorFlow tutorial
+    /// style: `std = 0.1`, `bias = 0.1`).
+    TruncatedNormal {
+        /// Standard deviation of the weight draws.
+        std: f32,
+        /// Constant initial bias.
+        bias: f32,
+    },
+    /// Xavier/Glorot uniform: `U(±sqrt(6 / (fan_in + fan_out)))`, zero
+    /// bias (Caffe style).
+    Xavier,
+    /// LeCun uniform: `U(±1/sqrt(fan_in))` for weights *and* biases
+    /// (Torch7 style).
+    LecunUniform,
+    /// Plain Gaussian with the given standard deviation and zero bias.
+    Gaussian {
+        /// Standard deviation of the weight draws.
+        std: f32,
+    },
+}
+
+impl Initializer {
+    /// Samples a weight tensor of the given shape. `fan_in`/`fan_out`
+    /// are the effective fan sizes (for conv layers these include the
+    /// kernel area).
+    pub fn sample_weights(
+        &self,
+        dims: &[usize],
+        fan_in: usize,
+        fan_out: usize,
+        rng: &mut SeededRng,
+    ) -> Tensor {
+        match *self {
+            Initializer::TruncatedNormal { std, .. } => {
+                let n: usize = dims.iter().product();
+                let mut data = Vec::with_capacity(n);
+                while data.len() < n {
+                    let v = rng.normal(0.0, std);
+                    if v.abs() <= 2.0 * std {
+                        data.push(v);
+                    }
+                }
+                Tensor::from_vec(dims, data).expect("sampled data matches shape")
+            }
+            Initializer::Xavier => {
+                let bound = (6.0 / (fan_in + fan_out) as f32).sqrt();
+                Tensor::rand_uniform(dims, -bound, bound, rng)
+            }
+            Initializer::LecunUniform => {
+                let bound = 1.0 / (fan_in as f32).sqrt();
+                Tensor::rand_uniform(dims, -bound, bound, rng)
+            }
+            Initializer::Gaussian { std } => Tensor::randn(dims, 0.0, std, rng),
+        }
+    }
+
+    /// Samples a bias tensor of the given shape.
+    pub fn sample_bias(&self, dims: &[usize], fan_in: usize, rng: &mut SeededRng) -> Tensor {
+        match *self {
+            Initializer::TruncatedNormal { bias, .. } => Tensor::full(dims, bias),
+            Initializer::Xavier | Initializer::Gaussian { .. } => Tensor::zeros(dims),
+            Initializer::LecunUniform => {
+                let bound = 1.0 / (fan_in as f32).sqrt();
+                Tensor::rand_uniform(dims, -bound, bound, rng)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn truncated_normal_respects_bound() {
+        let mut rng = SeededRng::new(1);
+        let init = Initializer::TruncatedNormal { std: 0.1, bias: 0.1 };
+        let w = init.sample_weights(&[64, 32], 32, 64, &mut rng);
+        assert!(w.data().iter().all(|v| v.abs() <= 0.2 + 1e-6));
+        let b = init.sample_bias(&[64], 32, &mut rng);
+        assert!(b.data().iter().all(|&v| v == 0.1));
+    }
+
+    #[test]
+    fn xavier_bound_scales_with_fans() {
+        let mut rng = SeededRng::new(2);
+        let w = Initializer::Xavier.sample_weights(&[100, 200], 200, 100, &mut rng);
+        let bound = (6.0f32 / 300.0).sqrt();
+        assert!(w.data().iter().all(|v| v.abs() <= bound));
+        assert!(w.max() > 0.5 * bound, "draws should fill the range");
+        let b = Initializer::Xavier.sample_bias(&[100], 200, &mut rng);
+        assert!(b.data().iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn lecun_uniform_bounds() {
+        let mut rng = SeededRng::new(3);
+        let w = Initializer::LecunUniform.sample_weights(&[10, 25], 25, 10, &mut rng);
+        assert!(w.data().iter().all(|v| v.abs() <= 0.2));
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let w1 = Initializer::Xavier.sample_weights(&[5, 5], 5, 5, &mut SeededRng::new(9));
+        let w2 = Initializer::Xavier.sample_weights(&[5, 5], 5, 5, &mut SeededRng::new(9));
+        assert_eq!(w1, w2);
+    }
+}

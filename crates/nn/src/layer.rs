@@ -1,0 +1,76 @@
+//! The [`Layer`] trait and parameter handles.
+
+use crate::profile::LayerCost;
+use dlbench_tensor::Tensor;
+
+/// Whether a parameter tensor is a weight or a bias.
+///
+/// Optimizers need the distinction because weight decay is conventionally
+/// applied to weights only (this matters for reproducing the paper's
+/// regularization comparison: Caffe's weight decay vs TensorFlow's
+/// dropout).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ParamKind {
+    /// Multiplicative weights (kernels, matrices).
+    Weight,
+    /// Additive biases.
+    Bias,
+}
+
+/// A mutable view over one parameter tensor and its gradient.
+pub struct ParamSet<'a> {
+    /// Weight or bias.
+    pub kind: ParamKind,
+    /// The parameter values.
+    pub value: &'a mut Tensor,
+    /// The accumulated gradient (same shape as `value`).
+    pub grad: &'a mut Tensor,
+}
+
+/// A differentiable network layer.
+///
+/// Layers own their parameters, gradients, and whatever activation caches
+/// the backward pass needs. Calling [`Layer::backward`] is only valid
+/// after a [`Layer::forward`] on the same layer; backward passes are
+/// read-only with respect to the caches, so several backward passes may
+/// follow a single forward (the Jacobian computation in the adversarial
+/// crate relies on this).
+pub trait Layer {
+    /// Short human-readable layer name (e.g. `"conv2d"`).
+    fn name(&self) -> &'static str;
+
+    /// One-line description used when rendering architecture tables.
+    fn summary(&self) -> String {
+        self.name().to_string()
+    }
+
+    /// Runs the layer forward. `train` selects training-mode behaviour
+    /// (dropout masks, etc.).
+    fn forward(&mut self, input: &Tensor, train: bool) -> Tensor;
+
+    /// Propagates `grad_out` (gradient w.r.t. this layer's output) back,
+    /// accumulating parameter gradients and returning the gradient
+    /// w.r.t. the layer's input.
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor;
+
+    /// Mutable handles over parameters and their gradients. Empty for
+    /// parameter-free layers.
+    fn params(&mut self) -> Vec<ParamSet<'_>> {
+        Vec::new()
+    }
+
+    /// Output shape for a given input shape (both include the batch
+    /// dimension).
+    fn output_shape(&self, input_shape: &[usize]) -> Vec<usize>;
+
+    /// Cost of one forward+backward pass over a batch with the given
+    /// input shape.
+    fn cost(&self, input_shape: &[usize]) -> LayerCost;
+
+    /// Zeroes the accumulated parameter gradients.
+    fn zero_grads(&mut self) {
+        for p in self.params() {
+            p.grad.fill(0.0);
+        }
+    }
+}

@@ -1,0 +1,66 @@
+//! # dlbench-nn
+//!
+//! The neural-network substrate of the DLBench suite: layers with exact
+//! forward and backward passes, per-framework weight initializers, a
+//! sequential [`Network`] container, and per-layer cost accounting that
+//! feeds the simulated device timing model.
+//!
+//! The layer set is exactly what the paper's reference models (Tables IV
+//! and V) require: `Conv2d`, `MaxPool2d`, `AvgPool2d`, `Linear`, `ReLU`,
+//! `Tanh`, local response normalization, `Dropout`, `Flatten`, and a
+//! softmax-cross-entropy loss.
+//!
+//! ## Example
+//!
+//! ```
+//! use dlbench_nn::{Conv2d, Flatten, Linear, Network, Relu, SoftmaxCrossEntropy, Initializer};
+//! use dlbench_tensor::{SeededRng, Tensor};
+//!
+//! let mut rng = SeededRng::new(1);
+//! let mut net = Network::new("tiny");
+//! net.push(Conv2d::new(1, 4, 3, 1, 1, Initializer::Xavier, &mut rng));
+//! net.push(Relu::new());
+//! net.push(Flatten::new());
+//! net.push(Linear::new(4 * 8 * 8, 10, Initializer::Xavier, &mut rng));
+//!
+//! let x = Tensor::randn(&[2, 1, 8, 8], 0.0, 1.0, &mut rng);
+//! let logits = net.forward(&x, true);
+//! assert_eq!(logits.shape(), &[2, 10]);
+//!
+//! let mut loss = SoftmaxCrossEntropy::new();
+//! let (value, _probs) = loss.forward(&logits, &[3, 7]);
+//! assert!(value > 0.0);
+//! let grad = loss.backward();
+//! net.backward(&grad);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod activation;
+mod conv;
+mod dropout;
+mod flatten;
+mod init;
+mod layer;
+mod linear;
+mod loss;
+mod network;
+mod norm;
+mod pool;
+mod profile;
+mod serialize;
+
+pub use activation::{Relu, Tanh};
+pub use conv::Conv2d;
+pub use dropout::Dropout;
+pub use flatten::Flatten;
+pub use init::Initializer;
+pub use layer::{Layer, ParamKind, ParamSet};
+pub use linear::Linear;
+pub use loss::SoftmaxCrossEntropy;
+pub use network::Network;
+pub use norm::LocalResponseNorm;
+pub use pool::{AvgPool2d, MaxPool2d};
+pub use profile::LayerCost;
+pub use serialize::{load_parameters, save_parameters, CheckpointError};

@@ -1,0 +1,123 @@
+//! Softmax cross-entropy loss.
+
+use dlbench_tensor::Tensor;
+
+/// Combined softmax + cross-entropy over `[N, classes]` logits with
+/// integer labels, averaged over the batch.
+///
+/// Keeping softmax fused with the loss gives the numerically exact
+/// gradient `(p - onehot)/N` and avoids the log-of-small-number
+/// instability that separately composed layers would hit — this is what
+/// all three reference frameworks do internally.
+#[derive(Default)]
+pub struct SoftmaxCrossEntropy {
+    cached_probs: Option<Tensor>,
+    cached_labels: Vec<usize>,
+}
+
+impl SoftmaxCrossEntropy {
+    /// Creates the loss node.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Computes the mean loss and returns it with the softmax
+    /// probabilities (useful for accuracy and attack computations).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `logits` is not `[N, classes]`, if `labels.len() != N`,
+    /// or if any label is out of range.
+    pub fn forward(&mut self, logits: &Tensor, labels: &[usize]) -> (f32, Tensor) {
+        assert_eq!(logits.rank(), 2, "loss expects [N, classes] logits");
+        let (n, c) = (logits.shape()[0], logits.shape()[1]);
+        assert_eq!(labels.len(), n, "label count mismatch");
+        let probs = logits.softmax_rows();
+        let mut loss = 0.0f32;
+        for (i, &label) in labels.iter().enumerate() {
+            assert!(label < c, "label {label} out of range for {c} classes");
+            let p = probs.data()[i * c + label].max(1e-12);
+            loss -= p.ln();
+        }
+        loss /= n as f32;
+        self.cached_probs = Some(probs.clone());
+        self.cached_labels = labels.to_vec();
+        (loss, probs)
+    }
+
+    /// Gradient of the mean loss w.r.t. the logits: `(p - onehot)/N`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called before [`SoftmaxCrossEntropy::forward`].
+    pub fn backward(&self) -> Tensor {
+        let probs = self.cached_probs.as_ref().expect("backward before forward");
+        let (n, c) = (probs.shape()[0], probs.shape()[1]);
+        let mut grad = probs.clone();
+        let inv_n = 1.0 / n as f32;
+        for (i, &label) in self.cached_labels.iter().enumerate() {
+            grad.data_mut()[i * c + label] -= 1.0;
+        }
+        grad.scale_assign(inv_n);
+        grad
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dlbench_tensor::SeededRng;
+
+    #[test]
+    fn uniform_logits_give_log_c() {
+        let mut loss = SoftmaxCrossEntropy::new();
+        let logits = Tensor::zeros(&[4, 10]);
+        let (l, probs) = loss.forward(&logits, &[0, 3, 5, 9]);
+        assert!((l - 10.0f32.ln()).abs() < 1e-5);
+        assert!((probs.at(&[0, 0]) - 0.1).abs() < 1e-6);
+    }
+
+    #[test]
+    fn perfect_prediction_loss_near_zero() {
+        let mut loss = SoftmaxCrossEntropy::new();
+        let mut logits = Tensor::zeros(&[1, 3]);
+        logits.data_mut()[1] = 100.0;
+        let (l, _) = loss.forward(&logits, &[1]);
+        assert!(l < 1e-5);
+    }
+
+    #[test]
+    fn gradient_matches_finite_difference() {
+        let mut rng = SeededRng::new(1);
+        let logits = Tensor::randn(&[3, 5], 0.0, 1.0, &mut rng);
+        let labels = [2usize, 0, 4];
+        let mut loss = SoftmaxCrossEntropy::new();
+        loss.forward(&logits, &labels);
+        let g = loss.backward();
+        let eps = 1e-3f32;
+        for idx in 0..logits.len() {
+            let mut lp = logits.clone();
+            lp.data_mut()[idx] += eps;
+            let mut lm = logits.clone();
+            lm.data_mut()[idx] -= eps;
+            let mut tmp = SoftmaxCrossEntropy::new();
+            let (vp, _) = tmp.forward(&lp, &labels);
+            let (vm, _) = tmp.forward(&lm, &labels);
+            let num = (vp - vm) / (2.0 * eps);
+            assert!((num - g.data()[idx]).abs() < 1e-3, "g[{idx}]: {num} vs {}", g.data()[idx]);
+        }
+    }
+
+    #[test]
+    fn gradient_rows_sum_to_zero() {
+        let mut rng = SeededRng::new(2);
+        let logits = Tensor::randn(&[2, 4], 0.0, 2.0, &mut rng);
+        let mut loss = SoftmaxCrossEntropy::new();
+        loss.forward(&logits, &[1, 3]);
+        let g = loss.backward();
+        for i in 0..2 {
+            let row_sum: f32 = g.data()[i * 4..(i + 1) * 4].iter().sum();
+            assert!(row_sum.abs() < 1e-6);
+        }
+    }
+}

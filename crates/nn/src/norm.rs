@@ -1,0 +1,177 @@
+//! Cross-channel local response normalization (the `Normalization`
+//! entries in the paper's TensorFlow CIFAR-10 reference net, Table V).
+
+use crate::layer::Layer;
+use crate::profile::LayerCost;
+use dlbench_tensor::Tensor;
+
+/// AlexNet-style cross-channel LRN:
+///
+/// `y_c = x_c / (k + (alpha/n) * Σ_{c'∈window(c)} x_{c'}^2)^beta`
+///
+/// with a window of `2*radius+1` channels centred on `c`.
+pub struct LocalResponseNorm {
+    radius: usize,
+    alpha: f32,
+    beta: f32,
+    k: f32,
+    cached_input: Option<Tensor>,
+    cached_denom: Option<Tensor>,
+}
+
+impl LocalResponseNorm {
+    /// Creates an LRN layer. TensorFlow's CIFAR-10 tutorial uses
+    /// `radius=4, alpha=0.001/9, beta=0.75, k=1`.
+    pub fn new(radius: usize, alpha: f32, beta: f32, k: f32) -> Self {
+        Self { radius, alpha, beta, k, cached_input: None, cached_denom: None }
+    }
+
+    /// The TensorFlow CIFAR-10 tutorial configuration.
+    pub fn tensorflow_cifar() -> Self {
+        Self::new(4, 0.001 / 9.0, 0.75, 1.0)
+    }
+
+    fn window_len(&self) -> f32 {
+        (2 * self.radius + 1) as f32
+    }
+}
+
+impl Layer for LocalResponseNorm {
+    fn name(&self) -> &'static str {
+        "lrn"
+    }
+
+    fn summary(&self) -> String {
+        "Normalization".to_string()
+    }
+
+    fn forward(&mut self, input: &Tensor, _train: bool) -> Tensor {
+        assert_eq!(input.rank(), 4, "LRN expects [N, C, H, W]");
+        let (n, c, h, w) = (input.shape()[0], input.shape()[1], input.shape()[2], input.shape()[3]);
+        let plane = h * w;
+        let mut denom = Tensor::zeros(input.shape());
+        let mut out = Tensor::zeros(input.shape());
+        let scale = self.alpha / self.window_len();
+        for s in 0..n {
+            for ci in 0..c {
+                let lo = ci.saturating_sub(self.radius);
+                let hi = (ci + self.radius + 1).min(c);
+                for p in 0..plane {
+                    let mut acc = 0.0f32;
+                    for cj in lo..hi {
+                        let v = input.data()[(s * c + cj) * plane + p];
+                        acc += v * v;
+                    }
+                    let d = self.k + scale * acc;
+                    let idx = (s * c + ci) * plane + p;
+                    denom.data_mut()[idx] = d;
+                    out.data_mut()[idx] = input.data()[idx] * d.powf(-self.beta);
+                }
+            }
+        }
+        self.cached_input = Some(input.clone());
+        self.cached_denom = Some(denom);
+        out
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let input = self.cached_input.as_ref().expect("backward before forward");
+        let denom = self.cached_denom.as_ref().expect("backward before forward");
+        let (n, c, h, w) = (input.shape()[0], input.shape()[1], input.shape()[2], input.shape()[3]);
+        let plane = h * w;
+        let scale = self.alpha / self.window_len();
+        let mut grad_in = Tensor::zeros(input.shape());
+        // dy_i/dx_j = δ_ij d_i^{-β} − 2βs x_i x_j d_i^{−β−1} for j in
+        // window(i); accumulate over all i whose window contains j.
+        for s in 0..n {
+            for ci in 0..c {
+                let lo = ci.saturating_sub(self.radius);
+                let hi = (ci + self.radius + 1).min(c);
+                for p in 0..plane {
+                    let i_idx = (s * c + ci) * plane + p;
+                    let g = grad_out.data()[i_idx];
+                    if g == 0.0 {
+                        continue;
+                    }
+                    let d = denom.data()[i_idx];
+                    let d_pow = d.powf(-self.beta);
+                    let xi = input.data()[i_idx];
+                    let common = -2.0 * self.beta * scale * xi * g * d_pow / d;
+                    grad_in.data_mut()[i_idx] += g * d_pow;
+                    for cj in lo..hi {
+                        let j_idx = (s * c + cj) * plane + p;
+                        grad_in.data_mut()[j_idx] += common * input.data()[j_idx];
+                    }
+                }
+            }
+        }
+        grad_in
+    }
+
+    fn output_shape(&self, input_shape: &[usize]) -> Vec<usize> {
+        input_shape.to_vec()
+    }
+
+    fn cost(&self, input_shape: &[usize]) -> LayerCost {
+        let n: u64 = input_shape.iter().product::<usize>() as u64;
+        let window = (2 * self.radius + 1) as u64;
+        LayerCost {
+            fwd_flops: n * (2 * window + 10),
+            bwd_flops: n * (3 * window + 10),
+            params: 0,
+            activations: n,
+            fwd_kernels: 2,
+            bwd_kernels: 2,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dlbench_tensor::SeededRng;
+
+    #[test]
+    fn identity_when_alpha_zero() {
+        let mut lrn = LocalResponseNorm::new(2, 0.0, 0.75, 1.0);
+        let mut rng = SeededRng::new(1);
+        let x = Tensor::randn(&[1, 4, 2, 2], 0.0, 1.0, &mut rng);
+        let y = lrn.forward(&x, true);
+        for (a, b) in x.data().iter().zip(y.data()) {
+            assert!((a - b).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn normalizes_large_activations_down() {
+        let mut lrn = LocalResponseNorm::new(1, 1.0, 0.75, 1.0);
+        let x = Tensor::full(&[1, 3, 1, 1], 10.0);
+        let y = lrn.forward(&x, true);
+        assert!(y.data().iter().all(|&v| v < 10.0));
+    }
+
+    #[test]
+    fn gradient_matches_finite_difference() {
+        let mut lrn = LocalResponseNorm::new(1, 0.5, 0.75, 1.0);
+        let mut rng = SeededRng::new(2);
+        let x = Tensor::randn(&[1, 3, 2, 2], 0.0, 1.0, &mut rng);
+        let y = lrn.forward(&x, true);
+        let r = Tensor::randn(y.shape(), 0.0, 1.0, &mut rng);
+        let gx = lrn.backward(&r);
+        let eps = 1e-3f32;
+        for idx in 0..x.len() {
+            let mut xp = x.clone();
+            xp.data_mut()[idx] += eps;
+            let mut xm = x.clone();
+            xm.data_mut()[idx] -= eps;
+            let lp = lrn.forward(&xp, true).mul(&r).unwrap().sum();
+            let lm = lrn.forward(&xm, true).mul(&r).unwrap().sum();
+            let num = (lp - lm) / (2.0 * eps);
+            assert!(
+                (num - gx.data()[idx]).abs() < 5e-3,
+                "gx[{idx}]: {num} vs {}",
+                gx.data()[idx]
+            );
+        }
+    }
+}

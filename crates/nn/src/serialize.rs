@@ -1,0 +1,174 @@
+//! Parameter checkpointing.
+//!
+//! DLBench models are rebuilt from [`crate::Network`]-producing
+//! architecture specs, so a checkpoint only needs the parameter tensors
+//! — shapes are validated against the freshly built network on load.
+//! The format is a versioned, self-describing binary layout (no external
+//! dependencies): magic, version, parameter count, then per parameter a
+//! rank-prefixed shape and little-endian `f32` data.
+
+use crate::network::Network;
+use std::io::{self, Read, Write};
+
+const MAGIC: &[u8; 8] = b"DLBENCH1";
+
+/// Errors from checkpoint encoding/decoding.
+#[derive(Debug)]
+pub enum CheckpointError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// Not a DLBench checkpoint (bad magic or version).
+    BadFormat(String),
+    /// Checkpoint does not match the network's parameter structure.
+    StructureMismatch(String),
+}
+
+impl std::fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CheckpointError::Io(e) => write!(f, "checkpoint I/O error: {e}"),
+            CheckpointError::BadFormat(m) => write!(f, "bad checkpoint format: {m}"),
+            CheckpointError::StructureMismatch(m) => {
+                write!(f, "checkpoint/network mismatch: {m}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CheckpointError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for CheckpointError {
+    fn from(e: io::Error) -> Self {
+        CheckpointError::Io(e)
+    }
+}
+
+/// Writes all parameters of `net` to `w`.
+pub fn save_parameters(net: &mut Network, w: &mut impl Write) -> Result<(), CheckpointError> {
+    let params = net.params();
+    w.write_all(MAGIC)?;
+    w.write_all(&(params.len() as u32).to_le_bytes())?;
+    for p in &params {
+        let shape = p.value.shape();
+        w.write_all(&(shape.len() as u32).to_le_bytes())?;
+        for &d in shape {
+            w.write_all(&(d as u64).to_le_bytes())?;
+        }
+        for &v in p.value.data() {
+            w.write_all(&v.to_le_bytes())?;
+        }
+    }
+    Ok(())
+}
+
+/// Loads parameters from `r` into `net`, validating shapes.
+pub fn load_parameters(net: &mut Network, r: &mut impl Read) -> Result<(), CheckpointError> {
+    let mut magic = [0u8; 8];
+    r.read_exact(&mut magic)?;
+    if &magic != MAGIC {
+        return Err(CheckpointError::BadFormat(format!(
+            "magic {:?} != {:?}",
+            &magic, MAGIC
+        )));
+    }
+    let mut u32buf = [0u8; 4];
+    r.read_exact(&mut u32buf)?;
+    let count = u32::from_le_bytes(u32buf) as usize;
+    let mut params = net.params();
+    if count != params.len() {
+        return Err(CheckpointError::StructureMismatch(format!(
+            "checkpoint has {count} parameters, network has {}",
+            params.len()
+        )));
+    }
+    let mut u64buf = [0u8; 8];
+    for (i, p) in params.iter_mut().enumerate() {
+        r.read_exact(&mut u32buf)?;
+        let rank = u32::from_le_bytes(u32buf) as usize;
+        let mut shape = Vec::with_capacity(rank);
+        for _ in 0..rank {
+            r.read_exact(&mut u64buf)?;
+            shape.push(u64::from_le_bytes(u64buf) as usize);
+        }
+        if shape != p.value.shape() {
+            return Err(CheckpointError::StructureMismatch(format!(
+                "parameter {i}: checkpoint shape {shape:?} != network shape {:?}",
+                p.value.shape()
+            )));
+        }
+        for v in p.value.data_mut() {
+            r.read_exact(&mut u32buf)?;
+            *v = f32::from_le_bytes(u32buf);
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Initializer, Linear, Relu};
+    use dlbench_tensor::{SeededRng, Tensor};
+
+    fn net(seed: u64) -> Network {
+        let mut rng = SeededRng::new(seed);
+        let mut net = Network::new("ckpt");
+        net.push(Linear::new(4, 6, Initializer::Xavier, &mut rng));
+        net.push(Relu::new());
+        net.push(Linear::new(6, 3, Initializer::Xavier, &mut rng));
+        net
+    }
+
+    #[test]
+    fn roundtrip_restores_outputs() {
+        let mut a = net(1);
+        let mut buf = Vec::new();
+        save_parameters(&mut a, &mut buf).unwrap();
+        let mut b = net(2); // differently initialized
+        let mut rng = SeededRng::new(9);
+        let x = Tensor::randn(&[2, 4], 0.0, 1.0, &mut rng);
+        assert_ne!(a.forward(&x, false), b.forward(&x, false));
+        load_parameters(&mut b, &mut buf.as_slice()).unwrap();
+        assert_eq!(a.forward(&x, false), b.forward(&x, false));
+    }
+
+    #[test]
+    fn rejects_bad_magic() {
+        let mut b = net(1);
+        let garbage = b"NOTADLB1rest".to_vec();
+        let err = load_parameters(&mut b, &mut garbage.as_slice()).unwrap_err();
+        assert!(matches!(err, CheckpointError::BadFormat(_)));
+    }
+
+    #[test]
+    fn rejects_structure_mismatch() {
+        let mut a = net(1);
+        let mut buf = Vec::new();
+        save_parameters(&mut a, &mut buf).unwrap();
+        // A network with different layer widths must refuse the load.
+        let mut rng = SeededRng::new(3);
+        let mut other = Network::new("other");
+        other.push(Linear::new(4, 5, Initializer::Xavier, &mut rng));
+        other.push(Linear::new(5, 3, Initializer::Xavier, &mut rng));
+        let err = load_parameters(&mut other, &mut buf.as_slice()).unwrap_err();
+        assert!(matches!(err, CheckpointError::StructureMismatch(_)));
+    }
+
+    #[test]
+    fn truncated_stream_is_io_error() {
+        let mut a = net(1);
+        let mut buf = Vec::new();
+        save_parameters(&mut a, &mut buf).unwrap();
+        buf.truncate(buf.len() / 2);
+        let mut b = net(2);
+        let err = load_parameters(&mut b, &mut buf.as_slice()).unwrap_err();
+        assert!(matches!(err, CheckpointError::Io(_)));
+    }
+}

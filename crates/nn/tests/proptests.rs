@@ -1,0 +1,119 @@
+//! Property-based tests for layer invariants.
+
+use dlbench_nn::{
+    AvgPool2d, Conv2d, Dropout, Initializer, Layer, Linear, MaxPool2d, Relu, SoftmaxCrossEntropy,
+    Tanh,
+};
+use dlbench_tensor::{SeededRng, Tensor};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn maxpool_dominates_avgpool(
+        n in 1usize..3, c in 1usize..4, hw in 2usize..8, k in 1usize..3, seed in 0u64..500,
+    ) {
+        prop_assume!(hw >= k);
+        let mut rng = SeededRng::new(seed);
+        let x = Tensor::randn(&[n, c, hw, hw], 0.0, 1.0, &mut rng);
+        let mut maxp = MaxPool2d::new(k, k, false);
+        let mut avgp = AvgPool2d::new(k, k, false);
+        let ym = maxp.forward(&x, false);
+        let ya = avgp.forward(&x, false);
+        prop_assert_eq!(ym.shape(), ya.shape());
+        for (m, a) in ym.data().iter().zip(ya.data()) {
+            prop_assert!(m >= a, "max {m} < avg {a}");
+        }
+    }
+
+    #[test]
+    fn relu_output_nonnegative_and_idempotent(len in 1usize..100, seed in 0u64..500) {
+        let mut rng = SeededRng::new(seed);
+        let x = Tensor::randn(&[len], 0.0, 2.0, &mut rng);
+        let mut relu = Relu::new();
+        let y = relu.forward(&x, true);
+        prop_assert!(y.data().iter().all(|&v| v >= 0.0));
+        let yy = relu.forward(&y, true);
+        prop_assert_eq!(yy.data(), y.data());
+    }
+
+    #[test]
+    fn tanh_bounded(len in 1usize..100, seed in 0u64..500) {
+        let mut rng = SeededRng::new(seed);
+        let x = Tensor::randn(&[len], 0.0, 4.0, &mut rng);
+        let mut tanh = Tanh::new();
+        let y = tanh.forward(&x, true);
+        prop_assert!(y.data().iter().all(|&v| v.abs() <= 1.0));
+    }
+
+    #[test]
+    fn linear_is_affine(inf in 1usize..8, outf in 1usize..8, seed in 0u64..500) {
+        // f(a x1 + (1-a) x2) == a f(x1) + (1-a) f(x2) for affine f.
+        let mut rng = SeededRng::new(seed);
+        let mut lin = Linear::new(inf, outf, Initializer::Xavier, &mut rng);
+        let x1 = Tensor::randn(&[1, inf], 0.0, 1.0, &mut rng);
+        let x2 = Tensor::randn(&[1, inf], 0.0, 1.0, &mut rng);
+        let a = 0.3f32;
+        let mix = x1.scale(a).add(&x2.scale(1.0 - a)).unwrap();
+        let y_mix = lin.forward(&mix, false);
+        let y1 = lin.forward(&x1, false);
+        let y2 = lin.forward(&x2, false);
+        let expect = y1.scale(a).add(&y2.scale(1.0 - a)).unwrap();
+        for (m, e) in y_mix.data().iter().zip(expect.data()) {
+            prop_assert!((m - e).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn conv_translation_of_zero_input_is_bias(
+        c in 1usize..3, oc in 1usize..4, hw in 5usize..9, seed in 0u64..500,
+    ) {
+        let mut rng = SeededRng::new(seed);
+        let mut conv = Conv2d::new(
+            c, oc, 3, 1, 1,
+            Initializer::TruncatedNormal { std: 0.1, bias: 0.25 },
+            &mut rng,
+        );
+        let x = Tensor::zeros(&[1, c, hw, hw]);
+        let y = conv.forward(&x, false);
+        prop_assert!(y.data().iter().all(|&v| (v - 0.25).abs() < 1e-6));
+    }
+
+    #[test]
+    fn dropout_preserves_expectation(rate in 0.0f32..0.9, seed in 0u64..200) {
+        let mut d = Dropout::new(rate, SeededRng::new(seed));
+        let x = Tensor::ones(&[20_000]);
+        let y = d.forward(&x, true);
+        prop_assert!((y.mean() - 1.0).abs() < 0.1, "mean {} at rate {rate}", y.mean());
+    }
+
+    #[test]
+    fn loss_nonnegative_and_grad_bounded(n in 1usize..6, c in 2usize..8, seed in 0u64..500) {
+        let mut rng = SeededRng::new(seed);
+        let logits = Tensor::randn(&[n, c], 0.0, 3.0, &mut rng);
+        let labels: Vec<usize> = (0..n).map(|i| i % c).collect();
+        let mut loss = SoftmaxCrossEntropy::new();
+        let (l, _) = loss.forward(&logits, &labels);
+        prop_assert!(l >= 0.0);
+        let g = loss.backward();
+        // Each gradient entry is bounded by 1/N.
+        prop_assert!(g.data().iter().all(|&v| v.abs() <= 1.0 / n as f32 + 1e-6));
+    }
+
+    #[test]
+    fn pooling_backward_preserves_gradient_mass_avg(
+        hw in 2usize..8, k in 1usize..3, seed in 0u64..300,
+    ) {
+        prop_assume!(hw % k == 0);
+        let mut rng = SeededRng::new(seed);
+        let x = Tensor::randn(&[1, 1, hw, hw], 0.0, 1.0, &mut rng);
+        let mut pool = AvgPool2d::new(k, k, false);
+        let y = pool.forward(&x, true);
+        let g = Tensor::ones(y.shape());
+        let gx = pool.backward(&g);
+        // Average pooling distributes each unit of gradient across its
+        // window: total mass is conserved.
+        prop_assert!((gx.sum() - g.sum()).abs() < 1e-3);
+    }
+}

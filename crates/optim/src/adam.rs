@@ -1,0 +1,155 @@
+//! The Adam optimizer (Kingma & Ba, 2014) — TensorFlow's default in the
+//! paper's MNIST configuration (Table II).
+
+use crate::policy::LrPolicy;
+use crate::Optimizer;
+use dlbench_nn::ParamSet;
+use dlbench_tensor::Tensor;
+
+/// Adam with bias-corrected first/second moment estimates:
+///
+/// ```text
+/// m <- b1*m + (1-b1)*g         v <- b2*v + (1-b2)*g^2
+/// w <- w - lr * m_hat / (sqrt(v_hat) + eps)
+/// ```
+pub struct Adam {
+    base_lr: f32,
+    beta1: f32,
+    beta2: f32,
+    eps: f32,
+    policy: LrPolicy,
+    m: Vec<Tensor>,
+    v: Vec<Tensor>,
+    t: usize,
+}
+
+impl Adam {
+    /// Creates an Adam optimizer with explicit betas.
+    pub fn new(base_lr: f32, beta1: f32, beta2: f32, eps: f32, policy: LrPolicy) -> Self {
+        Self { base_lr, beta1, beta2, eps, policy, m: Vec::new(), v: Vec::new(), t: 0 }
+    }
+
+    /// Adam with the canonical defaults (`beta1=0.9`, `beta2=0.999`,
+    /// `eps=1e-8`) used by TensorFlow's `AdamOptimizer`.
+    pub fn with_defaults(base_lr: f32) -> Self {
+        Self::new(base_lr, 0.9, 0.999, 1e-8, LrPolicy::Fixed)
+    }
+
+    /// The configured base learning rate.
+    pub fn base_lr(&self) -> f32 {
+        self.base_lr
+    }
+}
+
+impl Optimizer for Adam {
+    fn step(&mut self, params: &mut [ParamSet<'_>], iter: usize) {
+        let lr = self.learning_rate_at(iter);
+        if self.m.len() != params.len() {
+            self.m = params.iter().map(|p| Tensor::zeros(p.value.shape())).collect();
+            self.v = params.iter().map(|p| Tensor::zeros(p.value.shape())).collect();
+            self.t = 0;
+        }
+        self.t += 1;
+        let b1t = 1.0 - self.beta1.powi(self.t as i32);
+        let b2t = 1.0 - self.beta2.powi(self.t as i32);
+        for ((p, m), v) in params.iter_mut().zip(&mut self.m).zip(&mut self.v) {
+            for (((w, &g), mm), vv) in p
+                .value
+                .data_mut()
+                .iter_mut()
+                .zip(p.grad.data())
+                .zip(m.data_mut())
+                .zip(v.data_mut())
+            {
+                *mm = self.beta1 * *mm + (1.0 - self.beta1) * g;
+                *vv = self.beta2 * *vv + (1.0 - self.beta2) * g * g;
+                let m_hat = *mm / b1t;
+                let v_hat = *vv / b2t;
+                *w -= lr * m_hat / (v_hat.sqrt() + self.eps);
+            }
+        }
+    }
+
+    fn learning_rate_at(&self, iter: usize) -> f32 {
+        self.policy.rate(self.base_lr, iter)
+    }
+
+    fn name(&self) -> &'static str {
+        "Adam"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dlbench_nn::{Initializer, Layer, Linear, Network, SoftmaxCrossEntropy};
+    use dlbench_tensor::SeededRng;
+
+    #[test]
+    fn first_step_moves_by_lr_for_unit_gradient() {
+        // With g = 1 everywhere, bias correction makes the first step
+        // exactly lr / (1 + eps') ≈ lr.
+        let mut rng = SeededRng::new(1);
+        let mut lin = Linear::new(1, 1, Initializer::Xavier, &mut rng);
+        let w0 = lin.params()[0].value.data()[0];
+        for p in lin.params() {
+            p.grad.fill(1.0);
+        }
+        let mut opt = Adam::with_defaults(0.01);
+        opt.step(&mut lin.params(), 0);
+        let w1 = lin.params()[0].value.data()[0];
+        assert!((w0 - w1 - 0.01).abs() < 1e-4, "step was {}", w0 - w1);
+    }
+
+    #[test]
+    fn adapts_to_gradient_scale() {
+        // Two parameters with gradients of very different magnitude get
+        // nearly equal step sizes (Adam normalizes by RMS).
+        let mut rng = SeededRng::new(2);
+        let mut lin = Linear::new(2, 1, Initializer::Xavier, &mut rng);
+        let before = lin.params()[0].value.clone();
+        {
+            let mut params = lin.params();
+            params[0].grad.data_mut()[0] = 100.0;
+            params[0].grad.data_mut()[1] = 0.01;
+        }
+        let mut opt = Adam::with_defaults(0.01);
+        opt.step(&mut lin.params(), 0);
+        let after = lin.params()[0].value.clone();
+        let step0 = (before.data()[0] - after.data()[0]).abs();
+        let step1 = (before.data()[1] - after.data()[1]).abs();
+        assert!((step0 - step1).abs() < 1e-4, "steps {step0} vs {step1}");
+    }
+
+    #[test]
+    fn converges_on_small_classification_problem() {
+        let mut rng = SeededRng::new(3);
+        let mut net = Network::new("adam-test");
+        net.push(Linear::new(2, 2, Initializer::Xavier, &mut rng));
+        let mut opt = Adam::with_defaults(0.05);
+        let mut loss = SoftmaxCrossEntropy::new();
+        let x = dlbench_tensor::Tensor::from_vec(
+            &[4, 2],
+            vec![1.0, 0.5, 0.9, 0.7, -1.0, -0.5, -0.8, -0.9],
+        )
+        .unwrap();
+        let labels = [0usize, 0, 1, 1];
+        let mut final_loss = f32::MAX;
+        for it in 0..100 {
+            let logits = net.forward(&x, true);
+            let (l, _) = loss.forward(&logits, &labels);
+            final_loss = l;
+            net.zero_grads();
+            net.backward(&loss.backward());
+            opt.step(&mut net.params(), it);
+        }
+        assert!(final_loss < 0.05, "did not converge: {final_loss}");
+    }
+
+    #[test]
+    fn reports_policy_rate() {
+        let opt = Adam::new(0.1, 0.9, 0.999, 1e-8, LrPolicy::Fixed);
+        assert_eq!(opt.learning_rate_at(12345), 0.1);
+        assert_eq!(opt.name(), "Adam");
+    }
+}

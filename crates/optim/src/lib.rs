@@ -1,0 +1,57 @@
+//! # dlbench-optim
+//!
+//! Optimizers and learning-rate policies for the DLBench substrate,
+//! covering exactly the configurations the paper's default-setting
+//! database (Tables II and III) requires:
+//!
+//! * **SGD** with momentum and weight decay — Caffe's and Torch's
+//!   default training algorithm.
+//! * **Adam** — TensorFlow's default for its MNIST tutorial.
+//! * Learning-rate policies: fixed, inverse decay (Caffe LeNet's
+//!   `inv` policy), and multi-phase step schedules (Caffe's CIFAR-10
+//!   quick solver drops 0.001 → 0.0001 for a final fine-tuning phase).
+//!
+//! ## Example
+//!
+//! ```
+//! use dlbench_optim::{LrPolicy, Optimizer, Sgd};
+//! use dlbench_nn::{Initializer, Linear, Network};
+//! use dlbench_tensor::SeededRng;
+//!
+//! let mut rng = SeededRng::new(0);
+//! let mut net = Network::new("demo");
+//! net.push(Linear::new(4, 2, Initializer::Xavier, &mut rng));
+//! let mut opt = Sgd::new(0.1, 0.9, 0.0, LrPolicy::Fixed);
+//! // ... after a backward pass:
+//! opt.step(&mut net.params(), 0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod adam;
+mod policy;
+mod sgd;
+
+pub use adam::Adam;
+pub use policy::LrPolicy;
+pub use sgd::Sgd;
+
+use dlbench_nn::ParamSet;
+
+/// A first-order optimizer updating parameters from accumulated
+/// gradients.
+///
+/// `step` receives the parameter handles for the whole network (in a
+/// stable order — optimizers with per-parameter state key it by position)
+/// and the 0-based iteration counter, which learning-rate policies use.
+pub trait Optimizer {
+    /// Applies one update step. `iter` is the 0-based global iteration.
+    fn step(&mut self, params: &mut [ParamSet<'_>], iter: usize);
+
+    /// The learning rate the policy yields at `iter`.
+    fn learning_rate_at(&self, iter: usize) -> f32;
+
+    /// Diagnostic name (`"SGD"`, `"Adam"`).
+    fn name(&self) -> &'static str;
+}

@@ -1,0 +1,104 @@
+//! Learning-rate schedules.
+
+/// A learning-rate policy mapping (base rate, iteration) to the
+/// effective step size.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LrPolicy {
+    /// Constant learning rate (TensorFlow tutorials, Torch defaults).
+    Fixed,
+    /// Caffe's `inv` policy: `base * (1 + gamma * iter)^(-power)`
+    /// (the LeNet solver uses `gamma = 1e-4`, `power = 0.75`).
+    Inverse {
+        /// Decay rate.
+        gamma: f32,
+        /// Decay exponent.
+        power: f32,
+    },
+    /// Piecewise-constant schedule: each `(start_iter, rate)` pair takes
+    /// effect from `start_iter` on. Caffe's CIFAR-10 quick solver is
+    /// `[(0, 0.001), (phase1_end, 0.0001)]`.
+    MultiStep {
+        /// `(start_iteration, learning_rate)` pairs, sorted ascending.
+        steps: Vec<(usize, f32)>,
+    },
+    /// Step decay: multiply by `gamma` every `every` iterations.
+    Step {
+        /// Multiplicative factor applied at each boundary.
+        gamma: f32,
+        /// Interval in iterations.
+        every: usize,
+    },
+}
+
+impl LrPolicy {
+    /// Effective learning rate at a given 0-based iteration.
+    pub fn rate(&self, base: f32, iter: usize) -> f32 {
+        match self {
+            LrPolicy::Fixed => base,
+            LrPolicy::Inverse { gamma, power } => {
+                base * (1.0 + gamma * iter as f32).powf(-power)
+            }
+            LrPolicy::MultiStep { steps } => {
+                let mut rate = base;
+                for &(start, r) in steps {
+                    if iter >= start {
+                        rate = r;
+                    } else {
+                        break;
+                    }
+                }
+                rate
+            }
+            LrPolicy::Step { gamma, every } => {
+                let k = if *every == 0 { 0 } else { iter / every };
+                base * gamma.powi(k as i32)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixed_is_constant() {
+        assert_eq!(LrPolicy::Fixed.rate(0.05, 0), 0.05);
+        assert_eq!(LrPolicy::Fixed.rate(0.05, 100_000), 0.05);
+    }
+
+    #[test]
+    fn inverse_decays_monotonically() {
+        let p = LrPolicy::Inverse { gamma: 1e-4, power: 0.75 };
+        let r0 = p.rate(0.01, 0);
+        let r1 = p.rate(0.01, 5_000);
+        let r2 = p.rate(0.01, 10_000);
+        assert_eq!(r0, 0.01);
+        assert!(r1 > r2);
+        // Caffe LeNet: at 10k iterations the rate is ~0.0060.
+        assert!((r2 - 0.01 * 2.0f32.powf(-0.75)).abs() < 1e-4);
+    }
+
+    #[test]
+    fn multistep_matches_caffe_cifar_quick() {
+        let p = LrPolicy::MultiStep { steps: vec![(0, 0.001), (4_000, 0.0001)] };
+        assert_eq!(p.rate(0.001, 0), 0.001);
+        assert_eq!(p.rate(0.001, 3_999), 0.001);
+        assert_eq!(p.rate(0.001, 4_000), 0.0001);
+        assert_eq!(p.rate(0.001, 5_000), 0.0001);
+    }
+
+    #[test]
+    fn step_decay_powers() {
+        let p = LrPolicy::Step { gamma: 0.5, every: 10 };
+        assert_eq!(p.rate(1.0, 9), 1.0);
+        assert_eq!(p.rate(1.0, 10), 0.5);
+        assert_eq!(p.rate(1.0, 25), 0.25);
+    }
+
+    #[test]
+    fn step_zero_interval_never_decays() {
+        let p = LrPolicy::Step { gamma: 0.5, every: 0 };
+        assert_eq!(p.rate(1.0, 1_000), 1.0);
+    }
+}

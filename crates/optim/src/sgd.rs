@@ -1,0 +1,170 @@
+//! Stochastic gradient descent with momentum and weight decay.
+
+use crate::policy::LrPolicy;
+use crate::Optimizer;
+use dlbench_nn::{ParamKind, ParamSet};
+use dlbench_tensor::Tensor;
+
+/// SGD with classical momentum and (weights-only) L2 weight decay —
+/// the default algorithm of Caffe and Torch in the paper's Tables II/III.
+///
+/// Update rule (Caffe semantics):
+///
+/// ```text
+/// v   <- momentum * v - lr * (grad + decay * w)
+/// w   <- w + v
+/// ```
+///
+/// Weight decay is skipped for bias parameters, matching Caffe's
+/// convention, which matters for the paper's regularizer comparison
+/// (Table IX: Caffe weight decay vs TensorFlow dropout).
+pub struct Sgd {
+    base_lr: f32,
+    momentum: f32,
+    weight_decay: f32,
+    policy: LrPolicy,
+    velocity: Vec<Tensor>,
+}
+
+impl Sgd {
+    /// Creates an SGD optimizer.
+    pub fn new(base_lr: f32, momentum: f32, weight_decay: f32, policy: LrPolicy) -> Self {
+        Self { base_lr, momentum, weight_decay, policy, velocity: Vec::new() }
+    }
+
+    /// The configured base learning rate.
+    pub fn base_lr(&self) -> f32 {
+        self.base_lr
+    }
+
+    /// The configured weight decay.
+    pub fn weight_decay(&self) -> f32 {
+        self.weight_decay
+    }
+}
+
+impl Optimizer for Sgd {
+    fn step(&mut self, params: &mut [ParamSet<'_>], iter: usize) {
+        let lr = self.learning_rate_at(iter);
+        if self.velocity.len() != params.len() {
+            self.velocity = params.iter().map(|p| Tensor::zeros(p.value.shape())).collect();
+        }
+        for (p, v) in params.iter_mut().zip(&mut self.velocity) {
+            let decay =
+                if matches!(p.kind, ParamKind::Weight) { self.weight_decay } else { 0.0 };
+            for ((vv, &g), w) in
+                v.data_mut().iter_mut().zip(p.grad.data()).zip(p.value.data_mut())
+            {
+                *vv = self.momentum * *vv - lr * (g + decay * *w);
+                *w += *vv;
+            }
+        }
+    }
+
+    fn learning_rate_at(&self, iter: usize) -> f32 {
+        self.policy.rate(self.base_lr, iter)
+    }
+
+    fn name(&self) -> &'static str {
+        "SGD"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dlbench_nn::{Initializer, Layer, Linear, Network, SoftmaxCrossEntropy};
+    use dlbench_tensor::{SeededRng, Tensor};
+
+    #[test]
+    fn plain_sgd_matches_manual_update() {
+        let mut rng = SeededRng::new(1);
+        let mut lin = Linear::new(2, 2, Initializer::Xavier, &mut rng);
+        let before: Vec<Tensor> = lin.params().iter().map(|p| p.value.clone()).collect();
+        // Set gradient = 1 everywhere.
+        for p in lin.params() {
+            p.grad.fill(1.0);
+        }
+        let mut opt = Sgd::new(0.1, 0.0, 0.0, LrPolicy::Fixed);
+        opt.step(&mut lin.params(), 0);
+        for (p, b) in lin.params().iter().zip(&before) {
+            for (w, w0) in p.value.data().iter().zip(b.data()) {
+                assert!((w - (w0 - 0.1)).abs() < 1e-6);
+            }
+        }
+    }
+
+    #[test]
+    fn momentum_accelerates_along_constant_gradient() {
+        let mut rng = SeededRng::new(2);
+        let mut lin = Linear::new(1, 1, Initializer::Xavier, &mut rng);
+        let w0 = lin.params()[0].value.data()[0];
+        let mut opt = Sgd::new(0.1, 0.9, 0.0, LrPolicy::Fixed);
+        // Two steps with grad 1: Δ1 = -0.1, Δ2 = -(0.9*0.1 + 0.1) = -0.19.
+        for p in lin.params() {
+            p.grad.fill(1.0);
+        }
+        opt.step(&mut lin.params(), 0);
+        let w1 = lin.params()[0].value.data()[0];
+        for p in lin.params() {
+            p.grad.fill(1.0);
+        }
+        opt.step(&mut lin.params(), 1);
+        let w2 = lin.params()[0].value.data()[0];
+        assert!((w0 - w1 - 0.1).abs() < 1e-6);
+        assert!((w1 - w2 - 0.19).abs() < 1e-6);
+    }
+
+    #[test]
+    fn weight_decay_shrinks_weights_not_biases() {
+        let mut rng = SeededRng::new(3);
+        let mut lin = Linear::new(2, 2, Initializer::Xavier, &mut rng);
+        // Make bias nonzero so we can observe it staying put.
+        for p in lin.params() {
+            if matches!(p.kind, ParamKind::Bias) {
+                p.value.fill(1.0);
+            }
+            p.grad.fill(0.0);
+        }
+        let w_before = lin.params()[0].value.clone();
+        let mut opt = Sgd::new(0.1, 0.0, 0.5, LrPolicy::Fixed);
+        opt.step(&mut lin.params(), 0);
+        let params = lin.params();
+        // Weights shrink by factor (1 - lr*decay) = 0.95.
+        for (w, w0) in params[0].value.data().iter().zip(w_before.data()) {
+            assert!((w - w0 * 0.95).abs() < 1e-6);
+        }
+        // Biases untouched (zero gradient, no decay on biases).
+        assert!(params[1].value.data().iter().all(|&b| (b - 1.0).abs() < 1e-6));
+    }
+
+    #[test]
+    fn trains_linearly_separable_problem() {
+        let mut rng = SeededRng::new(4);
+        let mut net = Network::new("sep");
+        net.push(Linear::new(2, 2, Initializer::Xavier, &mut rng));
+        let mut opt = Sgd::new(0.5, 0.9, 0.0, LrPolicy::Fixed);
+        let mut loss = SoftmaxCrossEntropy::new();
+        // Class 0: x ~ (+1, +1); class 1: x ~ (-1, -1).
+        let x = Tensor::from_vec(&[4, 2], vec![1.0, 1.0, 0.8, 1.2, -1.0, -1.0, -1.2, -0.8])
+            .unwrap();
+        let labels = [0usize, 0, 1, 1];
+        let mut final_loss = f32::MAX;
+        for it in 0..50 {
+            let logits = net.forward(&x, true);
+            let (l, _) = loss.forward(&logits, &labels);
+            final_loss = l;
+            net.zero_grads();
+            net.backward(&loss.backward());
+            opt.step(&mut net.params(), it);
+        }
+        assert!(final_loss < 0.05, "did not converge: {final_loss}");
+    }
+
+    #[test]
+    fn policy_applied_per_iteration() {
+        let opt = Sgd::new(1.0, 0.0, 0.0, LrPolicy::Step { gamma: 0.1, every: 10 });
+        assert_eq!(opt.learning_rate_at(0), 1.0);
+        assert!((opt.learning_rate_at(10) - 0.1).abs() < 1e-7);
+    }
+}

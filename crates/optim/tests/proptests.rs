@@ -1,0 +1,120 @@
+//! Property-based tests for optimizers and schedules.
+
+use dlbench_nn::{Initializer, Layer, Linear};
+use dlbench_optim::{Adam, LrPolicy, Optimizer, Sgd};
+use dlbench_tensor::SeededRng;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn sgd_descends_a_quadratic(lr in 0.01f32..0.4, seed in 0u64..500) {
+        // Minimize f(w) = ||w||^2 / 2; gradient = w. SGD must shrink the
+        // norm monotonically for lr < 1.
+        let mut rng = SeededRng::new(seed);
+        let mut lin = Linear::new(4, 4, Initializer::Xavier, &mut rng);
+        let mut opt = Sgd::new(lr, 0.0, 0.0, LrPolicy::Fixed);
+        let mut prev = f32::INFINITY;
+        for it in 0..20 {
+            {
+                let mut params = lin.params();
+                let w = params[0].value.clone();
+                *params[0].grad = w;
+                params[1].grad.fill(0.0);
+            }
+            opt.step(&mut lin.params(), it);
+            let norm = lin.params()[0].value.norm2();
+            prop_assert!(norm <= prev + 1e-5, "norm grew: {prev} -> {norm}");
+            prev = norm;
+        }
+    }
+
+    #[test]
+    fn momentum_never_slower_on_constant_gradient(m in 0.1f32..0.95, seed in 0u64..200) {
+        // With a constant gradient, momentum covers at least the plain
+        // SGD distance after any number of steps.
+        let mut rng = SeededRng::new(seed);
+        let mut plain_lin = Linear::new(1, 1, Initializer::Xavier, &mut rng);
+        let mut mom_lin = Linear::new(1, 1, Initializer::Xavier, &mut rng);
+        let start_plain = plain_lin.params()[0].value.data()[0];
+        let start_mom = mom_lin.params()[0].value.data()[0];
+        let mut plain = Sgd::new(0.1, 0.0, 0.0, LrPolicy::Fixed);
+        let mut momentum = Sgd::new(0.1, m, 0.0, LrPolicy::Fixed);
+        for it in 0..10 {
+            for p in plain_lin.params() {
+                p.grad.fill(1.0);
+            }
+            plain.step(&mut plain_lin.params(), it);
+            for p in mom_lin.params() {
+                p.grad.fill(1.0);
+            }
+            momentum.step(&mut mom_lin.params(), it);
+        }
+        let d_plain = start_plain - plain_lin.params()[0].value.data()[0];
+        let d_mom = start_mom - mom_lin.params()[0].value.data()[0];
+        prop_assert!(d_mom >= d_plain - 1e-5, "momentum {d_mom} < plain {d_plain}");
+    }
+
+    #[test]
+    fn inverse_policy_monotone_decreasing(
+        gamma in 1e-6f32..1e-2, power in 0.1f32..1.5, base in 0.001f32..0.5,
+    ) {
+        let p = LrPolicy::Inverse { gamma, power };
+        let mut prev = f32::INFINITY;
+        for it in (0..100_000).step_by(10_000) {
+            let r = p.rate(base, it);
+            prop_assert!(r <= prev);
+            prop_assert!(r > 0.0);
+            prev = r;
+        }
+    }
+
+    #[test]
+    fn multistep_rates_come_from_the_schedule(base in 0.001f32..1.0) {
+        let p = LrPolicy::MultiStep { steps: vec![(0, base), (50, base / 10.0)] };
+        for it in 0..100 {
+            let r = p.rate(base, it);
+            prop_assert!(r == base || r == base / 10.0);
+            if it >= 50 {
+                prop_assert_eq!(r, base / 10.0);
+            }
+        }
+    }
+
+    #[test]
+    fn adam_step_size_bounded_by_lr(lr in 0.001f32..0.1, g in 0.01f32..100.0, seed in 0u64..200) {
+        // Adam's per-step displacement is bounded by ~lr regardless of
+        // gradient magnitude (after bias correction, |step| <= lr *
+        // |m_hat| / sqrt(v_hat) ≈ lr for constant gradients).
+        let mut rng = SeededRng::new(seed);
+        let mut lin = Linear::new(1, 1, Initializer::Xavier, &mut rng);
+        let w0 = lin.params()[0].value.data()[0];
+        let mut opt = Adam::with_defaults(lr);
+        for p in lin.params() {
+            p.grad.fill(g);
+        }
+        opt.step(&mut lin.params(), 0);
+        let w1 = lin.params()[0].value.data()[0];
+        prop_assert!((w0 - w1).abs() <= lr * 1.05, "step {} > lr {lr}", (w0 - w1).abs());
+    }
+
+    #[test]
+    fn weight_decay_pulls_toward_zero_without_gradient(
+        lambda in 0.001f32..0.5, seed in 0u64..200,
+    ) {
+        let mut rng = SeededRng::new(seed);
+        let mut lin = Linear::new(3, 3, Initializer::Xavier, &mut rng);
+        let norm0 = lin.params()[0].value.norm2();
+        prop_assume!(norm0 > 1e-3);
+        let mut opt = Sgd::new(0.1, 0.0, lambda, LrPolicy::Fixed);
+        for it in 0..5 {
+            for p in lin.params() {
+                p.grad.fill(0.0);
+            }
+            opt.step(&mut lin.params(), it);
+        }
+        let norm1 = lin.params()[0].value.norm2();
+        prop_assert!(norm1 < norm0, "decay did not shrink: {norm0} -> {norm1}");
+    }
+}

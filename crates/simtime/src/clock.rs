@@ -1,0 +1,72 @@
+//! Simulated-time accumulator.
+
+/// Accumulates simulated seconds across the phases of an experiment.
+///
+/// Experiments advance the clock with per-iteration costs from
+/// [`crate::CostModel`]; the benchmark reports the final reading as the
+/// experiment's simulated training/testing time.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SimClock {
+    seconds: f64,
+}
+
+impl SimClock {
+    /// A clock at zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Advances the clock by `seconds`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on negative or non-finite increments (a cost model bug).
+    pub fn advance(&mut self, seconds: f64) {
+        assert!(seconds.is_finite() && seconds >= 0.0, "bad time increment: {seconds}");
+        self.seconds += seconds;
+    }
+
+    /// Current reading in seconds.
+    pub fn seconds(&self) -> f64 {
+        self.seconds
+    }
+
+    /// Resets to zero.
+    pub fn reset(&mut self) {
+        self.seconds = 0.0;
+    }
+}
+
+impl std::fmt::Display for SimClock {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:.2}s (simulated)", self.seconds)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accumulates() {
+        let mut c = SimClock::new();
+        c.advance(1.5);
+        c.advance(0.25);
+        assert!((c.seconds() - 1.75).abs() < 1e-12);
+        c.reset();
+        assert_eq!(c.seconds(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "bad time increment")]
+    fn rejects_negative() {
+        SimClock::new().advance(-1.0);
+    }
+
+    #[test]
+    fn display_format() {
+        let mut c = SimClock::new();
+        c.advance(68.51);
+        assert_eq!(format!("{c}"), "68.51s (simulated)");
+    }
+}

@@ -1,0 +1,91 @@
+//! Device descriptors.
+
+use serde::Serialize;
+
+/// Processor class of a simulated device.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize)]
+pub enum DeviceKind {
+    /// Many-core CPU.
+    Cpu,
+    /// Discrete GPU.
+    Gpu,
+}
+
+impl DeviceKind {
+    /// Display label used in reports ("CPU"/"GPU").
+    pub fn label(&self) -> &'static str {
+        match self {
+            DeviceKind::Cpu => "CPU",
+            DeviceKind::Gpu => "GPU",
+        }
+    }
+}
+
+/// A simulated compute device.
+///
+/// `throughput_gflops` is *effective small-tensor* throughput for
+/// DL-shaped work (im2col GEMMs over 10²–10⁴-element tensors), not the
+/// datasheet peak — that is why the GTX 1080 Ti preset is far below the
+/// card's 11.3 TFLOPS peak.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct Device {
+    /// Display name.
+    pub name: &'static str,
+    /// CPU or GPU.
+    pub kind: DeviceKind,
+    /// Effective throughput for small-tensor f32 work, in GFLOP/s.
+    pub throughput_gflops: f64,
+    /// Per-kernel launch latency, in microseconds.
+    pub launch_us: f64,
+    /// Memory bandwidth for activation/parameter traffic, in GB/s.
+    pub bandwidth_gbs: f64,
+}
+
+/// The paper's CPU: Intel Xeon E5-1620 @ 3.6 GHz, 4 cores / 8 threads,
+/// 32 GB DDR3-1600.
+///
+/// 100 GFLOP/s effective assumes well-threaded AVX GEMM (Eigen /
+/// OpenBLAS class); framework profiles scale it down by their measured
+/// efficiency.
+pub fn xeon_e5_1620() -> Device {
+    Device {
+        name: "Intel Xeon E5-1620 (4C/8T, 3.6 GHz)",
+        kind: DeviceKind::Cpu,
+        throughput_gflops: 100.0,
+        launch_us: 2.0,
+        bandwidth_gbs: 25.0,
+    }
+}
+
+/// The paper's GPU: NVIDIA GeForce GTX 1080 Ti (11 GB), CUDA 8.0 /
+/// cuDNN 6.0.
+///
+/// 3 TFLOP/s effective reflects the utilization these LeNet-scale
+/// kernels actually reach; per-kernel launch latency of 25 µs reflects
+/// CUDA launch + host synchronization for the era's drivers.
+pub fn gtx_1080_ti() -> Device {
+    Device {
+        name: "NVIDIA GeForce GTX 1080 Ti (11GB)",
+        kind: DeviceKind::Gpu,
+        throughput_gflops: 3_000.0,
+        launch_us: 25.0,
+        bandwidth_gbs: 400.0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_are_sane() {
+        let cpu = xeon_e5_1620();
+        let gpu = gtx_1080_ti();
+        assert_eq!(cpu.kind, DeviceKind::Cpu);
+        assert_eq!(gpu.kind, DeviceKind::Gpu);
+        assert!(gpu.throughput_gflops > cpu.throughput_gflops * 10.0);
+        assert!(gpu.launch_us > cpu.launch_us, "GPU launches cost more than CPU calls");
+        assert_eq!(cpu.kind.label(), "CPU");
+        assert_eq!(gpu.kind.label(), "GPU");
+    }
+}

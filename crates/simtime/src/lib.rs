@@ -1,0 +1,68 @@
+//! # dlbench-simtime
+//!
+//! The simulated device timing model: DLBench's substitute for the
+//! paper's physical testbed (Intel Xeon E5-1620 + NVIDIA GTX 1080 Ti).
+//!
+//! The reproduction environment has neither that CPU nor any GPU, so
+//! training/testing *time* — two of the paper's three metric groups —
+//! cannot be measured directly. Instead, every layer in `dlbench-nn`
+//! reports its work (FLOPs, parameter/activation traffic, kernel
+//! launches), and this crate converts work into seconds through an
+//! analytical model:
+//!
+//! ```text
+//! t_iter = host_overhead                                   (per iteration)
+//!        + kernels * (device.launch + profile.dispatch)    (per kernel)
+//!        + flops / (device.throughput * profile.efficiency)
+//!        + bytes / device.bandwidth
+//! ```
+//!
+//! The [`profiles`] module ships per-framework execution profiles
+//! (graph-batched TensorFlow, layer-wise Caffe, eager Lua-scripted
+//! Torch) whose constants were calibrated against the per-iteration
+//! times implied by the paper's Tables VI/VII (total time ÷ max
+//! iterations). The model is deliberately simple: the goal is to
+//! preserve the paper's *shape* — who is faster, by what order of
+//! magnitude, and how CPU/GPU ratios behave — not to forecast absolute
+//! wall-clock on specific silicon.
+//!
+//! ## Example
+//!
+//! ```
+//! use dlbench_simtime::{devices, profiles, CostModel};
+//! use dlbench_nn::LayerCost;
+//!
+//! // A compute-bound batch (~4 GFLOP). Tiny batches can invert the
+//! // comparison: GPU kernel-launch overhead exceeds the CPU's — one of
+//! // the small-batch effects the paper's Torch results exhibit.
+//! let cost = LayerCost { fwd_flops: 1_400_000_000, bwd_flops: 2_800_000_000,
+//!                        params: 3_300_000, activations: 3_000_000,
+//!                        fwd_kernels: 12, bwd_kernels: 18 };
+//! let cpu = CostModel::new(devices::xeon_e5_1620(), profiles::tensorflow());
+//! let gpu = CostModel::new(devices::gtx_1080_ti(), profiles::tensorflow());
+//! assert!(gpu.train_iteration_seconds(&cost) < cpu.train_iteration_seconds(&cost));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod clock;
+mod device;
+mod model;
+mod profile;
+
+pub use clock::SimClock;
+pub use device::{Device, DeviceKind};
+pub use model::CostModel;
+pub use profile::ExecutionProfile;
+
+/// Preset device descriptors matching the paper's testbed.
+pub mod devices {
+    pub use crate::device::{gtx_1080_ti, xeon_e5_1620};
+}
+
+/// Preset per-framework execution profiles (calibration documented on
+/// each constructor).
+pub mod profiles {
+    pub use crate::profile::{caffe, tensorflow, torch};
+}

@@ -1,0 +1,157 @@
+//! Per-framework execution profiles.
+
+use crate::device::DeviceKind;
+use serde::Serialize;
+
+/// How a framework personality uses a device.
+///
+/// Efficiency factors multiply the device's effective throughput;
+/// dispatch and host overheads add fixed per-kernel / per-iteration
+/// latency. Together these encode the execution styles the paper
+/// discusses: TensorFlow's batched dataflow graph, Caffe's layer-wise
+/// C++ solver with LMDB data layers, and Torch7's eager per-op Lua
+/// dispatch.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct ExecutionProfile {
+    /// Framework display name.
+    pub name: &'static str,
+    /// Fraction of CPU throughput this framework's kernels reach.
+    pub cpu_efficiency: f64,
+    /// Fraction of GPU throughput this framework's kernels reach.
+    pub gpu_efficiency: f64,
+    /// Host-side dispatch latency added per kernel, in microseconds
+    /// (graph-interpreter / Lua overhead).
+    pub dispatch_us: f64,
+    /// Fixed host-side overhead per training iteration, in milliseconds
+    /// (session management, solver bookkeeping, data layer).
+    pub iter_overhead_ms: f64,
+    /// Fixed host-side overhead per inference batch, in milliseconds.
+    pub infer_overhead_ms: f64,
+    /// CPU efficiency ramp with batch size: effective CPU efficiency is
+    /// `cpu_efficiency * batch / (batch + cpu_batch_ramp)`. Zero means
+    /// batch-independent. Models frameworks whose CPU kernels lose
+    /// threading/vectorization utilization at small batches — the
+    /// paper's Torch numbers imply a ~7x per-FLOP gap between its
+    /// batch-10 MNIST and batch-1 CIFAR-10 configurations.
+    pub cpu_batch_ramp: f64,
+}
+
+impl ExecutionProfile {
+    /// Efficiency on the given device kind for a given batch size.
+    pub fn efficiency(&self, kind: DeviceKind, batch: usize) -> f64 {
+        match kind {
+            DeviceKind::Cpu => {
+                if self.cpu_batch_ramp == 0.0 {
+                    self.cpu_efficiency
+                } else {
+                    let b = batch.max(1) as f64;
+                    self.cpu_efficiency * b / (b + self.cpu_batch_ramp)
+                }
+            }
+            DeviceKind::Gpu => self.gpu_efficiency,
+        }
+    }
+}
+
+/// TensorFlow 1.3 profile.
+///
+/// Calibration: Eigen-threaded CPU kernels reach ~75 GFLOP/s on the
+/// Xeon preset (paper: TF-CPU CIFAR-10 ≈ 219 ms/iteration for a ≈13
+/// GFLOP batch); graph execution batches kernel dispatch (5 µs) and the
+/// session adds ~0.6 ms/iteration.
+pub fn tensorflow() -> ExecutionProfile {
+    ExecutionProfile {
+        name: "TensorFlow",
+        cpu_efficiency: 0.95,
+        gpu_efficiency: 0.65,
+        dispatch_us: 5.0,
+        iter_overhead_ms: 0.6,
+        infer_overhead_ms: 0.3,
+        cpu_batch_ramp: 0.0,
+    }
+}
+
+/// Caffe 1.0 profile.
+///
+/// Calibration: OpenBLAS CPU GEMMs reach ~20 GFLOP/s on the Xeon preset
+/// (paper: Caffe-CPU CIFAR-10 ≈ 346 ms/iteration for a ≈7.5 GFLOP
+/// batch); the LMDB data layer and solver bookkeeping dominate small
+/// iterations at ~8 ms each (paper: Caffe-GPU MNIST ≈ 9.7 ms/iteration
+/// although the batch computes in <1 ms).
+pub fn caffe() -> ExecutionProfile {
+    ExecutionProfile {
+        name: "Caffe",
+        cpu_efficiency: 0.20,
+        gpu_efficiency: 0.20,
+        dispatch_us: 2.0,
+        iter_overhead_ms: 8.0,
+        infer_overhead_ms: 4.0,
+        cpu_batch_ramp: 0.0,
+    }
+}
+
+/// Torch7 profile.
+///
+/// Calibration: default Torch CPU convolutions (SpatialConvolutionMap
+/// and friends, largely single-threaded Lua-dispatched) reach ~1.4
+/// GFLOP/s at batch 10 and ~0.2 GFLOP/s at batch 1 — the batch ramp fits
+/// the paper's Torch-CPU MNIST (batch 10, ≈134 ms/iteration for ≈75
+/// MFLOP) against Torch-CPU CIFAR-10 (batch 1, ≈383 ms/iteration for
+/// ≈72 MFLOP). Eager per-op Lua dispatch costs ~25 µs/kernel,
+/// ~3.5 ms/iteration and ~15 ms per evaluation batch.
+pub fn torch() -> ExecutionProfile {
+    ExecutionProfile {
+        name: "Torch",
+        cpu_efficiency: 0.0425,
+        gpu_efficiency: 0.50,
+        dispatch_us: 25.0,
+        iter_overhead_ms: 3.5,
+        infer_overhead_ms: 15.0,
+        cpu_batch_ramp: 20.0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn torch_cpu_is_the_outlier() {
+        let tf = tensorflow();
+        let caffe = caffe();
+        let torch = torch();
+        // At its MNIST batch size of 10, Torch's CPU kernels are an
+        // order of magnitude less efficient than Caffe's.
+        assert!(torch.efficiency(DeviceKind::Cpu, 10) < 0.1 * caffe.efficiency(DeviceKind::Cpu, 10));
+        assert!(tf.cpu_efficiency > caffe.cpu_efficiency);
+        // On GPU the kernels are all CUDA; efficiencies converge.
+        assert!(torch.gpu_efficiency >= caffe.gpu_efficiency);
+    }
+
+    #[test]
+    fn efficiency_selector() {
+        let p = tensorflow();
+        assert_eq!(p.efficiency(DeviceKind::Cpu, 50), 0.95);
+        assert_eq!(p.efficiency(DeviceKind::Gpu, 50), 0.65);
+    }
+
+    #[test]
+    fn torch_cpu_efficiency_ramps_with_batch() {
+        let p = torch();
+        let b1 = p.efficiency(DeviceKind::Cpu, 1);
+        let b10 = p.efficiency(DeviceKind::Cpu, 10);
+        // Paper-implied ratio between batch-10 MNIST and batch-1
+        // CIFAR-10 per-FLOP throughput is ~7x.
+        let ratio = b10 / b1;
+        assert!(ratio > 5.0 && ratio < 9.0, "ratio {ratio}");
+        // GPU efficiency is batch-independent in the model.
+        assert_eq!(p.efficiency(DeviceKind::Gpu, 1), p.efficiency(DeviceKind::Gpu, 128));
+    }
+
+    #[test]
+    fn caffe_iteration_overhead_dominates() {
+        // The paper's Caffe-GPU MNIST iterations are ~10 ms despite tiny
+        // compute; our profile encodes that via iter_overhead_ms.
+        assert!(caffe().iter_overhead_ms > tensorflow().iter_overhead_ms * 5.0);
+    }
+}

@@ -1,0 +1,67 @@
+//! Error type for tensor operations.
+
+use std::fmt;
+
+/// Convenience alias for tensor results.
+pub type Result<T> = std::result::Result<T, TensorError>;
+
+/// Errors produced by tensor construction and shape-sensitive operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum TensorError {
+    /// The number of data elements does not match the product of the
+    /// requested dimensions.
+    ShapeDataMismatch {
+        /// Requested shape.
+        shape: Vec<usize>,
+        /// Number of elements supplied.
+        len: usize,
+    },
+    /// Two operands have incompatible shapes for the attempted operation.
+    ShapeMismatch {
+        /// Shape of the left-hand operand.
+        lhs: Vec<usize>,
+        /// Shape of the right-hand operand.
+        rhs: Vec<usize>,
+        /// Name of the operation that failed.
+        op: &'static str,
+    },
+    /// A reshape was requested whose element count differs from the
+    /// tensor's element count.
+    InvalidReshape {
+        /// Current shape.
+        from: Vec<usize>,
+        /// Requested shape.
+        to: Vec<usize>,
+    },
+    /// An axis index was out of range for the tensor's rank.
+    AxisOutOfRange {
+        /// Requested axis.
+        axis: usize,
+        /// Rank of the tensor.
+        rank: usize,
+    },
+}
+
+impl fmt::Display for TensorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TensorError::ShapeDataMismatch { shape, len } => write!(
+                f,
+                "shape {shape:?} requires {} elements but {len} were supplied",
+                shape.iter().product::<usize>()
+            ),
+            TensorError::ShapeMismatch { lhs, rhs, op } => {
+                write!(f, "shape mismatch in `{op}`: {lhs:?} vs {rhs:?}")
+            }
+            TensorError::InvalidReshape { from, to } => {
+                write!(f, "cannot reshape {from:?} into {to:?}: element counts differ")
+            }
+            TensorError::AxisOutOfRange { axis, rank } => {
+                write!(f, "axis {axis} out of range for rank-{rank} tensor")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TensorError {}

@@ -1,0 +1,208 @@
+//! `im2col`/`col2im` lowering for convolution layers.
+//!
+//! Convolution forward passes are computed as a GEMM over an unrolled
+//! patch matrix; the backward pass to inputs uses the adjoint `col2im`
+//! scatter. This mirrors how Caffe (explicitly) and the cuDNN-backed
+//! frameworks (implicitly) lower convolutions, and it is the layout the
+//! cost model charges for.
+
+/// Geometry of a 2-D convolution: input plane size, kernel, stride and
+/// symmetric zero padding.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Conv2dGeometry {
+    /// Input channels.
+    pub in_channels: usize,
+    /// Input height.
+    pub in_h: usize,
+    /// Input width.
+    pub in_w: usize,
+    /// Kernel height.
+    pub kernel_h: usize,
+    /// Kernel width.
+    pub kernel_w: usize,
+    /// Stride (same in both axes).
+    pub stride: usize,
+    /// Symmetric zero padding (same on all sides).
+    pub pad: usize,
+}
+
+impl Conv2dGeometry {
+    /// Output height after convolving.
+    pub fn out_h(&self) -> usize {
+        (self.in_h + 2 * self.pad).saturating_sub(self.kernel_h) / self.stride + 1
+    }
+
+    /// Output width after convolving.
+    pub fn out_w(&self) -> usize {
+        (self.in_w + 2 * self.pad).saturating_sub(self.kernel_w) / self.stride + 1
+    }
+
+    /// Rows of the patch matrix (`C * kh * kw`).
+    pub fn patch_len(&self) -> usize {
+        self.in_channels * self.kernel_h * self.kernel_w
+    }
+
+    /// Columns of the patch matrix (`out_h * out_w`).
+    pub fn out_plane(&self) -> usize {
+        self.out_h() * self.out_w()
+    }
+}
+
+/// Unrolls one image (`[C, H, W]` in `input`) into a patch matrix of
+/// shape `[patch_len, out_h*out_w]` stored row-major in `cols`.
+///
+/// # Panics
+///
+/// Panics (debug assertions) if slice lengths disagree with `geo`.
+pub fn im2col(geo: &Conv2dGeometry, input: &[f32], cols: &mut [f32]) {
+    let (oh, ow) = (geo.out_h(), geo.out_w());
+    debug_assert_eq!(input.len(), geo.in_channels * geo.in_h * geo.in_w);
+    debug_assert_eq!(cols.len(), geo.patch_len() * oh * ow);
+    let mut row = 0usize;
+    for c in 0..geo.in_channels {
+        let plane = &input[c * geo.in_h * geo.in_w..(c + 1) * geo.in_h * geo.in_w];
+        for kh in 0..geo.kernel_h {
+            for kw in 0..geo.kernel_w {
+                let out_row = &mut cols[row * oh * ow..(row + 1) * oh * ow];
+                let mut idx = 0usize;
+                for oy in 0..oh {
+                    let iy = (oy * geo.stride + kh) as isize - geo.pad as isize;
+                    if iy < 0 || iy >= geo.in_h as isize {
+                        for _ in 0..ow {
+                            out_row[idx] = 0.0;
+                            idx += 1;
+                        }
+                        continue;
+                    }
+                    let iy = iy as usize;
+                    for ox in 0..ow {
+                        let ix = (ox * geo.stride + kw) as isize - geo.pad as isize;
+                        out_row[idx] = if ix < 0 || ix >= geo.in_w as isize {
+                            0.0
+                        } else {
+                            plane[iy * geo.in_w + ix as usize]
+                        };
+                        idx += 1;
+                    }
+                }
+                row += 1;
+            }
+        }
+    }
+}
+
+/// Adjoint of [`im2col`]: scatters the patch-matrix gradient `cols` back
+/// into an image gradient `grad` (`[C, H, W]`), accumulating overlaps.
+///
+/// `grad` must be zeroed by the caller if a pure gradient (rather than
+/// accumulation) is desired.
+pub fn col2im(geo: &Conv2dGeometry, cols: &[f32], grad: &mut [f32]) {
+    let (oh, ow) = (geo.out_h(), geo.out_w());
+    debug_assert_eq!(grad.len(), geo.in_channels * geo.in_h * geo.in_w);
+    debug_assert_eq!(cols.len(), geo.patch_len() * oh * ow);
+    let mut row = 0usize;
+    for c in 0..geo.in_channels {
+        let plane_off = c * geo.in_h * geo.in_w;
+        for kh in 0..geo.kernel_h {
+            for kw in 0..geo.kernel_w {
+                let col_row = &cols[row * oh * ow..(row + 1) * oh * ow];
+                let mut idx = 0usize;
+                for oy in 0..oh {
+                    let iy = (oy * geo.stride + kh) as isize - geo.pad as isize;
+                    if iy < 0 || iy >= geo.in_h as isize {
+                        idx += ow;
+                        continue;
+                    }
+                    let iy = iy as usize;
+                    for ox in 0..ow {
+                        let ix = (ox * geo.stride + kw) as isize - geo.pad as isize;
+                        if ix >= 0 && ix < geo.in_w as isize {
+                            grad[plane_off + iy * geo.in_w + ix as usize] += col_row[idx];
+                        }
+                        idx += 1;
+                    }
+                }
+                row += 1;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn geo(c: usize, h: usize, w: usize, k: usize, s: usize, p: usize) -> Conv2dGeometry {
+        Conv2dGeometry {
+            in_channels: c,
+            in_h: h,
+            in_w: w,
+            kernel_h: k,
+            kernel_w: k,
+            stride: s,
+            pad: p,
+        }
+    }
+
+    #[test]
+    fn output_dims_match_lenet_expectations() {
+        // Caffe LeNet on 28x28: conv5 no pad -> 24, TF SAME pad=2 -> 28.
+        assert_eq!(geo(1, 28, 28, 5, 1, 0).out_h(), 24);
+        assert_eq!(geo(1, 28, 28, 5, 1, 2).out_h(), 28);
+        assert_eq!(geo(3, 32, 32, 5, 1, 2).out_w(), 32);
+    }
+
+    #[test]
+    fn im2col_identity_kernel() {
+        // 1x1 kernel, no pad: patch matrix equals the image itself.
+        let g = geo(1, 3, 3, 1, 1, 0);
+        let input: Vec<f32> = (0..9).map(|i| i as f32).collect();
+        let mut cols = vec![0.0f32; g.patch_len() * g.out_plane()];
+        im2col(&g, &input, &mut cols);
+        assert_eq!(cols, input);
+    }
+
+    #[test]
+    fn im2col_known_patch() {
+        let g = geo(1, 3, 3, 2, 1, 0);
+        let input: Vec<f32> = (1..=9).map(|i| i as f32).collect();
+        let mut cols = vec![0.0f32; g.patch_len() * g.out_plane()];
+        im2col(&g, &input, &mut cols);
+        // rows are kernel taps, columns are the 4 output positions.
+        assert_eq!(&cols[0..4], &[1.0, 2.0, 4.0, 5.0]); // top-left tap
+        assert_eq!(&cols[12..16], &[5.0, 6.0, 8.0, 9.0]); // bottom-right tap
+    }
+
+    #[test]
+    fn padding_zero_fills() {
+        let g = geo(1, 2, 2, 3, 1, 1);
+        let input = [1.0f32, 2.0, 3.0, 4.0];
+        let mut cols = vec![0.0f32; g.patch_len() * g.out_plane()];
+        im2col(&g, &input, &mut cols);
+        // First tap (kh=0,kw=0) at output (0,0) reads input(-1,-1) = 0.
+        assert_eq!(cols[0], 0.0);
+        // Center tap (kh=1,kw=1) reproduces the image.
+        let center = 4 * g.out_plane();
+        assert_eq!(&cols[center..center + 4], &input);
+    }
+
+    #[test]
+    fn col2im_is_adjoint_of_im2col() {
+        // <im2col(x), y> == <x, col2im(y)> for random x, y.
+        use crate::SeededRng;
+        let g = geo(2, 5, 5, 3, 2, 1);
+        let mut rng = SeededRng::new(5);
+        let x: Vec<f32> = (0..g.in_channels * g.in_h * g.in_w)
+            .map(|_| rng.normal(0.0, 1.0))
+            .collect();
+        let y: Vec<f32> =
+            (0..g.patch_len() * g.out_plane()).map(|_| rng.normal(0.0, 1.0)).collect();
+        let mut cols = vec![0.0f32; y.len()];
+        im2col(&g, &x, &mut cols);
+        let lhs: f32 = cols.iter().zip(&y).map(|(a, b)| a * b).sum();
+        let mut grad = vec![0.0f32; x.len()];
+        col2im(&g, &y, &mut grad);
+        let rhs: f32 = x.iter().zip(&grad).map(|(a, b)| a * b).sum();
+        assert!((lhs - rhs).abs() < 1e-3, "{lhs} vs {rhs}");
+    }
+}

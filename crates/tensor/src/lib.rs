@@ -1,0 +1,43 @@
+//! # dlbench-tensor
+//!
+//! The numeric substrate of the DLBench suite: a small, dependency-light,
+//! row-major `f32` tensor library with exactly the operations the paper's
+//! reference models need — dense linear algebra (blocked GEMM), `im2col`
+//! lowering for convolutions, elementwise maps, reductions, and a seeded
+//! RNG façade so every experiment in the benchmark is reproducible.
+//!
+//! The design goal is *determinism first*: all operations are
+//! single-threaded and evaluate in a fixed order, so a benchmark cell run
+//! twice with the same seed produces bit-identical models, accuracies and
+//! adversarial success rates.
+//!
+//! ## Example
+//!
+//! ```
+//! use dlbench_tensor::{Tensor, SeededRng};
+//!
+//! let mut rng = SeededRng::new(7);
+//! let a = Tensor::randn(&[2, 3], 0.0, 1.0, &mut rng);
+//! let b = Tensor::randn(&[3, 4], 0.0, 1.0, &mut rng);
+//! let c = a.matmul(&b);
+//! assert_eq!(c.shape(), &[2, 4]);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod error;
+mod im2col;
+mod linalg;
+mod ops;
+mod rng;
+mod shape;
+mod tensor;
+
+pub use error::{Result, TensorError};
+pub use im2col::{col2im, im2col, Conv2dGeometry};
+pub use linalg::{gemm, gemm_a_bt, gemm_at_b, gemm_bias};
+pub use ops::accuracy;
+pub use rng::SeededRng;
+pub use shape::Shape;
+pub use tensor::Tensor;

@@ -1,0 +1,165 @@
+//! Free-standing numeric helpers used across the suite.
+
+use crate::tensor::Tensor;
+
+impl Tensor {
+    /// Row-wise softmax of a rank-2 tensor (`[N, classes]`), numerically
+    /// stabilized by max subtraction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensor is not rank 2.
+    pub fn softmax_rows(&self) -> Tensor {
+        assert_eq!(self.rank(), 2, "softmax_rows requires [N, classes]");
+        let (n, c) = (self.shape()[0], self.shape()[1]);
+        let mut out = Tensor::zeros(&[n, c]);
+        for i in 0..n {
+            let row = &self.data()[i * c..(i + 1) * c];
+            let m = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+            let mut denom = 0.0f32;
+            let out_row = &mut out.data_mut()[i * c..(i + 1) * c];
+            for (o, &x) in out_row.iter_mut().zip(row) {
+                let e = (x - m).exp();
+                *o = e;
+                denom += e;
+            }
+            if denom > 0.0 {
+                for o in out_row.iter_mut() {
+                    *o /= denom;
+                }
+            }
+        }
+        out
+    }
+
+    /// Per-row argmax of a rank-2 tensor, returning one class index per
+    /// row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensor is not rank 2.
+    pub fn argmax_rows(&self) -> Vec<usize> {
+        assert_eq!(self.rank(), 2, "argmax_rows requires [N, classes]");
+        let (n, c) = (self.shape()[0], self.shape()[1]);
+        (0..n)
+            .map(|i| {
+                let row = &self.data()[i * c..(i + 1) * c];
+                let mut best = 0;
+                let mut best_v = f32::NEG_INFINITY;
+                for (j, &v) in row.iter().enumerate() {
+                    if v > best_v {
+                        best_v = v;
+                        best = j;
+                    }
+                }
+                best
+            })
+            .collect()
+    }
+
+    /// Shannon entropy (bits) of the tensor's values bucketed into
+    /// `bins` equal-width histogram bins over `[min, max]`.
+    ///
+    /// This is the statistic the benchmark's dataset-characterization
+    /// metric uses to quantify the paper's "low entropy of MNIST vs
+    /// content-rich CIFAR-10" observation.
+    pub fn histogram_entropy(&self, bins: usize) -> f32 {
+        assert!(bins >= 2, "entropy needs at least 2 bins");
+        if self.is_empty() {
+            return 0.0;
+        }
+        let (lo, hi) = (self.min(), self.max());
+        let width = (hi - lo).max(f32::EPSILON);
+        let mut counts = vec![0usize; bins];
+        for &v in self.data() {
+            let b = (((v - lo) / width) * bins as f32) as usize;
+            counts[b.min(bins - 1)] += 1;
+        }
+        let n = self.len() as f32;
+        counts
+            .iter()
+            .filter(|&&c| c > 0)
+            .map(|&c| {
+                let p = c as f32 / n;
+                -p * p.log2()
+            })
+            .sum()
+    }
+
+    /// Fraction of elements with absolute value below `eps` — the
+    /// sparsity statistic used to characterize MNIST-like data.
+    pub fn sparsity(&self, eps: f32) -> f32 {
+        if self.is_empty() {
+            return 0.0;
+        }
+        let zeros = self.data().iter().filter(|v| v.abs() < eps).count();
+        zeros as f32 / self.len() as f32
+    }
+}
+
+/// Classification accuracy between predicted and true labels, in `[0, 1]`.
+///
+/// # Panics
+///
+/// Panics if slice lengths differ or both are empty.
+pub fn accuracy(predictions: &[usize], labels: &[usize]) -> f32 {
+    assert_eq!(predictions.len(), labels.len(), "prediction/label length mismatch");
+    assert!(!labels.is_empty(), "accuracy over empty set");
+    let hits = predictions.iter().zip(labels).filter(|(p, l)| p == l).count();
+    hits as f32 / labels.len() as f32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn softmax_rows_sum_to_one() {
+        let t = Tensor::from_vec(&[2, 3], vec![1.0, 2.0, 3.0, -1.0, 0.0, 1.0]).unwrap();
+        let s = t.softmax_rows();
+        for i in 0..2 {
+            let row_sum: f32 = s.data()[i * 3..(i + 1) * 3].iter().sum();
+            assert!((row_sum - 1.0).abs() < 1e-5);
+        }
+        // Monotone: larger logits -> larger probabilities.
+        assert!(s.at(&[0, 2]) > s.at(&[0, 1]));
+    }
+
+    #[test]
+    fn softmax_stable_for_large_logits() {
+        let t = Tensor::from_vec(&[1, 2], vec![1000.0, 1001.0]).unwrap();
+        let s = t.softmax_rows();
+        assert!(!s.has_non_finite());
+        assert!((s.at(&[0, 0]) + s.at(&[0, 1]) - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn argmax_rows_picks_per_row() {
+        let t = Tensor::from_vec(&[2, 3], vec![0.0, 5.0, 1.0, 9.0, 2.0, 3.0]).unwrap();
+        assert_eq!(t.argmax_rows(), vec![1, 0]);
+    }
+
+    #[test]
+    fn accuracy_counts_hits() {
+        assert_eq!(accuracy(&[1, 2, 3], &[1, 2, 4]), 2.0 / 3.0);
+        assert_eq!(accuracy(&[0], &[0]), 1.0);
+    }
+
+    #[test]
+    fn entropy_uniform_higher_than_constant() {
+        let mut rng = crate::SeededRng::new(17);
+        let uniform = Tensor::rand_uniform(&[1000], 0.0, 1.0, &mut rng);
+        let mostly_zero = {
+            let mut t = Tensor::zeros(&[1000]);
+            t.data_mut()[0] = 1.0;
+            t
+        };
+        assert!(uniform.histogram_entropy(16) > mostly_zero.histogram_entropy(16));
+    }
+
+    #[test]
+    fn sparsity_fraction() {
+        let t = Tensor::from_vec(&[4], vec![0.0, 0.001, 0.5, -0.7]).unwrap();
+        assert_eq!(t.sparsity(0.01), 0.5);
+    }
+}

@@ -1,0 +1,100 @@
+//! Shape utilities shared by tensor operations.
+
+/// A lightweight view over a dimension list with derived helpers.
+///
+/// `Shape` is deliberately cheap to construct from any `&[usize]`; tensors
+/// store their dimensions as a `Vec<usize>` and hand out `Shape` views for
+/// computations such as strides or flat-index conversion.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Shape<'a> {
+    dims: &'a [usize],
+}
+
+impl<'a> Shape<'a> {
+    /// Wraps a dimension slice.
+    pub fn new(dims: &'a [usize]) -> Self {
+        Self { dims }
+    }
+
+    /// The dimension list.
+    pub fn dims(&self) -> &'a [usize] {
+        self.dims
+    }
+
+    /// Number of dimensions.
+    pub fn rank(&self) -> usize {
+        self.dims.len()
+    }
+
+    /// Total element count (product of dimensions; 1 for scalars).
+    pub fn len(&self) -> usize {
+        self.dims.iter().product()
+    }
+
+    /// Whether the shape describes zero elements.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Row-major strides for this shape.
+    pub fn strides(&self) -> Vec<usize> {
+        let mut strides = vec![1usize; self.dims.len()];
+        for i in (0..self.dims.len().saturating_sub(1)).rev() {
+            strides[i] = strides[i + 1] * self.dims[i + 1];
+        }
+        strides
+    }
+
+    /// Converts a multi-dimensional index to a flat row-major offset.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` has the wrong rank or any coordinate is out of
+    /// bounds (debug builds assert per-coordinate).
+    pub fn flat_index(&self, index: &[usize]) -> usize {
+        assert_eq!(index.len(), self.dims.len(), "index rank mismatch");
+        let mut flat = 0usize;
+        for (i, (&ix, &dim)) in index.iter().zip(self.dims).enumerate() {
+            debug_assert!(ix < dim, "index {ix} out of bounds for axis {i} (dim {dim})");
+            flat = flat * dim + ix;
+        }
+        flat
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strides_row_major() {
+        let dims = [2usize, 3, 4];
+        let s = Shape::new(&dims);
+        assert_eq!(s.strides(), vec![12, 4, 1]);
+        assert_eq!(s.len(), 24);
+        assert_eq!(s.rank(), 3);
+    }
+
+    #[test]
+    fn flat_index_matches_strides() {
+        let dims = [2usize, 3, 4];
+        let s = Shape::new(&dims);
+        assert_eq!(s.flat_index(&[0, 0, 0]), 0);
+        assert_eq!(s.flat_index(&[1, 2, 3]), 23);
+        assert_eq!(s.flat_index(&[1, 0, 2]), 14);
+    }
+
+    #[test]
+    fn scalar_shape() {
+        let s = Shape::new(&[]);
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.rank(), 0);
+        assert_eq!(s.flat_index(&[]), 0);
+    }
+
+    #[test]
+    fn empty_dim_shape_is_empty() {
+        let dims = [3usize, 0, 2];
+        assert!(Shape::new(&dims).is_empty());
+    }
+}

@@ -1,0 +1,132 @@
+//! Property-based tests for the tensor substrate.
+
+use dlbench_tensor::{col2im, gemm, im2col, Conv2dGeometry, SeededRng, Tensor};
+use proptest::prelude::*;
+
+fn small_dims() -> impl Strategy<Value = Vec<usize>> {
+    prop::collection::vec(1usize..6, 1..4)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn reshape_roundtrips(dims in small_dims(), seed in 0u64..1000) {
+        let mut rng = SeededRng::new(seed);
+        let t = Tensor::randn(&dims, 0.0, 1.0, &mut rng);
+        let flat = t.flatten();
+        let back = flat.reshape(&dims).unwrap();
+        prop_assert_eq!(back.data(), t.data());
+        prop_assert_eq!(back.shape(), t.shape());
+    }
+
+    #[test]
+    fn add_commutes_and_sub_inverts(dims in small_dims(), seed in 0u64..1000) {
+        let mut rng = SeededRng::new(seed);
+        let a = Tensor::randn(&dims, 0.0, 1.0, &mut rng);
+        let b = Tensor::randn(&dims, 0.0, 1.0, &mut rng);
+        prop_assert_eq!(a.add(&b).unwrap(), b.add(&a).unwrap());
+        let back = a.add(&b).unwrap().sub(&b).unwrap();
+        for (x, y) in back.data().iter().zip(a.data()) {
+            prop_assert!((x - y).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn scale_distributes_over_add(dims in small_dims(), k in -3.0f32..3.0, seed in 0u64..1000) {
+        let mut rng = SeededRng::new(seed);
+        let a = Tensor::randn(&dims, 0.0, 1.0, &mut rng);
+        let b = Tensor::randn(&dims, 0.0, 1.0, &mut rng);
+        let lhs = a.add(&b).unwrap().scale(k);
+        let rhs = a.scale(k).add(&b.scale(k)).unwrap();
+        for (x, y) in lhs.data().iter().zip(rhs.data()) {
+            prop_assert!((x - y).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn matmul_matches_naive(m in 1usize..6, k in 1usize..6, n in 1usize..6, seed in 0u64..1000) {
+        let mut rng = SeededRng::new(seed);
+        let a = Tensor::randn(&[m, k], 0.0, 1.0, &mut rng);
+        let b = Tensor::randn(&[k, n], 0.0, 1.0, &mut rng);
+        let c = a.matmul(&b);
+        for i in 0..m {
+            for j in 0..n {
+                let expect: f32 = (0..k).map(|kk| a.at(&[i, kk]) * b.at(&[kk, j])).sum();
+                prop_assert!((c.at(&[i, j]) - expect).abs() < 1e-3);
+            }
+        }
+    }
+
+    #[test]
+    fn gemm_linear_in_lhs(m in 1usize..5, k in 1usize..5, n in 1usize..5, seed in 0u64..500) {
+        // gemm(a1 + a2, b) == gemm(a1, b) + gemm(a2, b)
+        let mut rng = SeededRng::new(seed);
+        let a1 = Tensor::randn(&[m, k], 0.0, 1.0, &mut rng);
+        let a2 = Tensor::randn(&[m, k], 0.0, 1.0, &mut rng);
+        let b = Tensor::randn(&[k, n], 0.0, 1.0, &mut rng);
+        let mut lhs = vec![0.0f32; m * n];
+        gemm(m, k, n, a1.add(&a2).unwrap().data(), b.data(), &mut lhs);
+        let mut r1 = vec![0.0f32; m * n];
+        let mut r2 = vec![0.0f32; m * n];
+        gemm(m, k, n, a1.data(), b.data(), &mut r1);
+        gemm(m, k, n, a2.data(), b.data(), &mut r2);
+        for ((x, y), z) in lhs.iter().zip(&r1).zip(&r2) {
+            prop_assert!((x - (y + z)).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn softmax_rows_are_distributions(n in 1usize..8, c in 2usize..12, seed in 0u64..1000) {
+        let mut rng = SeededRng::new(seed);
+        let logits = Tensor::randn(&[n, c], 0.0, 5.0, &mut rng);
+        let p = logits.softmax_rows();
+        for i in 0..n {
+            let row = &p.data()[i * c..(i + 1) * c];
+            let sum: f32 = row.iter().sum();
+            prop_assert!((sum - 1.0).abs() < 1e-4);
+            prop_assert!(row.iter().all(|&v| (0.0..=1.0).contains(&v)));
+        }
+    }
+
+    #[test]
+    fn entropy_bounded_by_log_bins(len in 1usize..200, bins in 2usize..32, seed in 0u64..1000) {
+        let mut rng = SeededRng::new(seed);
+        let t = Tensor::rand_uniform(&[len], 0.0, 1.0, &mut rng);
+        let h = t.histogram_entropy(bins);
+        prop_assert!(h >= 0.0);
+        prop_assert!(h <= (bins as f32).log2() + 1e-4);
+    }
+
+    #[test]
+    fn im2col_col2im_adjoint(
+        c in 1usize..3, h in 3usize..8, w in 3usize..8,
+        k in 1usize..4, stride in 1usize..3, pad in 0usize..2,
+        seed in 0u64..500,
+    ) {
+        prop_assume!(h + 2 * pad >= k && w + 2 * pad >= k);
+        let geo = Conv2dGeometry {
+            in_channels: c, in_h: h, in_w: w,
+            kernel_h: k, kernel_w: k, stride, pad,
+        };
+        let mut rng = SeededRng::new(seed);
+        let x: Vec<f32> = (0..c * h * w).map(|_| rng.normal(0.0, 1.0)).collect();
+        let y: Vec<f32> =
+            (0..geo.patch_len() * geo.out_plane()).map(|_| rng.normal(0.0, 1.0)).collect();
+        let mut cols = vec![0.0f32; y.len()];
+        im2col(&geo, &x, &mut cols);
+        let lhs: f32 = cols.iter().zip(&y).map(|(a, b)| a * b).sum();
+        let mut grad = vec![0.0f32; x.len()];
+        col2im(&geo, &y, &mut grad);
+        let rhs: f32 = x.iter().zip(&grad).map(|(a, b)| a * b).sum();
+        prop_assert!((lhs - rhs).abs() < 1e-2 * (1.0 + lhs.abs()));
+    }
+
+    #[test]
+    fn argmax_is_maximal(len in 1usize..64, seed in 0u64..1000) {
+        let mut rng = SeededRng::new(seed);
+        let t = Tensor::randn(&[len], 0.0, 1.0, &mut rng);
+        let idx = t.argmax();
+        prop_assert!(t.data().iter().all(|&v| v <= t.data()[idx]));
+    }
+}

@@ -1,0 +1,40 @@
+//! Dataset characterization: the paper attributes the MNIST/CIFAR-10
+//! performance gap to data entropy and sparsity (§III.B, "the
+//! sparseness and gray scale of MNIST give the data low entropy").
+//! This example measures those statistics on the synthetic stand-ins
+//! the suite trains on.
+//!
+//! ```sh
+//! cargo run --release -p dlbench-examples --bin entropy_study
+//! ```
+
+use dlbench_data::{SynthCifar10, SynthMnist};
+
+fn main() {
+    println!("Dataset characterization (paper §III.B)\n");
+    for size in [16usize, 28] {
+        let mnist = SynthMnist::generate(512, size, 7);
+        println!("SynthMnist   @{size:>2}x{size:<2}: {}", mnist.stats());
+    }
+    for size in [16usize, 32] {
+        let cifar = SynthCifar10::generate(512, size, 7);
+        println!("SynthCifar10 @{size:>2}x{size:<2}: {}", cifar.stats());
+    }
+
+    let mnist = SynthMnist::generate(512, 28, 7).stats();
+    let cifar = SynthCifar10::generate(512, 32, 7).stats();
+    println!(
+        "\nEntropy gap: CIFAR-like data carries {:.2} more bits in its pixel histogram;",
+        cifar.pixel_entropy - mnist.pixel_entropy
+    );
+    println!(
+        "sparsity gap: {:.0}% of MNIST-like pixels are background vs {:.0}% for CIFAR-like.",
+        mnist.sparsity * 100.0,
+        cifar.sparsity * 100.0
+    );
+    println!(
+        "\nThe paper's claim under test: lower entropy -> easier learning -> faster, more \
+         accurate training. The suite's accuracy results on these generators reproduce that \
+         ordering."
+    );
+}

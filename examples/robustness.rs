@@ -1,0 +1,49 @@
+//! Adversarial robustness as a first-class benchmark metric (paper
+//! §III.E): FGSM and JSMA against TensorFlow- and Caffe-trained MNIST
+//! models.
+//!
+//! ```sh
+//! cargo run --release -p dlbench-examples --bin robustness
+//! ```
+
+use dlbench_adversarial::{fgsm, FgsmConfig};
+use dlbench_core::experiments;
+use dlbench_core::runner::BenchmarkRunner;
+use dlbench_data::DatasetKind;
+use dlbench_frameworks::{trainer, FrameworkKind, Scale};
+
+fn main() {
+    let mut runner = BenchmarkRunner::new(Scale::Tiny, 42);
+
+    println!("Untargeted FGSM (paper Figure 8)\n");
+    let fig8 = experiments::fig8(&mut runner);
+    println!("{}", fig8.render());
+
+    println!("Targeted JSMA: crafting digit 1 (paper Figure 9, Tables VIII-IX)\n");
+    let fig9 = experiments::fig9(&mut runner);
+    println!("{}", fig9.render());
+    println!("{}", experiments::table_viii(&mut runner).render());
+
+    // Bonus: a single crafted example, end to end.
+    println!("Single FGSM example against the TF model:");
+    let key = BenchmarkRunner::own_default_key(FrameworkKind::TensorFlow, DatasetKind::Mnist);
+    let scale = runner.scale();
+    let seed = runner.seed();
+    runner.with_outcome(key, |out| {
+        let (_, test) = trainer::generate_data(DatasetKind::Mnist, scale, seed);
+        let x = test.images.slice_batch(0);
+        let label = test.labels[0];
+        let report = fgsm(
+            &mut out.model,
+            &x,
+            label,
+            &FgsmConfig { epsilon: experiments::FGSM_EPSILON, clamp: Some((0.0, 1.0)) },
+        );
+        println!(
+            "  true class {label}: model predicted {} -> after perturbation {} ({})",
+            report.original_pred,
+            report.adversarial_pred,
+            if report.success { "attack succeeded" } else { "attack failed" }
+        );
+    });
+}

@@ -1,0 +1,7 @@
+//! Cross-crate integration-test package for the DLBench suite.
+//!
+//! The actual tests live in `tests/tests/`; this library only hosts
+//! shared helpers.
+
+/// Master seed used by the integration tests.
+pub const TEST_SEED: u64 = 42;

@@ -1,0 +1,98 @@
+//! Integration of the adversarial metric group with trained models.
+
+use dlbench_adversarial::{fgsm_success_rates, jsma, FgsmConfig, JsmaConfig};
+use dlbench_data::DatasetKind;
+use dlbench_frameworks::{trainer, DefaultSetting, FrameworkKind, Scale};
+use dlbench_integration_tests::TEST_SEED;
+
+#[test]
+fn fgsm_succeeds_more_with_larger_epsilon() {
+    let mut out = trainer::run_training(
+        FrameworkKind::Caffe,
+        DefaultSetting::new(FrameworkKind::Caffe, DatasetKind::Mnist),
+        DatasetKind::Mnist,
+        Scale::Tiny,
+        TEST_SEED,
+    );
+    let (_, test) = trainer::generate_data(DatasetKind::Mnist, Scale::Tiny, TEST_SEED);
+    let mut rates = Vec::new();
+    for eps in [0.02f32, 0.3] {
+        let config = FgsmConfig { epsilon: eps, clamp: Some((0.0, 1.0)) };
+        let r = fgsm_success_rates(&mut out.model, &test.images, &test.labels, 10, &config);
+        rates.push(r.mean_success_rate());
+    }
+    assert!(
+        rates[1] > rates[0],
+        "bigger perturbations should flip more: {rates:?}"
+    );
+    assert!(rates[1] > 0.3, "eps=0.3 should flip a good fraction: {rates:?}");
+}
+
+#[test]
+fn jsma_crafts_targeted_examples_against_trained_model() {
+    let mut out = trainer::run_training(
+        FrameworkKind::Caffe,
+        DefaultSetting::new(FrameworkKind::Caffe, DatasetKind::Mnist),
+        DatasetKind::Mnist,
+        Scale::Tiny,
+        TEST_SEED,
+    );
+    let (_, test) = trainer::generate_data(DatasetKind::Mnist, Scale::Tiny, TEST_SEED);
+    // Find a correctly-classified digit-1 sample.
+    let mut found = None;
+    for i in 0..test.len() {
+        if test.labels[i] == 1 {
+            let x = test.images.slice_batch(i);
+            if out.model.forward(&x, false).argmax_rows()[0] == 1 {
+                found = Some(x);
+                break;
+            }
+        }
+    }
+    let x = found.expect("a correctly-classified digit 1 exists");
+    let config = JsmaConfig { theta: 0.4, max_distortion: 0.4, clamp: (0.0, 1.0) };
+    // Try all targets; at least one must be craftable with a generous
+    // budget (the paper's Figure 9 shows digit 1 crafts into several
+    // classes with high success).
+    let mut successes = 0;
+    for target in [7usize, 8, 2, 3] {
+        let outcome = jsma(&mut out.model, &x, target, &config);
+        if outcome.success {
+            successes += 1;
+            assert!(outcome.iterations > 0, "crafting must take work");
+        }
+    }
+    assert!(successes >= 1, "no target craftable from digit 1");
+}
+
+#[test]
+fn attacks_do_not_corrupt_the_model() {
+    // Attacking must leave the model's weights untouched (backward
+    // accumulates into gradients only).
+    let mut out = trainer::run_training(
+        FrameworkKind::TensorFlow,
+        DefaultSetting::new(FrameworkKind::TensorFlow, DatasetKind::Mnist),
+        DatasetKind::Mnist,
+        Scale::Tiny,
+        TEST_SEED,
+    );
+    let (_, test) = trainer::generate_data(DatasetKind::Mnist, Scale::Tiny, TEST_SEED);
+    let before = out.model.snapshot();
+    let acc_before = trainer::evaluate(
+        &mut out.model,
+        &test,
+        out.preprocessing,
+        &out.channel_means,
+    );
+    let config = FgsmConfig { epsilon: 0.2, clamp: Some((0.0, 1.0)) };
+    fgsm_success_rates(&mut out.model, &test.images, &test.labels, 10, &config);
+    let after = out.model.snapshot();
+    assert_eq!(before, after, "attack mutated model parameters");
+    let acc_after = trainer::evaluate(
+        &mut out.model,
+        &test,
+        out.preprocessing,
+        &out.channel_means,
+    );
+    assert_eq!(acc_before, acc_after);
+}

@@ -1,0 +1,77 @@
+//! The registry regenerates every paper artifact end to end at tiny
+//! scale.
+
+use dlbench_core::{BenchmarkRunner, ExperimentId};
+use dlbench_frameworks::Scale;
+use dlbench_integration_tests::TEST_SEED;
+
+#[test]
+fn static_tables_carry_paper_configuration_data() {
+    let mut runner = BenchmarkRunner::new(Scale::Tiny, TEST_SEED);
+    let t2 = ExperimentId::TableII.run(&mut runner);
+    let tf = &t2.facts.iter().find(|(k, _)| k == "TensorFlow").unwrap().1;
+    assert!(tf.contains("Adam") && tf.contains("0.0001") && tf.contains("batch 50"));
+    let t3 = ExperimentId::TableIII.run(&mut runner);
+    let torch = &t3.facts.iter().find(|(k, _)| k == "Torch").unwrap().1;
+    assert!(torch.contains("batch 1,"), "{torch}");
+    let t4 = ExperimentId::TableIV.run(&mut runner);
+    assert!(t4.facts.iter().any(|(_, v)| v.contains("800->500")));
+}
+
+#[test]
+fn fig5_shows_divergence_vs_convergence() {
+    let mut runner = BenchmarkRunner::new(Scale::Tiny, TEST_SEED);
+    let fig5 = ExperimentId::Fig5.run(&mut runner);
+    assert_eq!(fig5.series.len(), 2);
+    let mnist_settings = &fig5.series[0];
+    let cifar_settings = &fig5.series[1];
+    assert!(mnist_settings.name.contains("MNIST"));
+    // MNIST settings on CIFAR: flat high loss; CIFAR settings: loss
+    // comes down.
+    let flat_tail = mnist_settings.points.last().unwrap().1;
+    let conv_tail = cifar_settings.points.last().unwrap().1;
+    assert!(flat_tail > 20.0, "expected plateau, got {flat_tail}");
+    assert!(conv_tail < 2.4, "expected convergence, got {conv_tail}");
+    assert!(!fig5.notes.is_empty(), "divergence should be noted");
+}
+
+#[test]
+fn fig1_produces_six_cells_with_shared_training() {
+    let mut runner = BenchmarkRunner::new(Scale::Tiny, TEST_SEED);
+    let fig1 = ExperimentId::Fig1.run(&mut runner);
+    assert_eq!(fig1.rows.len(), 6, "3 frameworks x 2 devices");
+    // Only 3 trainings (CPU/GPU share).
+    assert_eq!(runner.trained_cells(), 3);
+    // CPU rows strictly slower than GPU rows for the same framework.
+    for i in 0..3 {
+        assert!(fig1.rows[i].train_time_s > fig1.rows[i + 3].train_time_s);
+        assert_eq!(fig1.rows[i].accuracy_pct, fig1.rows[i + 3].accuracy_pct);
+    }
+    // All MNIST accuracies healthy at tiny scale.
+    assert!(fig1.rows.iter().all(|r| r.accuracy_pct > 40.0), "{:?}", fig1.rows.iter().map(|r| r.accuracy_pct).collect::<Vec<_>>());
+}
+
+#[test]
+fn summary_tables_compose_all_sections() {
+    let mut runner = BenchmarkRunner::new(Scale::Tiny, TEST_SEED);
+    let t6 = ExperimentId::TableVI.run(&mut runner);
+    // (a) 6 rows + (b) 6 rows + (c) 9 rows.
+    assert_eq!(t6.rows.len(), 21);
+    assert!(t6.rows.iter().filter(|r| r.label.starts_with("(a)")).count() == 6);
+    assert!(t6.rows.iter().filter(|r| r.label.starts_with("(b)")).count() == 6);
+    assert!(t6.rows.iter().filter(|r| r.label.starts_with("(c)")).count() == 9);
+    // Table VI shares trainings across its sections: 3 own-default
+    // cells + 3 CIFAR-tuned cells from (b) + 6 cross-framework cells
+    // from (c) = 12 distinct trainings for 21 rows.
+    assert_eq!(runner.trained_cells(), 12);
+}
+
+#[test]
+fn reports_serialize_to_json() {
+    let mut runner = BenchmarkRunner::new(Scale::Tiny, TEST_SEED);
+    let report = ExperimentId::TableI.run(&mut runner);
+    let json = report.to_json();
+    assert!(json.contains("table_i"));
+    let parsed: serde_json::Value = serde_json::from_str(&json).unwrap();
+    assert_eq!(parsed["id"], "table_i");
+}

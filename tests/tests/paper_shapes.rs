@@ -1,0 +1,109 @@
+//! Paper-shape assertions that go beyond single cells: the orderings
+//! and qualitative effects the reproduction claims (EXPERIMENTS.md),
+//! checked at tiny scale.
+
+use dlbench_core::extensions;
+use dlbench_data::{SynthCifar10, SynthMnist};
+use dlbench_frameworks::{trainer, DefaultSetting, FrameworkKind, Scale};
+use dlbench_integration_tests::TEST_SEED;
+use dlbench_simtime::devices;
+
+#[test]
+fn cifar_simulated_training_time_ordering() {
+    // Paper Table VIIa (GPU): TF 12477 >> Torch 722 > Caffe 164.
+    use dlbench_data::DatasetKind::Cifar10;
+    let mut times = Vec::new();
+    for fw in FrameworkKind::ALL {
+        let out = trainer::run_training(
+            fw,
+            DefaultSetting::new(fw, Cifar10),
+            Cifar10,
+            Scale::Tiny,
+            TEST_SEED,
+        );
+        times.push(out.simulated_times(&devices::gtx_1080_ti()).train_seconds);
+    }
+    let (tf, caffe, torch) = (times[0], times[1], times[2]);
+    assert!(tf > 10.0 * torch, "TF's 1M-iteration budget dominates: {tf} vs {torch}");
+    assert!(torch > caffe, "Torch (100k eager iters) > Caffe (5k): {torch} vs {caffe}");
+}
+
+#[test]
+fn caffe_mnist_setting_is_cheapest_for_every_host() {
+    // Paper Figure 6a: all three frameworks train MNIST fastest under
+    // Caffe's MNIST setting (fewest epochs, smallest net).
+    use dlbench_data::DatasetKind::Mnist;
+    for host in FrameworkKind::ALL {
+        let mut costs = Vec::new();
+        for owner in FrameworkKind::ALL {
+            let out = trainer::run_training(
+                host,
+                DefaultSetting::new(owner, Mnist),
+                Mnist,
+                Scale::Tiny,
+                TEST_SEED,
+            );
+            costs.push((owner, out.simulated_times(&devices::gtx_1080_ti()).train_seconds));
+        }
+        let caffe_cost = costs.iter().find(|(o, _)| *o == FrameworkKind::Caffe).unwrap().1;
+        for &(owner, cost) in &costs {
+            assert!(
+                caffe_cost <= cost + 1e-9,
+                "{host}: Caffe setting ({caffe_cost}s) should be cheapest, {owner} gives {cost}s"
+            );
+        }
+    }
+}
+
+#[test]
+fn dataset_entropy_ordering_is_stable_across_seeds_and_sizes() {
+    // The paper's §III.B data analysis: CIFAR-like data has strictly
+    // higher entropy and lower sparsity than MNIST-like data.
+    for seed in [1u64, 77, 1234] {
+        for size in [12usize, 20, 28] {
+            let mnist = SynthMnist::generate(128, size, seed).stats();
+            let cifar = SynthCifar10::generate(128, size, seed).stats();
+            assert!(cifar.pixel_entropy > mnist.pixel_entropy);
+            assert!(cifar.sparsity < mnist.sparsity);
+        }
+    }
+}
+
+#[test]
+fn regularizer_ablation_produces_three_comparable_arms() {
+    let report = extensions::regularizer_robustness(Scale::Tiny, TEST_SEED);
+    assert_eq!(report.facts.len(), 3);
+    // Both attack series cover the three variants.
+    for series in &report.series {
+        assert_eq!(series.points.len(), 3, "{}", series.name);
+        for &(_, rate) in &series.points {
+            assert!((0.0..=1.0).contains(&rate));
+        }
+    }
+}
+
+#[test]
+fn diverged_cell_reports_flat_loss_curve() {
+    // Figure 5's plateau: after divergence the recorded curve stays at
+    // the ceiling for the remainder of the schedule.
+    use dlbench_data::DatasetKind::Cifar10;
+    let out = trainer::run_training(
+        FrameworkKind::Caffe,
+        DefaultSetting::new(FrameworkKind::Caffe, dlbench_data::DatasetKind::Mnist),
+        Cifar10,
+        Scale::Tiny,
+        TEST_SEED,
+    );
+    assert!(!out.converged);
+    let plateau: Vec<f32> = out
+        .loss_curve
+        .iter()
+        .skip(out.loss_curve.len() / 2)
+        .map(|&(_, l)| l)
+        .collect();
+    assert!(!plateau.is_empty());
+    assert!(
+        plateau.iter().all(|&l| (l - trainer::DIVERGED_LOSS).abs() < 1e-3),
+        "tail should sit at the ceiling: {plateau:?}"
+    );
+}
