@@ -54,7 +54,11 @@ pub fn fgsm(net: &mut Network, x: &Tensor, label: usize, config: &FgsmConfig) ->
         adversarial,
         original_pred,
         adversarial_pred,
-        success: adversarial_pred != label,
+        // Success means the attack *changed* the model's mind, not that
+        // the result disagrees with the label: on an input the model
+        // already misclassifies, `!= label` would count a do-nothing
+        // perturbation as a win.
+        success: adversarial_pred != original_pred,
     }
 }
 
@@ -84,12 +88,17 @@ pub fn fgsm_success_rates(
 ) -> ConfusionRates {
     assert_eq!(images.shape()[0], labels.len(), "image/label mismatch");
     let mut rates = ConfusionRates::new(num_classes);
+    // One batched forward decides who gets attacked; crafting (a
+    // backward pass plus a second forward per sample) only runs for
+    // the correctly-classified samples instead of being thrown away
+    // afterwards for the rest.
+    let preds = net.forward(images, false).argmax_rows();
     for (i, &label) in labels.iter().enumerate() {
-        let x = images.slice_batch(i);
-        let report = fgsm(net, &x, label, config);
-        if report.original_pred != label {
+        if preds[i] != label {
             continue;
         }
+        let x = images.slice_batch(i);
+        let report = fgsm(net, &x, label, config);
         rates.record(label, report.adversarial_pred);
     }
     rates
@@ -142,10 +151,62 @@ mod tests {
         let mut rng = SeededRng::new(3);
         let mut net = linear_net(&mut rng);
         let x = Tensor::rand_uniform(&[1, 4], 0.0, 1.0, &mut rng);
-        let report =
-            fgsm(&mut net, &x, 0, &FgsmConfig { epsilon: 5.0, clamp: Some((0.0, 1.0)) });
+        let report = fgsm(&mut net, &x, 0, &FgsmConfig { epsilon: 5.0, clamp: Some((0.0, 1.0)) });
         assert!(report.adversarial.min() >= 0.0);
         assert!(report.adversarial.max() <= 1.0);
+    }
+
+    #[test]
+    fn success_is_relative_to_the_original_prediction() {
+        // Regression: `success` used to compare against the *label*, so
+        // a do-nothing perturbation of an already-misclassified sample
+        // counted as a successful attack.
+        let mut rng = SeededRng::new(5);
+        let mut net = linear_net(&mut rng);
+        let x = Tensor::randn(&[1, 4], 0.0, 1.0, &mut rng);
+        let pred = net.forward(&x, false).argmax_rows()[0];
+        let wrong_label = (pred + 1) % 3;
+        // ε = 0 leaves the input untouched; the prediction cannot
+        // change, so the attack must not count as a success even though
+        // the prediction disagrees with the (wrong) label.
+        let report = fgsm(&mut net, &x, wrong_label, &FgsmConfig { epsilon: 0.0, clamp: None });
+        assert_eq!(report.adversarial_pred, report.original_pred);
+        assert!(!report.success);
+    }
+
+    #[test]
+    fn success_rates_match_crafting_each_correct_sample() {
+        // Regression companion for the predict-first restructure: the
+        // tally must be what per-sample crafting over the correctly
+        // classified subset produces, with identical attempt counts.
+        let mut rng = SeededRng::new(6);
+        let mut net = linear_net(&mut rng);
+        let images = Tensor::randn(&[8, 4], 0.0, 1.0, &mut rng);
+        let preds = net.forward(&images, false).argmax_rows();
+        // Half right, half deliberately wrong.
+        let labels: Vec<usize> = preds
+            .iter()
+            .enumerate()
+            .map(|(i, &p)| if i % 2 == 0 { p } else { (p + 1) % 3 })
+            .collect();
+        let config = FgsmConfig { epsilon: 0.1, clamp: None };
+        let rates = fgsm_success_rates(&mut net, &images, &labels, 3, &config);
+
+        let correct = labels.iter().enumerate().filter(|&(i, &l)| preds[i] == l).count();
+        assert_eq!(rates.total_attempts(), correct);
+        assert_eq!(correct, 4);
+        let mut expect = ConfusionRates::new(3);
+        for (i, &label) in labels.iter().enumerate() {
+            if preds[i] != label {
+                continue;
+            }
+            let report = fgsm(&mut net, &images.slice_batch(i), label, &config);
+            expect.record(label, report.adversarial_pred);
+        }
+        assert_eq!(rates.total_attempts(), expect.total_attempts());
+        for class in 0..3 {
+            assert_eq!(rates.success_rate(class), expect.success_rate(class));
+        }
     }
 
     #[test]

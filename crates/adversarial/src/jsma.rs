@@ -80,8 +80,8 @@ pub fn jsma(net: &mut Network, x: &Tensor, target: usize, config: &JsmaConfig) -
         let jac = jacobian(net, &adv, num_classes);
         // Saliency map per Equation (2).
         let mut best: Option<(usize, f32)> = None;
-        for i in 0..features {
-            if saturated[i] {
+        for (i, &is_saturated) in saturated.iter().enumerate() {
+            if is_saturated {
                 continue;
             }
             let dt = jac[target].data()[i];
@@ -91,7 +91,7 @@ pub fn jsma(net: &mut Network, x: &Tensor, target: usize, config: &JsmaConfig) -
                 continue;
             }
             let saliency = dt * others.abs();
-            if best.map_or(true, |(_, s)| saliency > s) {
+            if best.is_none_or(|(_, s)| saliency > s) {
                 best = Some((i, saliency));
             }
         }
@@ -134,14 +134,14 @@ pub fn jsma_success_matrix(
             continue;
         }
         attempts += 1;
-        for target in 0..num_classes {
+        for (target, wins) in successes.iter_mut().enumerate() {
             if target == source {
                 continue;
             }
             let outcome = jsma(net, &x, target, config);
             total_iterations += outcome.iterations as u64;
             if outcome.success {
-                successes[target] += 1;
+                *wins += 1;
             }
         }
     }
@@ -176,7 +176,7 @@ mod tests {
         let x = Tensor::randn(&[1, 6], 0.0, 1.0, &mut rng);
         let jac = jacobian(&mut net, &x, 4);
         let eps = 1e-3f32;
-        for c in 0..4 {
+        for (c, jac_row) in jac.iter().enumerate() {
             for i in 0..6 {
                 let mut xp = x.clone();
                 xp.data_mut()[i] += eps;
@@ -185,7 +185,7 @@ mod tests {
                 let pp = net.forward(&xp, false).softmax_rows().data()[c];
                 let pm = net.forward(&xm, false).softmax_rows().data()[c];
                 let num = (pp - pm) / (2.0 * eps);
-                let ana = jac[c].data()[i];
+                let ana = jac_row.data()[i];
                 assert!((num - ana).abs() < 1e-3, "J[{c}][{i}]: {num} vs {ana}");
             }
         }

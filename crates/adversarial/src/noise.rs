@@ -94,8 +94,7 @@ mod tests {
         let images = Tensor::rand_uniform(&[10, 6], 0.0, 1.0, &mut rng);
         let labels = net.forward(&images, false).argmax_rows();
         let config = NoiseConfig { epsilon: 0.0, sign_noise: true, clamp: None };
-        let rates =
-            noise_success_rates(&mut net, &images, &labels, 4, &config, &mut rng);
+        let rates = noise_success_rates(&mut net, &images, &labels, 4, &config, &mut rng);
         assert_eq!(rates.mean_success_rate(), 0.0);
         assert_eq!(rates.total_attempts(), 10);
     }
@@ -120,8 +119,7 @@ mod tests {
         let images = Tensor::rand_uniform(&[40, 6], 0.0, 1.0, &mut rng);
         let labels = net.forward(&images, false).argmax_rows();
         let config = NoiseConfig { epsilon: 2.0, sign_noise: true, clamp: None };
-        let rates =
-            noise_success_rates(&mut net, &images, &labels, 4, &config, &mut rng);
+        let rates = noise_success_rates(&mut net, &images, &labels, 4, &config, &mut rng);
         assert!(rates.mean_success_rate() > 0.1, "huge noise should flip something");
     }
 }

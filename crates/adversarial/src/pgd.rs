@@ -30,7 +30,13 @@ pub struct PgdConfig {
 impl PgdConfig {
     /// A canonical configuration: 10 steps of ε/4 with random start.
     pub fn standard(epsilon: f32) -> Self {
-        Self { epsilon, step: epsilon / 4.0, steps: 10, random_start: true, clamp: Some((0.0, 1.0)) }
+        Self {
+            epsilon,
+            step: epsilon / 4.0,
+            steps: 10,
+            random_start: true,
+            clamp: Some((0.0, 1.0)),
+        }
     }
 }
 
@@ -58,7 +64,14 @@ pub fn pgd(
         net.zero_grads();
         let grad = net.backward(&loss.backward());
         for (v, &g) in adv.data_mut().iter_mut().zip(grad.data()) {
-            *v += config.step * if g > 0.0 { 1.0 } else if g < 0.0 { -1.0 } else { 0.0 };
+            *v += config.step
+                * if g > 0.0 {
+                    1.0
+                } else if g < 0.0 {
+                    -1.0
+                } else {
+                    0.0
+                };
         }
         // Project back into the eps-ball, then into the valid range.
         for (v, &orig) in adv.data_mut().iter_mut().zip(x.data()) {
@@ -73,7 +86,9 @@ pub fn pgd(
         adversarial: adv,
         original_pred,
         adversarial_pred,
-        success: adversarial_pred != label,
+        // Same semantics as `fgsm`: success is a changed prediction,
+        // not disagreement with the label.
+        success: adversarial_pred != original_pred,
     }
 }
 
@@ -114,12 +129,16 @@ pub fn pgd_success_rates(
 ) -> ConfusionRates {
     assert_eq!(images.shape()[0], labels.len(), "image/label mismatch");
     let mut rates = ConfusionRates::new(num_classes);
+    // Predict first (one batched forward), then craft only for the
+    // correctly-classified samples — a skipped sample costs no PGD
+    // iterations and draws nothing from `rng`.
+    let preds = net.forward(images, false).argmax_rows();
     for (i, &label) in labels.iter().enumerate() {
-        let x = images.slice_batch(i);
-        let report = pgd(net, &x, label, config, rng);
-        if report.original_pred != label {
+        if preds[i] != label {
             continue;
         }
+        let x = images.slice_batch(i);
+        let report = pgd(net, &x, label, config, rng);
         rates.record(label, report.adversarial_pred);
     }
     rates
@@ -165,7 +184,8 @@ mod tests {
         for i in 0..30 {
             let x = Tensor::rand_uniform(&[1, 6], 0.0, 1.0, &mut rng.fork(i));
             let label = net.forward(&x, false).argmax_rows()[0];
-            let f = fgsm(&mut net, &x, label, &FgsmConfig { epsilon: eps, clamp: Some((0.0, 1.0)) });
+            let f =
+                fgsm(&mut net, &x, label, &FgsmConfig { epsilon: eps, clamp: Some((0.0, 1.0)) });
             let p = pgd_with_restarts(
                 &mut net,
                 &x,
@@ -197,14 +217,8 @@ mod tests {
         let images = Tensor::rand_uniform(&[5, 6], 0.0, 1.0, &mut rng);
         let preds = net.forward(&images, false).argmax_rows();
         let wrong: Vec<usize> = preds.iter().map(|&p| (p + 1) % 4).collect();
-        let rates = pgd_success_rates(
-            &mut net,
-            &images,
-            &wrong,
-            4,
-            &PgdConfig::standard(0.1),
-            &mut rng,
-        );
+        let rates =
+            pgd_success_rates(&mut net, &images, &wrong, 4, &PgdConfig::standard(0.1), &mut rng);
         assert_eq!(rates.total_attempts(), 0);
     }
 }

@@ -53,10 +53,8 @@ impl ConfusionRates {
         if n == 0 {
             return 0.0;
         }
-        let flipped: usize = (0..self.num_classes)
-            .filter(|&t| t != source)
-            .map(|t| self.counts[source][t])
-            .sum();
+        let flipped: usize =
+            (0..self.num_classes).filter(|&t| t != source).map(|t| self.counts[source][t]).sum();
         flipped as f32 / n as f32
     }
 

@@ -16,8 +16,8 @@ use dlbench_tensor::{SeededRng, Tensor};
 /// Naive direct convolution (reference implementation for the im2col
 /// ablation).
 fn direct_conv(
-    input: &Tensor, // [N, C, H, W]
-    weight: &Tensor, // [OC, C, K, K]
+    input: &Tensor,   // [N, C, H, W]
+    weight: &Tensor,  // [OC, C, K, K]
     out: &mut Tensor, // [N, OC, H-K+1, W-K+1]
 ) {
     let (n, c, h, w) = (input.shape()[0], input.shape()[1], input.shape()[2], input.shape()[3]);

@@ -12,9 +12,8 @@ fn bench_gemm(c: &mut Criterion) {
     for &n in &[32usize, 128] {
         let a = Tensor::randn(&[n, n], 0.0, 1.0, &mut rng);
         let b = Tensor::randn(&[n, n], 0.0, 1.0, &mut rng);
-        group.bench_function(format!("{n}x{n}x{n}"), |bench| {
-            bench.iter(|| black_box(a.matmul(&b)))
-        });
+        group
+            .bench_function(format!("{n}x{n}x{n}"), |bench| bench.iter(|| black_box(a.matmul(&b))));
     }
     group.finish();
 }

@@ -42,12 +42,7 @@ fn sweep(base_lr: f32, batch_size: usize, iters: usize, seed: u64) -> (f32, f64)
     }
     let wall = started.elapsed().as_secs_f64();
     let means = vec![];
-    let acc = trainer::evaluate(
-        &mut model,
-        &test,
-        dlbench_data::Preprocessing::Raw01,
-        &means,
-    );
+    let acc = trainer::evaluate(&mut model, &test, dlbench_data::Preprocessing::Raw01, &means);
     (acc, wall)
 }
 

@@ -31,9 +31,8 @@ pub fn parse(args: &[String]) -> Result<ParsedArgs, String> {
             if FLAG_KEYS.contains(&key) {
                 parsed.options.insert(key.to_string(), "true".to_string());
             } else {
-                let value = iter
-                    .next()
-                    .ok_or_else(|| format!("option --{key} requires a value"))?;
+                let value =
+                    iter.next().ok_or_else(|| format!("option --{key} requires a value"))?;
                 parsed.options.insert(key.to_string(), value.clone());
             }
         } else if parsed.command.is_empty() {
@@ -60,9 +59,7 @@ impl ParsedArgs {
     pub fn get_parsed<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, String> {
         match self.get(key) {
             None => Ok(default),
-            Some(raw) => raw
-                .parse()
-                .map_err(|_| format!("invalid value for --{key}: {raw}")),
+            Some(raw) => raw.parse().map_err(|_| format!("invalid value for --{key}: {raw}")),
         }
     }
 }

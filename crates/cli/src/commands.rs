@@ -38,9 +38,23 @@ pub(crate) fn parse_scale(raw: Option<&str>) -> Result<Scale, String> {
     }
 }
 
+/// Applies `--threads N` and returns the worker count now in effect.
+///
+/// `0` (or an absent flag) keeps the default resolution: the
+/// `DLBENCH_THREADS` environment variable if set, else the machine's
+/// available parallelism. Thread count never changes results — only
+/// wall-clock time (see the threading model notes in DESIGN.md).
+pub(crate) fn configure_threads(args: &ParsedArgs) -> Result<usize, String> {
+    let n = args.get_parsed("threads", 0usize)?;
+    if n > 0 {
+        dlbench_tensor::par::set_threads(n);
+    }
+    Ok(dlbench_tensor::par::threads())
+}
+
 /// `dlbench list`
 pub fn list() -> Result<(), String> {
-    println!("{:<12} {}", "key", "artifact");
+    println!("{:<12} artifact", "key");
     for id in ExperimentId::ALL {
         let kind = if id.needs_training() { "measured" } else { "static" };
         println!("{:<12} [{kind}]", id.key());
@@ -73,20 +87,23 @@ pub fn info() -> Result<(), String> {
 pub fn run(args: &ParsedArgs) -> Result<(), String> {
     let scale = parse_scale(args.get("scale"))?;
     let seed = args.get_parsed("seed", 42u64)?;
+    let threads = configure_threads(args)?;
     let mut runner = BenchmarkRunner::new(scale, seed);
     let ids: Vec<ExperimentId> = if args.positionals.is_empty() {
         ExperimentId::ALL.to_vec()
     } else {
         args.positionals
             .iter()
-            .map(|k| {
-                ExperimentId::from_key(k).ok_or_else(|| format!("unknown experiment `{k}`"))
-            })
+            .map(|k| ExperimentId::from_key(k).ok_or_else(|| format!("unknown experiment `{k}`")))
             .collect::<Result<_, _>>()?
     };
     let out_dir = args.get("out").unwrap_or("target/dlbench-reports");
     for id in ids {
-        let report = id.run(&mut runner);
+        let mut report = id.run(&mut runner);
+        // Execution provenance: thread count affects wall-clock only,
+        // but is recorded so report consumers can see how a run was
+        // produced.
+        report.facts.push(("threads".into(), threads.to_string()));
         println!("{}", report.render());
         if args.flag("bars") {
             print!("{}", report.render_bars());
@@ -103,7 +120,9 @@ pub fn run(args: &ParsedArgs) -> Result<(), String> {
     Ok(())
 }
 
-fn cell_from_args(args: &ParsedArgs) -> Result<(FrameworkKind, DefaultSetting, DatasetKind), String> {
+fn cell_from_args(
+    args: &ParsedArgs,
+) -> Result<(FrameworkKind, DefaultSetting, DatasetKind), String> {
     let host = parse_framework(args.get("framework").unwrap_or("tf"))?;
     let dataset = parse_dataset(args.get("dataset").unwrap_or("mnist"))?;
     let owner = match args.get("setting-owner") {
@@ -121,6 +140,7 @@ fn cell_from_args(args: &ParsedArgs) -> Result<(FrameworkKind, DefaultSetting, D
 pub fn train(args: &ParsedArgs) -> Result<(), String> {
     let scale = parse_scale(args.get("scale"))?;
     let seed = args.get_parsed("seed", 42u64)?;
+    configure_threads(args)?;
     let (host, setting, dataset) = cell_from_args(args)?;
     println!(
         "training {} with setting {} on {} (scale {scale:?}, seed {seed})",
@@ -136,11 +156,14 @@ pub fn train(args: &ParsedArgs) -> Result<(), String> {
     println!("final loss      {:.4}", out.final_loss());
     println!("iterations      {} (paper budget {})", out.executed_iterations, out.paper_iterations);
     println!("wall train      {:.1}s (this host, reduced scale)", out.wall_train_seconds);
-    println!("sim train CPU   {:.2}s   GPU {:.2}s (paper-scale schedule)", cpu.train_seconds, gpu.train_seconds);
+    println!(
+        "sim train CPU   {:.2}s   GPU {:.2}s (paper-scale schedule)",
+        cpu.train_seconds, gpu.train_seconds
+    );
     println!("sim test  CPU   {:.2}s   GPU {:.2}s", cpu.test_seconds, gpu.test_seconds);
     if let Some(path) = args.get("save") {
-        let mut file = std::fs::File::create(path)
-            .map_err(|e| format!("cannot create {path}: {e}"))?;
+        let mut file =
+            std::fs::File::create(path).map_err(|e| format!("cannot create {path}: {e}"))?;
         dlbench_nn::save_parameters(&mut out.model, &mut file)
             .map_err(|e| format!("checkpoint failed: {e}"))?;
         println!("checkpoint      written to {path}");
@@ -152,6 +175,7 @@ pub fn train(args: &ParsedArgs) -> Result<(), String> {
 pub fn attack(args: &ParsedArgs) -> Result<(), String> {
     let scale = parse_scale(args.get("scale"))?;
     let seed = args.get_parsed("seed", 42u64)?;
+    configure_threads(args)?;
     let epsilon = args.get_parsed("epsilon", 0.15f32)?;
     let kind = args.get("attack").unwrap_or("fgsm").to_ascii_lowercase();
     let (host, setting, dataset) = cell_from_args(args)?;
@@ -169,8 +193,7 @@ pub fn attack(args: &ParsedArgs) -> Result<(), String> {
     match kind.as_str() {
         "fgsm" => {
             let config = FgsmConfig { epsilon, clamp: Some((0.0, 1.0)) };
-            let rates =
-                fgsm_success_rates(&mut out.model, &test.images, &test.labels, 10, &config);
+            let rates = fgsm_success_rates(&mut out.model, &test.images, &test.labels, 10, &config);
             print_rates("per-source-digit success", &rates.success_rates());
             println!("mean success rate: {:.3}", rates.mean_success_rate());
         }
@@ -233,6 +256,7 @@ fn print_rates(title: &str, rates: &[f32]) {
 pub fn ablate(args: &ParsedArgs) -> Result<(), String> {
     let scale = parse_scale(args.get("scale"))?;
     let seed = args.get_parsed("seed", 42u64)?;
+    configure_threads(args)?;
     let report = dlbench_core::extensions::regularizer_robustness(scale, seed);
     println!("{}", report.render());
     Ok(())
@@ -300,6 +324,20 @@ mod tests {
         assert_eq!(dataset, DatasetKind::Cifar10);
         assert_eq!(setting.owner, FrameworkKind::Caffe);
         assert_eq!(setting.tuned_for, DatasetKind::Cifar10);
+    }
+
+    #[test]
+    fn threads_flag_sets_worker_count() {
+        let parsed = crate::args::parse(&["run".into(), "--threads".into(), "3".into()]).unwrap();
+        assert_eq!(configure_threads(&parsed).unwrap(), 3);
+        // Absent flag keeps whatever is configured.
+        dlbench_tensor::par::set_threads(1);
+        let parsed = crate::args::parse(&["run".into()]).unwrap();
+        assert_eq!(configure_threads(&parsed).unwrap(), 1);
+        // Non-numeric values are rejected.
+        let parsed =
+            crate::args::parse(&["run".into(), "--threads".into(), "lots".into()]).unwrap();
+        assert!(configure_threads(&parsed).is_err());
     }
 
     #[test]

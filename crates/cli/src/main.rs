@@ -26,6 +26,7 @@ COMMANDS:
     run <experiment>…             regenerate paper tables/figures
                                   [--scale tiny|small|paper] [--seed N]
                                   [--bars] [--json] [--out DIR]
+                                  [--threads N]
     train                         train one benchmark cell
                                   [--framework tf|caffe|torch]
                                   [--dataset mnist|cifar10]
@@ -40,6 +41,12 @@ COMMANDS:
     ablate                        regularizer-robustness ablation (extension)
                                   [--scale …] [--seed N]
     help                          this message
+
+THREADING:
+    --threads N (or DLBENCH_THREADS=N) sets the worker count for
+    training and kernel execution. Results are bit-identical at any
+    thread count; only wall-clock time changes. Default: machine
+    parallelism.
 ";
 
 fn main() -> ExitCode {

@@ -11,9 +11,7 @@ use dlbench_adversarial::{
     fgsm_success_rates, jsma_success_matrix, CraftingCostModel, FgsmConfig, JsmaConfig,
 };
 use dlbench_data::{DatasetKind, Preprocessing};
-use dlbench_frameworks::{
-    trainer, training_defaults, DefaultSetting, FrameworkKind, Scale,
-};
+use dlbench_frameworks::{trainer, training_defaults, DefaultSetting, FrameworkKind, Scale};
 use dlbench_simtime::{devices, CostModel};
 
 /// FGSM perturbation used by the robustness experiments.
@@ -43,14 +41,21 @@ fn all_frameworks() -> [FrameworkKind; 3] {
 
 /// Table I: framework properties.
 pub fn table_i() -> ExperimentReport {
-    let mut r = ExperimentReport::new("table_i", "Deep Learning Software Frameworks and Basic Properties");
+    let mut r =
+        ExperimentReport::new("table_i", "Deep Learning Software Frameworks and Basic Properties");
     for fw in all_frameworks() {
         let m = fw.meta();
         r.facts.push((
             m.framework.name().to_string(),
             format!(
                 "version {} ({}), {}, interfaces: {}, LoC {}, {} license, {}",
-                m.version, m.hash_tag, m.library, m.interfaces, m.lines_of_code, m.license, m.website
+                m.version,
+                m.hash_tag,
+                m.library,
+                m.interfaces,
+                m.lines_of_code,
+                m.license,
+                m.website
             ),
         ));
     }
@@ -111,16 +116,28 @@ pub fn table_iv() -> ExperimentReport {
 
 /// Table V: default network architectures on CIFAR-10.
 pub fn table_v() -> ExperimentReport {
-    arch_table("table_v", "Primary Default Neural Network Parameters on CIFAR-10", DatasetKind::Cifar10)
+    arch_table(
+        "table_v",
+        "Primary Default Neural Network Parameters on CIFAR-10",
+        DatasetKind::Cifar10,
+    )
 }
 
 // ---------------------------------------------------------------------
 // Figures 1–2: own defaults, CPU and GPU.
 // ---------------------------------------------------------------------
 
-fn own_defaults_figure(runner: &mut BenchmarkRunner, id: &str, ds: DatasetKind) -> ExperimentReport {
-    let title = format!("Experimental Results on {}, using {} Default Settings", ds.name(), ds.name());
+fn own_defaults_figure(
+    runner: &mut BenchmarkRunner,
+    id: &str,
+    ds: DatasetKind,
+) -> ExperimentReport {
+    let title =
+        format!("Experimental Results on {}, using {} Default Settings", ds.name(), ds.name());
     let mut r = ExperimentReport::new(id, title);
+    let keys: Vec<TrainKey> =
+        all_frameworks().map(|fw| BenchmarkRunner::own_default_key(fw, ds)).to_vec();
+    runner.prefetch(&keys);
     for device in [devices::xeon_e5_1620(), devices::gtx_1080_ti()] {
         for fw in all_frameworks() {
             let key = BenchmarkRunner::own_default_key(fw, ds);
@@ -150,9 +167,23 @@ fn dataset_dependent_figure(
     id: &str,
     ds: DatasetKind,
 ) -> ExperimentReport {
-    let title = format!("Experimental Results on {} (Dataset-dependent Default Settings on GPU)", ds.name());
+    let title = format!(
+        "Experimental Results on {} (Dataset-dependent Default Settings on GPU)",
+        ds.name()
+    );
     let mut r = ExperimentReport::new(id, title);
     let gpu = devices::gtx_1080_ti();
+    let keys: Vec<TrainKey> = all_frameworks()
+        .iter()
+        .flat_map(|&fw| {
+            [DatasetKind::Mnist, DatasetKind::Cifar10].map(|tuned_for| TrainKey {
+                host: fw,
+                setting: DefaultSetting::new(fw, tuned_for),
+                dataset: ds,
+            })
+        })
+        .collect();
+    runner.prefetch(&keys);
     for fw in all_frameworks() {
         for tuned_for in [DatasetKind::Mnist, DatasetKind::Cifar10] {
             let key =
@@ -182,6 +213,14 @@ pub fn fig5(runner: &mut BenchmarkRunner) -> ExperimentReport {
         "fig_5",
         "Training Loss (convergence) of Caffe on CIFAR-10 with its MNIST and CIFAR-10 defaults",
     );
+    let keys: Vec<TrainKey> = [DatasetKind::Mnist, DatasetKind::Cifar10]
+        .map(|tuned_for| TrainKey {
+            host: FrameworkKind::Caffe,
+            setting: DefaultSetting::new(FrameworkKind::Caffe, tuned_for),
+            dataset: DatasetKind::Cifar10,
+        })
+        .to_vec();
+    runner.prefetch(&keys);
     for tuned_for in [DatasetKind::Mnist, DatasetKind::Cifar10] {
         let key = TrainKey {
             host: FrameworkKind::Caffe,
@@ -212,9 +251,23 @@ fn framework_dependent_figure(
     id: &str,
     ds: DatasetKind,
 ) -> ExperimentReport {
-    let title = format!("Experimental Results on {} (Framework-dependent Default Settings on GPU)", ds.name());
+    let title = format!(
+        "Experimental Results on {} (Framework-dependent Default Settings on GPU)",
+        ds.name()
+    );
     let mut r = ExperimentReport::new(id, title);
     let gpu = devices::gtx_1080_ti();
+    let keys: Vec<TrainKey> = all_frameworks()
+        .iter()
+        .flat_map(|&host| {
+            all_frameworks().map(|owner| TrainKey {
+                host,
+                setting: DefaultSetting::new(owner, ds),
+                dataset: ds,
+            })
+        })
+        .collect();
+    runner.prefetch(&keys);
     for host in all_frameworks() {
         for owner in all_frameworks() {
             let key = TrainKey { host, setting: DefaultSetting::new(owner, ds), dataset: ds };
@@ -248,6 +301,25 @@ fn summary_table(runner: &mut BenchmarkRunner, id: &str, ds: DatasetKind) -> Exp
     );
     let cpu = devices::xeon_e5_1620();
     let gpu = devices::gtx_1080_ti();
+    // All three sections' cells up front (prefetch dedupes overlap:
+    // e.g. a framework's own default appears in every section).
+    let mut keys: Vec<TrainKey> =
+        all_frameworks().map(|fw| BenchmarkRunner::own_default_key(fw, ds)).to_vec();
+    for fw in all_frameworks() {
+        for tuned_for in [DatasetKind::Mnist, DatasetKind::Cifar10] {
+            keys.push(TrainKey {
+                host: fw,
+                setting: DefaultSetting::new(fw, tuned_for),
+                dataset: ds,
+            });
+        }
+    }
+    for host in all_frameworks() {
+        for owner in all_frameworks() {
+            keys.push(TrainKey { host, setting: DefaultSetting::new(owner, ds), dataset: ds });
+        }
+    }
+    runner.prefetch(&keys);
     // (a) Baseline defaults, CPU and GPU.
     for device in [&cpu, &gpu] {
         for fw in all_frameworks() {
@@ -298,6 +370,10 @@ pub fn fig8(runner: &mut BenchmarkRunner) -> ExperimentReport {
     r.facts.push(("epsilon".into(), format!("{FGSM_EPSILON}")));
     let scale = runner.scale();
     let seed = runner.seed();
+    let keys: Vec<TrainKey> = [FrameworkKind::TensorFlow, FrameworkKind::Caffe]
+        .map(|fw| BenchmarkRunner::own_default_key(fw, DatasetKind::Mnist))
+        .to_vec();
+    runner.prefetch(&keys);
     let mut rates_by_fw = Vec::new();
     for fw in [FrameworkKind::TensorFlow, FrameworkKind::Caffe] {
         let key = BenchmarkRunner::own_default_key(fw, DatasetKind::Mnist);
@@ -320,10 +396,7 @@ pub fn fig8(runner: &mut BenchmarkRunner) -> ExperimentReport {
     }
     let diff: Vec<(f64, f64)> = (0..10)
         .map(|d| {
-            (
-                d as f64,
-                (rates_by_fw[1].success_rate(d) - rates_by_fw[0].success_rate(d)) as f64,
-            )
+            (d as f64, (rates_by_fw[1].success_rate(d) - rates_by_fw[0].success_rate(d)) as f64)
         })
         .collect();
     r.series.push(Series { name: "Success Rate Difference (Caffe - TF)".into(), points: diff });
@@ -385,6 +458,14 @@ pub fn jsma_campaign(runner: &mut BenchmarkRunner) -> JsmaCampaign {
     let source_digit = 1usize;
     let max_sources = jsma_sources(scale);
     let gpu = devices::gtx_1080_ti();
+    let keys: Vec<TrainKey> = jsma_combos()
+        .map(|(host, owner)| TrainKey {
+            host,
+            setting: DefaultSetting::new(owner, DatasetKind::Mnist),
+            dataset: DatasetKind::Mnist,
+        })
+        .to_vec();
+    runner.prefetch(&keys);
     let mut combos = Vec::new();
     for (host, owner) in jsma_combos() {
         let setting = DefaultSetting::new(owner, DatasetKind::Mnist);
@@ -400,20 +481,14 @@ pub fn jsma_campaign(runner: &mut BenchmarkRunner) -> JsmaCampaign {
                 }
             }
             let (images, labels) = test.gather(&kept);
-            jsma_success_matrix(
-                &mut out.model,
-                &images,
-                &labels,
-                source_digit,
-                10,
-                &jsma_config(),
-            )
+            jsma_success_matrix(&mut out.model, &images, &labels, source_digit, 10, &jsma_config())
         });
         // Crafting time: paper-scale single-sample cost through the
         // host's profile on the GPU device.
         let arch = trainer::effective_arch(host, &setting);
         let cost = arch.paper_cost((1, 28, 28), 1);
-        let model = CraftingCostModel::new(CostModel::new(gpu.clone(), host.execution_profile()), cost, 10);
+        let model =
+            CraftingCostModel::new(CostModel::new(gpu.clone(), host.execution_profile()), cost, 10);
         let minutes = model.crafting_seconds(mean_iters, CRAFTING_ATTEMPTS) / 60.0;
         combos.push((host, owner, rates, mean_iters, minutes));
     }
@@ -448,8 +523,7 @@ pub fn table_viii(runner: &mut BenchmarkRunner) -> ExperimentReport {
             format!("{minutes:.0} min (mean saliency iterations {mean_iters:.1})"),
         ));
     }
-    r.facts
-        .push(("normalization".into(), format!("{CRAFTING_ATTEMPTS} crafting attempts")));
+    r.facts.push(("normalization".into(), format!("{CRAFTING_ATTEMPTS} crafting attempts")));
     r
 }
 
@@ -483,7 +557,10 @@ pub fn table_ix(runner: &mut BenchmarkRunner) -> ExperimentReport {
             .collect();
         r.facts.push((
             format!("{} ({})", host.abbrev(), owner.abbrev()),
-            format!("third layer {fc_in} -> {fc_out}, {regularizer}; success {}", rate_list.join(" ")),
+            format!(
+                "third layer {fc_in} -> {fc_out}, {regularizer}; success {}",
+                rate_list.join(" ")
+            ),
         ));
     }
     r

@@ -107,19 +107,13 @@ fn run_arm(variant: RegularizerVariant, scale: Scale, seed: u64) -> AblationArm 
         let (head, _) = train.split(test.len().min(train.len()));
         trainer::evaluate(&mut model, &head, Preprocessing::Raw01, &[])
     };
-    let fgsm_cfg = FgsmConfig { epsilon: crate::experiments::FGSM_EPSILON, clamp: Some((0.0, 1.0)) };
-    let fgsm =
-        fgsm_success_rates(&mut model, &test.images, &test.labels, 10, &fgsm_cfg);
+    let fgsm_cfg =
+        FgsmConfig { epsilon: crate::experiments::FGSM_EPSILON, clamp: Some((0.0, 1.0)) };
+    let fgsm = fgsm_success_rates(&mut model, &test.images, &test.labels, 10, &fgsm_cfg);
     let pgd_cfg = PgdConfig::standard(crate::experiments::FGSM_EPSILON);
     let mut attack_rng = SeededRng::new(seed).fork(0xA77);
-    let pgd = pgd_success_rates(
-        &mut model,
-        &test.images,
-        &test.labels,
-        10,
-        &pgd_cfg,
-        &mut attack_rng,
-    );
+    let pgd =
+        pgd_success_rates(&mut model, &test.images, &test.labels, 10, &pgd_cfg, &mut attack_rng);
     AblationArm {
         variant,
         accuracy,

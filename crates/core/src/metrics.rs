@@ -1,11 +1,11 @@
 //! The paper's metric groups for one benchmark cell.
 
-use serde::Serialize;
+use dlbench_json::{JsonValue, ToJson};
 
 /// Metrics for one *(framework, setting, dataset, device)* cell — one
 /// bar in the paper's Figures 1–4 and 6–7, one row fragment in Tables
 /// VI/VII.
-#[derive(Debug, Clone, PartialEq, Serialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CellMetrics {
     /// Row label (framework and/or setting, paper style).
     pub label: String,
@@ -37,6 +37,20 @@ impl CellMetrics {
             self.accuracy_pct,
             if self.converged { "" } else { "  (DID NOT CONVERGE)" }
         )
+    }
+}
+
+impl ToJson for CellMetrics {
+    fn to_json(&self) -> JsonValue {
+        JsonValue::Object(vec![
+            ("label".into(), self.label.as_str().into()),
+            ("device".into(), self.device.as_str().into()),
+            ("train_time_s".into(), self.train_time_s.into()),
+            ("test_time_s".into(), self.test_time_s.into()),
+            ("accuracy_pct".into(), self.accuracy_pct.into()),
+            ("converged".into(), self.converged.into()),
+            ("wall_train_s".into(), self.wall_train_s.into()),
+        ])
     }
 }
 

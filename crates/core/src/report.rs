@@ -1,10 +1,10 @@
 //! Structured experiment reports with paper-style rendering.
 
 use crate::metrics::CellMetrics;
-use serde::Serialize;
+use dlbench_json::{JsonValue, ToJson};
 
 /// A named data series (loss curves, per-digit success rates).
-#[derive(Debug, Clone, PartialEq, Serialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Series {
     /// Series label.
     pub name: String,
@@ -13,8 +13,25 @@ pub struct Series {
     pub points: Vec<(f64, f64)>,
 }
 
+impl ToJson for Series {
+    fn to_json(&self) -> JsonValue {
+        JsonValue::Object(vec![
+            ("name".into(), self.name.as_str().into()),
+            (
+                "points".into(),
+                JsonValue::Array(
+                    self.points
+                        .iter()
+                        .map(|&(x, y)| JsonValue::Array(vec![x.into(), y.into()]))
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+}
+
 /// The result of regenerating one paper table or figure.
-#[derive(Debug, Clone, PartialEq, Serialize, Default)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct ExperimentReport {
     /// Registry id, e.g. `"fig_5"`.
     pub id: String,
@@ -84,14 +101,17 @@ impl ExperimentReport {
             return String::new();
         }
         let mut out = String::new();
-        let metrics: [(&str, Box<dyn Fn(&crate::metrics::CellMetrics) -> f64>); 3] = [
-            ("training time (s, log scale)", Box::new(|r| r.train_time_s)),
-            ("testing time (s, log scale)", Box::new(|r| r.test_time_s)),
-            ("accuracy (%)", Box::new(|r| r.accuracy_pct as f64)),
+        type MetricFn = fn(&crate::metrics::CellMetrics) -> f64;
+        let metrics: [(&str, MetricFn); 3] = [
+            ("training time (s, log scale)", |r| r.train_time_s),
+            ("testing time (s, log scale)", |r| r.test_time_s),
+            ("accuracy (%)", |r| r.accuracy_pct as f64),
         ];
         for (title, value) in metrics {
-            out.push_str(&format!("  {title}
-"));
+            out.push_str(&format!(
+                "  {title}
+"
+            ));
             let values: Vec<f64> = self.rows.iter().map(|r| value(r).max(1e-9)).collect();
             let logs: Vec<f64> = values.iter().map(|v| v.log10()).collect();
             let lo = logs.iter().cloned().fold(f64::INFINITY, f64::min).min(0.0);
@@ -112,9 +132,34 @@ impl ExperimentReport {
         out
     }
 
-    /// Serializes the report to pretty JSON.
+    /// Serializes the report to pretty JSON (two-space indentation,
+    /// fields in declaration order — the serde_json layout earlier
+    /// revisions produced, kept stable for downstream tooling).
     pub fn to_json(&self) -> String {
-        serde_json::to_string_pretty(self).expect("report serializes")
+        self.to_json_value().pretty()
+    }
+
+    /// The report as a [`JsonValue`] tree.
+    fn to_json_value(&self) -> JsonValue {
+        JsonValue::Object(vec![
+            ("id".into(), self.id.as_str().into()),
+            ("title".into(), self.title.as_str().into()),
+            ("rows".into(), self.rows.to_json()),
+            ("series".into(), self.series.to_json()),
+            (
+                "facts".into(),
+                JsonValue::Array(
+                    self.facts
+                        .iter()
+                        .map(|(k, v)| JsonValue::Array(vec![k.as_str().into(), v.as_str().into()]))
+                        .collect(),
+                ),
+            ),
+            (
+                "notes".into(),
+                JsonValue::Array(self.notes.iter().map(|n| n.as_str().into()).collect()),
+            ),
+        ])
     }
 
     /// Renders the rows as CSV (`label,device,train_s,test_s,acc_pct,converged`).
@@ -134,7 +179,6 @@ impl ExperimentReport {
         out
     }
 }
-
 
 /// Truncates a label to `max` characters with an ellipsis.
 fn truncate_label(label: &str, max: usize) -> String {

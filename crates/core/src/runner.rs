@@ -51,6 +51,70 @@ impl BenchmarkRunner {
         self.cache.len()
     }
 
+    /// Trains every not-yet-cached key on worker threads, in parallel,
+    /// and stores the outcomes in the cache.
+    ///
+    /// Experiments declare their full key set up front so independent
+    /// cells overlap on the wall clock instead of training one at a
+    /// time. Results are unchanged: each cell trains from its own
+    /// forked RNG streams, and workers run under
+    /// [`dlbench_tensor::par::run_as_worker`] so the math inside each
+    /// training is the serial kernel — parallelism here is *between*
+    /// cells, never inside one. Subsequent `with_outcome` calls hit the
+    /// cache.
+    ///
+    /// With one configured thread (or when called from inside a
+    /// worker) this trains inline, preserving the serial behaviour
+    /// exactly.
+    pub fn prefetch(&mut self, keys: &[TrainKey]) {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+
+        let mut todo: Vec<TrainKey> = Vec::new();
+        for &key in keys {
+            if !self.cache.contains_key(&key) && !todo.contains(&key) {
+                todo.push(key);
+            }
+        }
+        if todo.is_empty() {
+            return;
+        }
+        let workers = dlbench_tensor::par::threads().min(todo.len());
+        let (scale, seed) = (self.scale, self.seed);
+        let train =
+            |key: TrainKey| trainer::run_training(key.host, key.setting, key.dataset, scale, seed);
+        if workers <= 1 || dlbench_tensor::par::is_worker() {
+            for key in todo {
+                let outcome = train(key);
+                self.cache.insert(key, outcome);
+            }
+            return;
+        }
+        // Workers pull the next untrained key from a shared counter and
+        // return their outcomes through the scope's join handles.
+        let next = AtomicUsize::new(0);
+        let trained: Vec<(TrainKey, trainer::TrainOutcome)> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    scope.spawn(|| {
+                        dlbench_tensor::par::run_as_worker(|| {
+                            let mut local = Vec::new();
+                            loop {
+                                let i = next.fetch_add(1, Ordering::Relaxed);
+                                let Some(&key) = todo.get(i) else { break };
+                                local.push((key, train(key)));
+                            }
+                            local
+                        })
+                    })
+                })
+                .collect();
+            handles.into_iter().flat_map(|h| h.join().expect("prefetch worker panicked")).collect()
+        });
+        for (key, outcome) in trained {
+            self.cache.insert(key, outcome);
+        }
+    }
+
     /// Trains (or fetches) the outcome for a key and applies `f` to it.
     ///
     /// The closure receives a mutable outcome because attack metrics
@@ -62,10 +126,9 @@ impl BenchmarkRunner {
     ) -> R {
         let seed = self.seed;
         let scale = self.scale;
-        let outcome = self
-            .cache
-            .entry(key)
-            .or_insert_with(|| trainer::run_training(key.host, key.setting, key.dataset, scale, seed));
+        let outcome = self.cache.entry(key).or_insert_with(|| {
+            trainer::run_training(key.host, key.setting, key.dataset, scale, seed)
+        });
         f(outcome)
     }
 
@@ -115,6 +178,30 @@ mod tests {
         assert_eq!(runner.trained_cells(), 1);
         assert_eq!(m1.accuracy_pct, m2.accuracy_pct);
         assert!(m2.train_time_s > m1.train_time_s, "CPU slower than GPU");
+    }
+
+    #[test]
+    fn prefetch_fills_cache_and_matches_serial_training() {
+        let keys = [
+            BenchmarkRunner::own_default_key(FrameworkKind::Caffe, DatasetKind::Mnist),
+            BenchmarkRunner::own_default_key(FrameworkKind::Torch, DatasetKind::Mnist),
+            // Duplicate keys must train once.
+            BenchmarkRunner::own_default_key(FrameworkKind::Caffe, DatasetKind::Mnist),
+        ];
+        let mut parallel = BenchmarkRunner::new(Scale::Tiny, 7);
+        dlbench_tensor::par::set_threads(2);
+        parallel.prefetch(&keys);
+        dlbench_tensor::par::set_threads(1);
+        assert_eq!(parallel.trained_cells(), 2);
+        // Uses the cache — no additional training.
+        let m = parallel.metrics(keys[0], &devices::gtx_1080_ti(), "Caffe");
+        assert_eq!(parallel.trained_cells(), 2);
+
+        let mut serial = BenchmarkRunner::new(Scale::Tiny, 7);
+        let expect = serial.metrics(keys[0], &devices::gtx_1080_ti(), "Caffe");
+        assert_eq!(m.accuracy_pct, expect.accuracy_pct);
+        assert_eq!(m.train_time_s, expect.train_time_s);
+        assert_eq!(m.test_time_s, expect.test_time_s);
     }
 
     #[test]

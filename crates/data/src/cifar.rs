@@ -67,7 +67,12 @@ impl SynthCifar10 {
         let mut data = vec![0.0f32; n * 3 * plane];
         for (i, &class) in labels.iter().enumerate() {
             let mut sample_rng = rng.fork(i as u64 + 1);
-            Self::render(class, size, &mut sample_rng, &mut data[i * 3 * plane..(i + 1) * 3 * plane]);
+            Self::render(
+                class,
+                size,
+                &mut sample_rng,
+                &mut data[i * 3 * plane..(i + 1) * 3 * plane],
+            );
         }
         let images =
             Tensor::from_vec(&[n, 3, size, size], data).expect("generated data is consistent");
@@ -85,11 +90,7 @@ impl SynthCifar10 {
         let base_bg = PALETTE[(class + 1) % 10];
         // Hue jitter: blend both palette anchors toward a random color.
         let jitter = rng.uniform(0.0, 0.55);
-        let rand_color = [
-            rng.uniform(0.0, 1.0),
-            rng.uniform(0.0, 1.0),
-            rng.uniform(0.0, 1.0),
-        ];
+        let rand_color = [rng.uniform(0.0, 1.0), rng.uniform(0.0, 1.0), rng.uniform(0.0, 1.0)];
         let mix = |c: [f32; 3]| -> [f32; 3] {
             [
                 c[0] * (1.0 - jitter) + rand_color[0] * jitter,
@@ -118,11 +119,7 @@ impl SynthCifar10 {
         let occ_y0 = rng.uniform(0.0, 0.75);
         let occ_w = rng.uniform(0.1, 0.5);
         let occ_h = rng.uniform(0.1, 0.5);
-        let occ_color = [
-            rng.uniform(0.0, 1.0),
-            rng.uniform(0.0, 1.0),
-            rng.uniform(0.0, 1.0),
-        ];
+        let occ_color = [rng.uniform(0.0, 1.0), rng.uniform(0.0, 1.0), rng.uniform(0.0, 1.0)];
         // Value-noise lattice for the blob texture.
         let lattice: Vec<f32> = (0..36).map(|_| rng.uniform(0.0, 1.0)).collect();
         let (sin_t, cos_t) = theta.sin_cos();
@@ -139,8 +136,7 @@ impl SynthCifar10 {
                     }
                     TextureFamily::Checker => {
                         let rv = -sin_t * (u - 0.5) + cos_t * (v - 0.5);
-                        let a = ((ru * freq + phase).floor() as i64
-                            + (rv * freq).floor() as i64)
+                        let a = ((ru * freq + phase).floor() as i64 + (rv * freq).floor() as i64)
                             .rem_euclid(2);
                         a as f32
                     }
@@ -165,19 +161,12 @@ impl SynthCifar10 {
                 // Mix foreground/background by texture, then overlay the
                 // shape by darkening/brightening.
                 let shape_gain = if inside { 1.15 } else { 0.85 };
-                let occluded = u >= occ_x0
-                    && u < occ_x0 + occ_w
-                    && v >= occ_y0
-                    && v < occ_y0 + occ_h;
+                let occluded =
+                    u >= occ_x0 && u < occ_x0 + occ_w && v >= occ_y0 && v < occ_y0 + occ_h;
                 for (ch, (fg_c, bg_c)) in fg.iter().zip(bg.iter()).enumerate() {
-                    let base = if occluded {
-                        occ_color[ch]
-                    } else {
-                        t * fg_c + (1.0 - t) * bg_c
-                    };
-                    let value = (base * shape_gain * brightness
-                        + rng.normal(0.0, noise_std))
-                    .clamp(0.0, 1.0);
+                    let base = if occluded { occ_color[ch] } else { t * fg_c + (1.0 - t) * bg_c };
+                    let value = (base * shape_gain * brightness + rng.normal(0.0, noise_std))
+                        .clamp(0.0, 1.0);
                     out[ch * plane + y * size + x] = value;
                 }
             }
@@ -233,8 +222,7 @@ mod tests {
             for &i in &idxs {
                 for (ch, a) in acc.iter_mut().enumerate() {
                     let off = (i * 3 + ch) * plane;
-                    *a += d.images.data()[off..off + plane].iter().sum::<f32>()
-                        / plane as f32;
+                    *a += d.images.data()[off..off + plane].iter().sum::<f32>() / plane as f32;
                 }
             }
             acc.map(|a| a / idxs.len() as f32)
@@ -242,8 +230,8 @@ mod tests {
         let red = mean_rgb(0); // red fg over purple bg
         let blue = mean_rgb(1); // blue fg over orange bg
         let green = mean_rgb(2); // green fg over teal bg
-        // Class 0 is red-anchored, class 2 green-anchored (both its fg
-        // and bg palettes are green-heavy).
+                                 // Class 0 is red-anchored, class 2 green-anchored (both its fg
+                                 // and bg palettes are green-heavy).
         assert!(red[0] > blue[0], "red channel: {red:?} vs {blue:?}");
         assert!(green[1] > red[1], "green channel: {green:?} vs {red:?}");
     }

@@ -132,11 +132,9 @@ impl Dataset {
             data.extend_from_slice(&self.images.data()[i * sample..(i + 1) * sample]);
             labels.push(self.labels[i]);
         }
-        let images = Tensor::from_vec(
-            &[indices.len(), self.channels(), self.size(), self.size()],
-            data,
-        )
-        .expect("gathered batch is consistent");
+        let images =
+            Tensor::from_vec(&[indices.len(), self.channels(), self.size(), self.size()], data)
+                .expect("gathered batch is consistent");
         (images, labels)
     }
 
@@ -152,7 +150,7 @@ mod tests {
     use super::*;
 
     fn toy() -> Dataset {
-        let images = Tensor::arange(2 * 1 * 2 * 2).reshape(&[2, 1, 2, 2]).unwrap();
+        let images = Tensor::arange(2 * 2 * 2).reshape(&[2, 1, 2, 2]).unwrap();
         Dataset { kind: DatasetKind::Mnist, images, labels: vec![3, 7], num_classes: 10 }
     }
 

@@ -59,11 +59,8 @@ fn segment_distance(px: f32, py: f32, seg: &Segment) -> f32 {
     let ((x0, y0), (x1, y1)) = *seg;
     let (dx, dy) = (x1 - x0, y1 - y0);
     let len2 = dx * dx + dy * dy;
-    let t = if len2 == 0.0 {
-        0.0
-    } else {
-        (((px - x0) * dx + (py - y0) * dy) / len2).clamp(0.0, 1.0)
-    };
+    let t =
+        if len2 == 0.0 { 0.0 } else { (((px - x0) * dx + (py - y0) * dy) / len2).clamp(0.0, 1.0) };
     let (cx, cy) = (x0 + t * dx, y0 + t * dy);
     ((px - cx).powi(2) + (py - cy).powi(2)).sqrt()
 }
@@ -162,8 +159,7 @@ mod tests {
         let d = SynthMnist::generate(200, 16, 3);
         let size = 16 * 16;
         let mean_image = |class: usize| -> Vec<f32> {
-            let idxs: Vec<usize> =
-                (0..d.len()).filter(|&i| d.labels[i] == class).collect();
+            let idxs: Vec<usize> = (0..d.len()).filter(|&i| d.labels[i] == class).collect();
             let mut acc = vec![0.0f32; size];
             for &i in &idxs {
                 for (a, &v) in acc.iter_mut().zip(&d.images.data()[i * size..(i + 1) * size]) {
@@ -174,8 +170,7 @@ mod tests {
         };
         let m1 = mean_image(1);
         let m8 = mean_image(8);
-        let dist: f32 =
-            m1.iter().zip(&m8).map(|(a, b)| (a - b) * (a - b)).sum::<f32>().sqrt();
+        let dist: f32 = m1.iter().zip(&m8).map(|(a, b)| (a - b) * (a - b)).sum::<f32>().sqrt();
         assert!(dist > 1.0, "digit 1 and 8 prototypes should differ, dist {dist}");
     }
 

@@ -87,8 +87,7 @@ impl Preprocessing {
                     let slice = &mut out.data_mut()[s * sample..(s + 1) * sample];
                     let mean = slice.iter().sum::<f32>() / sample as f32;
                     let var =
-                        slice.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>()
-                            / sample as f32;
+                        slice.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / sample as f32;
                     // TensorFlow floors the deviation to avoid amplifying
                     // constant images.
                     let std = var.sqrt().max(1.0 / (sample as f32).sqrt());
@@ -140,8 +139,7 @@ mod tests {
         for s in 0..5 {
             let slice = &out.data()[s * sample..(s + 1) * sample];
             let mean = slice.iter().sum::<f32>() / sample as f32;
-            let var = slice.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>()
-                / sample as f32;
+            let var = slice.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / sample as f32;
             assert!(mean.abs() < 1e-4, "mean {mean}");
             assert!((var - 1.0).abs() < 0.05, "var {var}");
         }

@@ -155,8 +155,7 @@ impl TrainingConfig {
     /// `max_iterations * batch_size / train_samples` (the formula the
     /// paper uses below Table II).
     pub fn paper_epochs(&self, dataset: DatasetKind) -> f32 {
-        (self.max_iterations * self.batch_size) as f32
-            / dataset.paper_train_samples() as f32
+        (self.max_iterations * self.batch_size) as f32 / dataset.paper_train_samples() as f32
     }
 }
 

@@ -141,10 +141,7 @@ mod tests {
 
     #[test]
     fn personalities_differ() {
-        assert_ne!(
-            FrameworkKind::TensorFlow.initializer(),
-            FrameworkKind::Caffe.initializer()
-        );
+        assert_ne!(FrameworkKind::TensorFlow.initializer(), FrameworkKind::Caffe.initializer());
         assert_ne!(
             FrameworkKind::Caffe.execution_profile().name,
             FrameworkKind::Torch.execution_profile().name

@@ -23,13 +23,32 @@ pub enum Scale {
 }
 
 impl Scale {
-    /// Reads `DLBENCH_SCALE` (`tiny`/`small`/`paper`) with a default of
-    /// [`Scale::Small`].
+    /// Parses a scale name case-insensitively (`tiny`/`small`/`paper`,
+    /// any capitalization, surrounding whitespace ignored).
+    pub fn parse(raw: &str) -> Option<Scale> {
+        match raw.trim().to_ascii_lowercase().as_str() {
+            "tiny" => Some(Scale::Tiny),
+            "small" => Some(Scale::Small),
+            "paper" => Some(Scale::Paper),
+            _ => None,
+        }
+    }
+
+    /// Reads `DLBENCH_SCALE` (`tiny`/`small`/`paper`, case-insensitive)
+    /// with a default of [`Scale::Small`]. An unrecognized value warns
+    /// on stderr and falls back to the default rather than silently
+    /// running at the wrong scale (`Tiny` used to be matched only as
+    /// exactly `tiny` or `TINY`, so `Tiny` quietly became `Small`).
     pub fn from_env() -> Scale {
-        match std::env::var("DLBENCH_SCALE").as_deref() {
-            Ok("tiny") | Ok("TINY") => Scale::Tiny,
-            Ok("paper") | Ok("PAPER") => Scale::Paper,
-            _ => Scale::Small,
+        match std::env::var("DLBENCH_SCALE") {
+            Ok(raw) => Scale::parse(&raw).unwrap_or_else(|| {
+                eprintln!(
+                    "warning: unrecognized DLBENCH_SCALE `{raw}` \
+                     (expected tiny|small|paper); using small"
+                );
+                Scale::Small
+            }),
+            Err(_) => Scale::Small,
         }
     }
 
@@ -124,6 +143,33 @@ impl Scale {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn parse_is_case_insensitive_and_rejects_unknown() {
+        // Regression: only the exact strings `tiny`/`TINY` (etc.) used
+        // to match, so `Tiny` silently ran at Small scale.
+        for raw in ["tiny", "TINY", "Tiny", " tiny ", "tInY"] {
+            assert_eq!(Scale::parse(raw), Some(Scale::Tiny), "{raw:?}");
+        }
+        assert_eq!(Scale::parse("Small"), Some(Scale::Small));
+        assert_eq!(Scale::parse("PAPER"), Some(Scale::Paper));
+        assert_eq!(Scale::parse("huge"), None);
+        assert_eq!(Scale::parse(""), None);
+    }
+
+    #[test]
+    fn from_env_defaults_and_falls_back_to_small() {
+        // `from_env` consults the real environment; exercise both the
+        // unset and the unrecognized-value paths. Env mutation is
+        // process-global, so keep it confined to this one test.
+        std::env::remove_var("DLBENCH_SCALE");
+        assert_eq!(Scale::from_env(), Scale::Small);
+        std::env::set_var("DLBENCH_SCALE", "enormous");
+        assert_eq!(Scale::from_env(), Scale::Small);
+        std::env::set_var("DLBENCH_SCALE", "Paper");
+        assert_eq!(Scale::from_env(), Scale::Paper);
+        std::env::remove_var("DLBENCH_SCALE");
+    }
 
     #[test]
     fn paper_scale_is_identity() {

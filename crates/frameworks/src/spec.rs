@@ -123,12 +123,18 @@ impl ArchSpec {
                 }
                 LayerSpecEntry::MaxPool { kernel, stride, ceil } => {
                     net.push(MaxPool2d::new(kernel, stride, ceil));
-                    (h, w) = (pool_extent(h, kernel, stride, ceil), pool_extent(w, kernel, stride, ceil));
+                    (h, w) = (
+                        pool_extent(h, kernel, stride, ceil),
+                        pool_extent(w, kernel, stride, ceil),
+                    );
                     assert!(h > 0 && w > 0, "geometry collapsed in {}", self.name);
                 }
                 LayerSpecEntry::AvgPool { kernel, stride, ceil } => {
                     net.push(AvgPool2d::new(kernel, stride, ceil));
-                    (h, w) = (pool_extent(h, kernel, stride, ceil), pool_extent(w, kernel, stride, ceil));
+                    (h, w) = (
+                        pool_extent(h, kernel, stride, ceil),
+                        pool_extent(w, kernel, stride, ceil),
+                    );
                     assert!(h > 0 && w > 0, "geometry collapsed in {}", self.name);
                 }
                 LayerSpecEntry::Relu => net.push(Relu::new()),
@@ -140,8 +146,7 @@ impl ArchSpec {
                         features = c * h * w;
                         flattened = true;
                     }
-                    let out_f =
-                        if i == last_fc { out } else { Self::scaled(out, width_mult) };
+                    let out_f = if i == last_fc { out } else { Self::scaled(out, width_mult) };
                     net.push(Linear::new(features, out_f, init, rng));
                     features = out_f;
                 }
@@ -176,7 +181,10 @@ impl ArchSpec {
                 }
                 LayerSpecEntry::MaxPool { kernel, stride, ceil }
                 | LayerSpecEntry::AvgPool { kernel, stride, ceil } => {
-                    (h, w) = (pool_extent(h, kernel, stride, ceil), pool_extent(w, kernel, stride, ceil));
+                    (h, w) = (
+                        pool_extent(h, kernel, stride, ceil),
+                        pool_extent(w, kernel, stride, ceil),
+                    );
                 }
                 LayerSpecEntry::Fc { .. } => return c * h * w,
                 _ => {}

@@ -110,7 +110,10 @@ impl TrainOutcome {
     pub fn simulated_times(&self, device: &Device) -> SimTimes {
         let model = CostModel::new(device.clone(), self.host.execution_profile());
         let train_seconds = self.paper_iterations as f64
-            * model.train_iteration_seconds_batched(&self.paper_train_batch_cost, self.paper_batch_size);
+            * model.train_iteration_seconds_batched(
+                &self.paper_train_batch_cost,
+                self.paper_batch_size,
+            );
         let test_batches = PAPER_TEST_SAMPLES.div_ceil(TEST_BATCH);
         let test_seconds = test_batches as f64
             * model.inference_seconds_batched(&self.paper_test_batch_cost, TEST_BATCH);
@@ -222,9 +225,7 @@ fn make_optimizer(
 ) -> Box<dyn Optimizer> {
     let policy = config.schedule.resolve(config.base_lr, exec_iters, config.max_iterations);
     match config.algorithm {
-        OptimizerKind::Adam => {
-            Box::new(Adam::new(config.base_lr, 0.9, 0.999, 1e-8, policy))
-        }
+        OptimizerKind::Adam => Box::new(Adam::new(config.base_lr, 0.9, 0.999, 1e-8, policy)),
         OptimizerKind::Sgd { momentum } => {
             Box::new(Sgd::new(config.base_lr, momentum, weight_decay, policy))
         }
@@ -316,7 +317,8 @@ pub fn run_training(
             first_loss = loss;
         }
         if it % record_every == 0 {
-            loss_curve.push((it, if loss.is_finite() { loss.min(DIVERGED_LOSS) } else { DIVERGED_LOSS }));
+            loss_curve
+                .push((it, if loss.is_finite() { loss.min(DIVERGED_LOSS) } else { DIVERGED_LOSS }));
         }
         // Divergence latch: non-finite values, or a saturated softmax
         // (loss beyond any achievable initialization value) mean the

@@ -13,8 +13,7 @@ use dlbench_simtime::devices;
 fn own_defaults_small_scale() {
     for ds in [DatasetKind::Mnist, DatasetKind::Cifar10] {
         for fw in FrameworkKind::ALL {
-            let out =
-                trainer::run_training(fw, DefaultSetting::new(fw, ds), ds, Scale::Small, 42);
+            let out = trainer::run_training(fw, DefaultSetting::new(fw, ds), ds, Scale::Small, 42);
             let cpu = out.simulated_times(&devices::xeon_e5_1620());
             let gpu = out.simulated_times(&devices::gtx_1080_ti());
             println!(
@@ -46,13 +45,8 @@ fn cross_dataset_small_scale() {
         (FrameworkKind::Caffe, DatasetKind::Cifar10, DatasetKind::Mnist),
         (FrameworkKind::Torch, DatasetKind::Mnist, DatasetKind::Cifar10),
     ] {
-        let out = trainer::run_training(
-            host,
-            DefaultSetting::new(host, tuned_for),
-            ds,
-            Scale::Small,
-            42,
-        );
+        let out =
+            trainer::run_training(host, DefaultSetting::new(host, tuned_for), ds, Scale::Small, 42);
         println!(
             "{:10} ({}-{:8}) on {:8}: acc {:5.1}% loss {:6.3} conv {}",
             host.name(),

@@ -3,7 +3,7 @@
 use crate::init::Initializer;
 use crate::layer::{Layer, ParamKind, ParamSet};
 use crate::profile::LayerCost;
-use dlbench_tensor::{col2im, gemm, gemm_a_bt, gemm_at_b, im2col, Conv2dGeometry, Tensor};
+use dlbench_tensor::{col2im, gemm, gemm_a_bt, gemm_at_b, im2col, par, Conv2dGeometry, Tensor};
 
 /// A 2-D convolution over `[N, C, H, W]` inputs with square kernels,
 /// uniform stride and symmetric zero padding.
@@ -112,18 +112,33 @@ impl Layer for Conv2d {
         let sample_out = self.out_channels * plane;
 
         let mut out = Tensor::zeros(&[n, self.out_channels, oh, ow]);
-        let mut cols = vec![0.0f32; patch * plane];
-        for s in 0..n {
-            im2col(&geo, &input.data()[s * sample_in..(s + 1) * sample_in], &mut cols);
-            let out_s = &mut out.data_mut()[s * sample_out..(s + 1) * sample_out];
-            // out[oc, plane] = W[oc, patch] @ cols[patch, plane] + bias
-            for oc in 0..self.out_channels {
-                let b = self.bias.data()[oc];
-                for v in &mut out_s[oc * plane..(oc + 1) * plane] {
-                    *v = b;
+        let out_channels = self.out_channels;
+        let weight = self.weight.data();
+        let bias = self.bias.data();
+        let in_data = input.data();
+        // Samples are independent, so the batch parallelizes over
+        // disjoint per-sample output rows; each worker stages its own
+        // im2col buffer and the per-sample math (and its GEMM, forced
+        // serial inside a worker) is exactly the serial kernel.
+        let per_sample = |first: usize, out_chunk: &mut [f32]| {
+            let mut cols = vec![0.0f32; patch * plane];
+            for (si, out_s) in out_chunk.chunks_mut(sample_out).enumerate() {
+                let s = first + si;
+                im2col(&geo, &in_data[s * sample_in..(s + 1) * sample_in], &mut cols);
+                // out[oc, plane] = W[oc, patch] @ cols[patch, plane] + bias
+                for oc in 0..out_channels {
+                    let b = bias[oc];
+                    for v in &mut out_s[oc * plane..(oc + 1) * plane] {
+                        *v = b;
+                    }
                 }
+                gemm(out_channels, patch, plane, weight, &cols, out_s);
             }
-            gemm(self.out_channels, patch, plane, self.weight.data(), &cols, out_s);
+        };
+        if n * out_channels * patch * plane < par::PAR_MIN_WORK {
+            per_sample(0, out.data_mut());
+        } else {
+            par::par_row_chunks_mut(out.data_mut(), sample_out, per_sample);
         }
         self.cached_input = Some(input.clone());
         out
@@ -141,33 +156,76 @@ impl Layer for Conv2d {
         assert_eq!(grad_out.shape(), &[n, self.out_channels, oh, ow], "grad shape mismatch");
 
         let mut grad_in = Tensor::zeros(input.shape());
-        let mut cols = vec![0.0f32; patch * plane];
-        let mut cols_grad = vec![0.0f32; patch * plane];
-        for s in 0..n {
-            let gout_s = &grad_out.data()[s * sample_out..(s + 1) * sample_out];
-            // Weight gradient: gW[oc, patch] += gOut[oc, plane] @ cols^T.
-            im2col(&geo, &input.data()[s * sample_in..(s + 1) * sample_in], &mut cols);
-            gemm_a_bt(
-                self.out_channels,
-                plane,
-                patch,
-                gout_s,
-                &cols,
-                self.grad_weight.data_mut(),
-            );
-            // Bias gradient: sum over the output plane.
-            for oc in 0..self.out_channels {
-                self.grad_bias.data_mut()[oc] +=
-                    gout_s[oc * plane..(oc + 1) * plane].iter().sum::<f32>();
+        let out_channels = self.out_channels;
+        let weight = self.weight.data();
+        let in_data = input.data();
+        let gout = grad_out.data();
+        let work = n * out_channels * patch * plane;
+
+        // Input gradient: per-sample scatter targets are disjoint, so
+        // the batch parallelizes directly over grad_in's sample rows.
+        let input_grad = |first: usize, gin_chunk: &mut [f32]| {
+            let mut cols_grad = vec![0.0f32; patch * plane];
+            for (si, gin_s) in gin_chunk.chunks_mut(sample_in).enumerate() {
+                let s = first + si;
+                let gout_s = &gout[s * sample_out..(s + 1) * sample_out];
+                // cols_grad = W^T @ gOut, then col2im scatter.
+                cols_grad.iter_mut().for_each(|v| *v = 0.0);
+                gemm_at_b(patch, out_channels, plane, weight, gout_s, &mut cols_grad);
+                col2im(&geo, &cols_grad, gin_s);
             }
-            // Input gradient: cols_grad = W^T @ gOut, then col2im scatter.
-            cols_grad.iter_mut().for_each(|v| *v = 0.0);
-            gemm_at_b(patch, self.out_channels, plane, self.weight.data(), gout_s, &mut cols_grad);
-            col2im(
-                &geo,
-                &cols_grad,
-                &mut grad_in.data_mut()[s * sample_in..(s + 1) * sample_in],
-            );
+        };
+        if work < par::PAR_MIN_WORK {
+            input_grad(0, grad_in.data_mut());
+        } else {
+            par::par_row_chunks_mut(grad_in.data_mut(), sample_in, input_grad);
+        }
+
+        // Weight/bias gradients accumulate *across* samples, so the
+        // parallel path stages each sample's contribution in its own
+        // zeroed scratch row and reduces serially in ascending sample
+        // order — the same additions, in the same order, as the serial
+        // loop, hence bit-identical at any thread count.
+        let wb = out_channels * patch + out_channels;
+        if work < par::PAR_MIN_WORK || par::is_worker() || par::threads() == 1 {
+            let mut cols = vec![0.0f32; patch * plane];
+            for s in 0..n {
+                let gout_s = &gout[s * sample_out..(s + 1) * sample_out];
+                // Weight gradient: gW[oc, patch] += gOut[oc, plane] @ cols^T.
+                im2col(&geo, &in_data[s * sample_in..(s + 1) * sample_in], &mut cols);
+                gemm_a_bt(out_channels, plane, patch, gout_s, &cols, self.grad_weight.data_mut());
+                // Bias gradient: sum over the output plane.
+                for oc in 0..out_channels {
+                    self.grad_bias.data_mut()[oc] +=
+                        gout_s[oc * plane..(oc + 1) * plane].iter().sum::<f32>();
+                }
+            }
+        } else {
+            let mut scratch = vec![0.0f32; n * wb];
+            par::par_row_chunks_mut(&mut scratch, wb, |first, rows_chunk| {
+                let mut cols = vec![0.0f32; patch * plane];
+                for (si, row) in rows_chunk.chunks_mut(wb).enumerate() {
+                    let s = first + si;
+                    let gout_s = &gout[s * sample_out..(s + 1) * sample_out];
+                    im2col(&geo, &in_data[s * sample_in..(s + 1) * sample_in], &mut cols);
+                    let (w_part, b_part) = row.split_at_mut(out_channels * patch);
+                    gemm_a_bt(out_channels, plane, patch, gout_s, &cols, w_part);
+                    for (oc, b) in b_part.iter_mut().enumerate() {
+                        *b = gout_s[oc * plane..(oc + 1) * plane].iter().sum::<f32>();
+                    }
+                }
+            });
+            let gw = self.grad_weight.data_mut();
+            let gb = self.grad_bias.data_mut();
+            for row in scratch.chunks(wb) {
+                let (w_part, b_part) = row.split_at(out_channels * patch);
+                for (dst, src) in gw.iter_mut().zip(w_part) {
+                    *dst += src;
+                }
+                for (dst, src) in gb.iter_mut().zip(b_part) {
+                    *dst += src;
+                }
+            }
         }
         grad_in
     }
@@ -202,7 +260,7 @@ impl Layer for Conv2d {
         LayerCost {
             fwd_flops: fwd,
             bwd_flops: bwd,
-            params: (oc * patch + oc) as u64,
+            params: oc * patch + oc,
             activations: n * oc * plane,
             // im2col + GEMM + bias per sample batchable into 3 kernels.
             fwd_kernels: 3,

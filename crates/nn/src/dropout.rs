@@ -48,9 +48,8 @@ impl Layer for Dropout {
         }
         let keep = 1.0 - self.rate;
         let scale = 1.0 / keep;
-        self.mask = (0..input.len())
-            .map(|_| if self.rng.bernoulli(keep) { scale } else { 0.0 })
-            .collect();
+        self.mask =
+            (0..input.len()).map(|_| if self.rng.bernoulli(keep) { scale } else { 0.0 }).collect();
         let mut out = input.clone();
         for (v, &m) in out.data_mut().iter_mut().zip(&self.mask) {
             *v *= m;

@@ -35,7 +35,12 @@ pub struct ParamSet<'a> {
 /// read-only with respect to the caches, so several backward passes may
 /// follow a single forward (the Jacobian computation in the adversarial
 /// crate relies on this).
-pub trait Layer {
+///
+/// Layers are `Send` so whole networks can move across threads — the
+/// benchmark runner trains independent cells on worker threads (see
+/// `BenchmarkRunner::prefetch` in `dlbench-core`). Layers are plain
+/// owned data (tensors, caches), so this costs implementors nothing.
+pub trait Layer: Send {
     /// Short human-readable layer name (e.g. `"conv2d"`).
     fn name(&self) -> &'static str;
 

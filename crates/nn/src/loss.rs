@@ -21,14 +21,19 @@ impl SoftmaxCrossEntropy {
         Self::default()
     }
 
-    /// Computes the mean loss and returns it with the softmax
-    /// probabilities (useful for accuracy and attack computations).
+    /// Computes the mean loss and returns it with a borrow of the
+    /// softmax probabilities (useful for accuracy and attack
+    /// computations). The probabilities live in the loss node's cache —
+    /// this runs once per training batch, so it hands out a reference
+    /// instead of cloning the full `[N, classes]` tensor every call;
+    /// clone at the call site only if the values must outlive the next
+    /// `forward`.
     ///
     /// # Panics
     ///
     /// Panics if `logits` is not `[N, classes]`, if `labels.len() != N`,
     /// or if any label is out of range.
-    pub fn forward(&mut self, logits: &Tensor, labels: &[usize]) -> (f32, Tensor) {
+    pub fn forward(&mut self, logits: &Tensor, labels: &[usize]) -> (f32, &Tensor) {
         assert_eq!(logits.rank(), 2, "loss expects [N, classes] logits");
         let (n, c) = (logits.shape()[0], logits.shape()[1]);
         assert_eq!(labels.len(), n, "label count mismatch");
@@ -40,9 +45,8 @@ impl SoftmaxCrossEntropy {
             loss -= p.ln();
         }
         loss /= n as f32;
-        self.cached_probs = Some(probs.clone());
         self.cached_labels = labels.to_vec();
-        (loss, probs)
+        (loss, &*self.cached_probs.insert(probs))
     }
 
     /// Gradient of the mean loss w.r.t. the logits: `(p - onehot)/N`.
@@ -84,6 +88,18 @@ mod tests {
         logits.data_mut()[1] = 100.0;
         let (l, _) = loss.forward(&logits, &[1]);
         assert!(l < 1e-5);
+    }
+
+    #[test]
+    fn forward_returns_a_borrow_of_the_cache() {
+        // Regression: forward used to clone the probability tensor just
+        // to populate the backward cache. The returned tensor must be
+        // the cached allocation itself.
+        let mut loss = SoftmaxCrossEntropy::new();
+        let logits = Tensor::zeros(&[2, 3]);
+        let returned = loss.forward(&logits, &[0, 1]).1.data().as_ptr();
+        let cached = loss.cached_probs.as_ref().unwrap().data().as_ptr();
+        assert_eq!(returned, cached, "forward must not clone the probabilities");
     }
 
     #[test]

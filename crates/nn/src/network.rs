@@ -197,11 +197,7 @@ mod tests {
             // Max-pool argmax switches can make finite differences
             // locally nonsmooth; tolerance is loose but catches sign and
             // scale errors.
-            assert!(
-                (num - gx.data()[idx]).abs() < 5e-2,
-                "gx[{idx}]: {num} vs {}",
-                gx.data()[idx]
-            );
+            assert!((num - gx.data()[idx]).abs() < 5e-2, "gx[{idx}]: {num} vs {}", gx.data()[idx]);
         }
     }
 

@@ -167,11 +167,7 @@ mod tests {
             let lp = lrn.forward(&xp, true).mul(&r).unwrap().sum();
             let lm = lrn.forward(&xm, true).mul(&r).unwrap().sum();
             let num = (lp - lm) / (2.0 * eps);
-            assert!(
-                (num - gx.data()[idx]).abs() < 5e-3,
-                "gx[{idx}]: {num} vs {}",
-                gx.data()[idx]
-            );
+            assert!((num - gx.data()[idx]).abs() < 5e-3, "gx[{idx}]: {num} vs {}", gx.data()[idx]);
         }
     }
 }

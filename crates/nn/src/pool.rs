@@ -2,7 +2,7 @@
 
 use crate::layer::Layer;
 use crate::profile::LayerCost;
-use dlbench_tensor::Tensor;
+use dlbench_tensor::{par, Tensor};
 
 fn pooled_extent(input: usize, kernel: usize, stride: usize, ceil_mode: bool) -> usize {
     // Windows larger than the input are clipped to it (one output site).
@@ -71,39 +71,75 @@ impl Layer for MaxPool2d {
         self.cached_input_shape = input.shape().to_vec();
         let in_plane = h * w;
         let out_plane = oh * ow;
-        for nc in 0..n * c {
-            let plane = &input.data()[nc * in_plane..(nc + 1) * in_plane];
-            for oy in 0..oh {
-                for ox in 0..ow {
-                    let y0 = oy * self.stride;
-                    let x0 = ox * self.stride;
-                    let y1 = (y0 + self.kernel).min(h);
-                    let x1 = (x0 + self.kernel).min(w);
-                    let mut best = f32::NEG_INFINITY;
-                    let mut best_idx = y0 * w + x0;
-                    for yy in y0..y1 {
-                        for xx in x0..x1 {
-                            let v = plane[yy * w + xx];
-                            if v > best {
-                                best = v;
-                                best_idx = yy * w + xx;
+        let (kernel, stride) = (self.kernel, self.stride);
+        let in_data = input.data();
+        // N·C planes are independent; values and argmax indices are
+        // partitioned over the same plane ranges so each worker fills
+        // its own rows of both.
+        let per_plane = |first: usize, out_chunk: &mut [f32], arg_chunk: &mut [usize]| {
+            let planes = out_chunk.chunks_mut(out_plane).zip(arg_chunk.chunks_mut(out_plane));
+            for (p, (out_p, arg_p)) in planes.enumerate() {
+                let nc = first + p;
+                let plane = &in_data[nc * in_plane..(nc + 1) * in_plane];
+                for oy in 0..oh {
+                    for ox in 0..ow {
+                        let y0 = oy * stride;
+                        let x0 = ox * stride;
+                        let y1 = (y0 + kernel).min(h);
+                        let x1 = (x0 + kernel).min(w);
+                        let mut best = f32::NEG_INFINITY;
+                        let mut best_idx = y0 * w + x0;
+                        for yy in y0..y1 {
+                            for xx in x0..x1 {
+                                let v = plane[yy * w + xx];
+                                if v > best {
+                                    best = v;
+                                    best_idx = yy * w + xx;
+                                }
                             }
                         }
+                        out_p[oy * ow + ox] = best;
+                        arg_p[oy * ow + ox] = nc * in_plane + best_idx;
                     }
-                    let o = nc * out_plane + oy * ow + ox;
-                    out.data_mut()[o] = best;
-                    self.cached_argmax[o] = nc * in_plane + best_idx;
                 }
             }
+        };
+        if n * c * out_plane * kernel * kernel < par::PAR_MIN_WORK {
+            per_plane(0, out.data_mut(), &mut self.cached_argmax);
+        } else {
+            par::par_row_chunks2_mut(
+                out.data_mut(),
+                out_plane,
+                &mut self.cached_argmax,
+                out_plane,
+                per_plane,
+            );
         }
         out
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
         assert_eq!(grad_out.len(), self.cached_argmax.len(), "backward before forward");
-        let mut grad_in = Tensor::zeros(&self.cached_input_shape);
-        for (o, &src) in self.cached_argmax.iter().enumerate() {
-            grad_in.data_mut()[src] += grad_out.data()[o];
+        let shape = &self.cached_input_shape;
+        let in_plane = shape[2] * shape[3];
+        let planes = shape[0] * shape[1];
+        let out_plane = self.cached_argmax.len() / planes.max(1);
+        let mut grad_in = Tensor::zeros(shape);
+        let argmax = &self.cached_argmax;
+        let gout = grad_out.data();
+        // Every argmax index stays inside its own plane, so scattering
+        // parallelizes over disjoint grad_in plane rows.
+        let scatter = |first: usize, gin_chunk: &mut [f32]| {
+            let o0 = first * out_plane;
+            let o1 = o0 + (gin_chunk.len() / in_plane) * out_plane;
+            for (o, &src) in argmax[o0..o1].iter().enumerate() {
+                gin_chunk[src - first * in_plane] += gout[o0 + o];
+            }
+        };
+        if self.cached_argmax.len() < par::PAR_MIN_WORK {
+            scatter(0, grad_in.data_mut());
+        } else {
+            par::par_row_chunks_mut(grad_in.data_mut(), in_plane, scatter);
         }
         grad_in
     }

@@ -73,10 +73,7 @@ pub fn load_parameters(net: &mut Network, r: &mut impl Read) -> Result<(), Check
     let mut magic = [0u8; 8];
     r.read_exact(&mut magic)?;
     if &magic != MAGIC {
-        return Err(CheckpointError::BadFormat(format!(
-            "magic {:?} != {:?}",
-            &magic, MAGIC
-        )));
+        return Err(CheckpointError::BadFormat(format!("magic {:?} != {:?}", &magic, MAGIC)));
     }
     let mut u32buf = [0u8; 4];
     r.read_exact(&mut u32buf)?;

@@ -53,13 +53,8 @@ impl Optimizer for Adam {
         let b1t = 1.0 - self.beta1.powi(self.t as i32);
         let b2t = 1.0 - self.beta2.powi(self.t as i32);
         for ((p, m), v) in params.iter_mut().zip(&mut self.m).zip(&mut self.v) {
-            for (((w, &g), mm), vv) in p
-                .value
-                .data_mut()
-                .iter_mut()
-                .zip(p.grad.data())
-                .zip(m.data_mut())
-                .zip(v.data_mut())
+            for (((w, &g), mm), vv) in
+                p.value.data_mut().iter_mut().zip(p.grad.data()).zip(m.data_mut()).zip(v.data_mut())
             {
                 *mm = self.beta1 * *mm + (1.0 - self.beta1) * g;
                 *vv = self.beta2 * *vv + (1.0 - self.beta2) * g * g;

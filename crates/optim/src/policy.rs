@@ -35,9 +35,7 @@ impl LrPolicy {
     pub fn rate(&self, base: f32, iter: usize) -> f32 {
         match self {
             LrPolicy::Fixed => base,
-            LrPolicy::Inverse { gamma, power } => {
-                base * (1.0 + gamma * iter as f32).powf(-power)
-            }
+            LrPolicy::Inverse { gamma, power } => base * (1.0 + gamma * iter as f32).powf(-power),
             LrPolicy::MultiStep { steps } => {
                 let mut rate = base;
                 for &(start, r) in steps {

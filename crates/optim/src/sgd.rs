@@ -50,10 +50,8 @@ impl Optimizer for Sgd {
             self.velocity = params.iter().map(|p| Tensor::zeros(p.value.shape())).collect();
         }
         for (p, v) in params.iter_mut().zip(&mut self.velocity) {
-            let decay =
-                if matches!(p.kind, ParamKind::Weight) { self.weight_decay } else { 0.0 };
-            for ((vv, &g), w) in
-                v.data_mut().iter_mut().zip(p.grad.data()).zip(p.value.data_mut())
+            let decay = if matches!(p.kind, ParamKind::Weight) { self.weight_decay } else { 0.0 };
+            for ((vv, &g), w) in v.data_mut().iter_mut().zip(p.grad.data()).zip(p.value.data_mut())
             {
                 *vv = self.momentum * *vv - lr * (g + decay * *w);
                 *w += *vv;
@@ -146,8 +144,8 @@ mod tests {
         let mut opt = Sgd::new(0.5, 0.9, 0.0, LrPolicy::Fixed);
         let mut loss = SoftmaxCrossEntropy::new();
         // Class 0: x ~ (+1, +1); class 1: x ~ (-1, -1).
-        let x = Tensor::from_vec(&[4, 2], vec![1.0, 1.0, 0.8, 1.2, -1.0, -1.0, -1.2, -0.8])
-            .unwrap();
+        let x =
+            Tensor::from_vec(&[4, 2], vec![1.0, 1.0, 0.8, 1.2, -1.0, -1.0, -1.2, -0.8]).unwrap();
         let labels = [0usize, 0, 1, 1];
         let mut final_loss = f32::MAX;
         for it in 0..50 {

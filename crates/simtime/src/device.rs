@@ -1,9 +1,7 @@
 //! Device descriptors.
 
-use serde::Serialize;
-
 /// Processor class of a simulated device.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum DeviceKind {
     /// Many-core CPU.
     Cpu,
@@ -27,7 +25,7 @@ impl DeviceKind {
 /// DL-shaped work (im2col GEMMs over 10²–10⁴-element tensors), not the
 /// datasheet peak — that is why the GTX 1080 Ti preset is far below the
 /// card's 11.3 TFLOPS peak.
-#[derive(Debug, Clone, PartialEq, Serialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Device {
     /// Display name.
     pub name: &'static str,

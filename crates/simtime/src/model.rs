@@ -42,8 +42,8 @@ impl CostModel {
         kernels as f64 * (self.device.launch_us + self.profile.dispatch_us) * 1e-6
     }
 
-    /// Simulated seconds for one training iteration (forward + backward
-    /// + update) over a `batch`-sample batch whose aggregate cost is
+    /// Simulated seconds for one training iteration (forward, backward,
+    /// update) over a `batch`-sample batch whose aggregate cost is
     /// `cost`.
     pub fn train_iteration_seconds_batched(&self, cost: &LayerCost, batch: usize) -> f64 {
         self.profile.iter_overhead_ms * 1e-3
@@ -100,8 +100,7 @@ mod tests {
         let cost = tf_mnist_batch();
         let cpu = CostModel::new(xeon_e5_1620(), tensorflow());
         let gpu = CostModel::new(gtx_1080_ti(), tensorflow());
-        let speedup =
-            cpu.train_iteration_seconds(&cost) / gpu.train_iteration_seconds(&cost);
+        let speedup = cpu.train_iteration_seconds(&cost) / gpu.train_iteration_seconds(&cost);
         // The paper reports 5-30x GPU speedups across frameworks.
         assert!(speedup > 3.0 && speedup < 100.0, "speedup {speedup}");
     }
@@ -135,8 +134,8 @@ mod tests {
         let cost = tf_mnist_batch();
         let tf_cpu = CostModel::new(xeon_e5_1620(), tensorflow());
         let torch_cpu = CostModel::new(xeon_e5_1620(), torch());
-        let ratio = torch_cpu.train_iteration_seconds(&cost)
-            / tf_cpu.train_iteration_seconds(&cost);
+        let ratio =
+            torch_cpu.train_iteration_seconds(&cost) / tf_cpu.train_iteration_seconds(&cost);
         assert!(ratio > 10.0, "ratio {ratio}");
     }
 

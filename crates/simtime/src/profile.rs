@@ -1,7 +1,6 @@
 //! Per-framework execution profiles.
 
 use crate::device::DeviceKind;
-use serde::Serialize;
 
 /// How a framework personality uses a device.
 ///
@@ -11,7 +10,7 @@ use serde::Serialize;
 /// discusses: TensorFlow's batched dataflow graph, Caffe's layer-wise
 /// C++ solver with LMDB data layers, and Torch7's eager per-op Lua
 /// dispatch.
-#[derive(Debug, Clone, PartialEq, Serialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ExecutionProfile {
     /// Framework display name.
     pub name: &'static str,
@@ -122,7 +121,9 @@ mod tests {
         let torch = torch();
         // At its MNIST batch size of 10, Torch's CPU kernels are an
         // order of magnitude less efficient than Caffe's.
-        assert!(torch.efficiency(DeviceKind::Cpu, 10) < 0.1 * caffe.efficiency(DeviceKind::Cpu, 10));
+        assert!(
+            torch.efficiency(DeviceKind::Cpu, 10) < 0.1 * caffe.efficiency(DeviceKind::Cpu, 10)
+        );
         assert!(tf.cpu_efficiency > caffe.cpu_efficiency);
         // On GPU the kernels are all CUDA; efficiencies converge.
         assert!(torch.gpu_efficiency >= caffe.gpu_efficiency);

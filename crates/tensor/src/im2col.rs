@@ -192,9 +192,8 @@ mod tests {
         use crate::SeededRng;
         let g = geo(2, 5, 5, 3, 2, 1);
         let mut rng = SeededRng::new(5);
-        let x: Vec<f32> = (0..g.in_channels * g.in_h * g.in_w)
-            .map(|_| rng.normal(0.0, 1.0))
-            .collect();
+        let x: Vec<f32> =
+            (0..g.in_channels * g.in_h * g.in_w).map(|_| rng.normal(0.0, 1.0)).collect();
         let y: Vec<f32> =
             (0..g.patch_len() * g.out_plane()).map(|_| rng.normal(0.0, 1.0)).collect();
         let mut cols = vec![0.0f32; y.len()];

@@ -6,10 +6,13 @@
 //! lowering for convolutions, elementwise maps, reductions, and a seeded
 //! RNG façade so every experiment in the benchmark is reproducible.
 //!
-//! The design goal is *determinism first*: all operations are
-//! single-threaded and evaluate in a fixed order, so a benchmark cell run
-//! twice with the same seed produces bit-identical models, accuracies and
-//! adversarial success rates.
+//! The design goal is *determinism first*: every operation evaluates
+//! each output element in a fixed accumulation order, so a benchmark
+//! cell run twice with the same seed produces bit-identical models,
+//! accuracies and adversarial success rates. Large kernels execute in
+//! parallel (see [`par`]) by partitioning disjoint rows of the output
+//! across workers — the thread count changes wall-clock time, never
+//! results.
 //!
 //! ## Example
 //!
@@ -30,6 +33,7 @@ mod error;
 mod im2col;
 mod linalg;
 mod ops;
+pub mod par;
 mod rng;
 mod shape;
 mod tensor;

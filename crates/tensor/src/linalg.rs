@@ -1,9 +1,18 @@
 //! Dense linear algebra kernels.
 //!
-//! A register-blocked, cache-aware single-threaded GEMM is the workhorse
-//! behind both fully-connected layers and (via `im2col`) convolutions.
-//! The kernel iterates `i, k, j` so the innermost loop streams rows of
-//! `b` and `c`, which LLVM auto-vectorizes well for `f32`.
+//! A register-blocked, cache-aware GEMM is the workhorse behind both
+//! fully-connected layers and (via `im2col`) convolutions. The kernel
+//! iterates `i, k, j` so the innermost loop streams rows of `b` and
+//! `c`, which LLVM auto-vectorizes well for `f32`.
+//!
+//! Large kernels are parallelized by partitioning the *rows of the
+//! destination* across workers (see [`crate::par`]). Every output
+//! element depends on exactly one row of `a` (or, for `a^T`, one column
+//! read in the same `kk` order), so each worker reproduces the serial
+//! kernel's accumulation order exactly and results are bit-identical at
+//! any thread count.
+
+use crate::par;
 
 /// `c += a @ b` for row-major matrices: `a` is `m×k`, `b` is `k×n`, `c`
 /// is `m×n`.
@@ -19,12 +28,25 @@ pub fn gemm(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], c: &mut [f32]) {
     debug_assert_eq!(a.len(), m * k);
     debug_assert_eq!(b.len(), k * n);
     debug_assert_eq!(c.len(), m * n);
+    if m.saturating_mul(k).saturating_mul(n) < par::PAR_MIN_WORK {
+        gemm_rows(m, k, n, a, b, c);
+        return;
+    }
+    par::par_row_chunks_mut(c, n, |first, c_chunk| {
+        let rows = c_chunk.len() / n;
+        gemm_rows(rows, k, n, &a[first * k..(first + rows) * k], b, c_chunk);
+    });
+}
+
+/// Serial `gemm` over a contiguous band of `rows` destination rows;
+/// `a` holds the matching rows of the left operand.
+fn gemm_rows(rows: usize, k: usize, n: usize, a: &[f32], b: &[f32], c: &mut [f32]) {
     // Block over k to keep the streamed panel of `b` in L1/L2.
     const KB: usize = 256;
     let mut k0 = 0;
     while k0 < k {
         let k1 = (k0 + KB).min(k);
-        for i in 0..m {
+        for i in 0..rows {
             let a_row = &a[i * k..(i + 1) * k];
             let c_row = &mut c[i * n..(i + 1) * n];
             for kk in k0..k1 {
@@ -64,11 +86,27 @@ pub fn gemm_at_b(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], c: &mut [f3
     debug_assert_eq!(a.len(), k * m);
     debug_assert_eq!(b.len(), k * n);
     debug_assert_eq!(c.len(), m * n);
+    if m.saturating_mul(k).saturating_mul(n) < par::PAR_MIN_WORK {
+        gemm_at_b_rows(0, m, k, n, a, b, c);
+        return;
+    }
+    par::par_row_chunks_mut(c, n, |first, c_chunk| {
+        gemm_at_b_rows(first, m, k, n, a, b, c_chunk);
+    });
+}
+
+/// Serial `gemm_at_b` over the destination rows held in `c` (a band
+/// starting at row `first` of the full output); `a` is the full `k×m`
+/// left operand (its columns are strided, so it cannot be sub-sliced
+/// per chunk). Accumulation per destination row is `kk` ascending —
+/// identical to the whole-matrix kernel.
+fn gemm_at_b_rows(first: usize, m: usize, k: usize, n: usize, a: &[f32], b: &[f32], c: &mut [f32]) {
+    let rows = c.len() / n;
     for kk in 0..k {
         let a_row = &a[kk * m..(kk + 1) * m];
         let b_row = &b[kk * n..(kk + 1) * n];
-        for i in 0..m {
-            let aki = a_row[i];
+        for i in 0..rows {
+            let aki = a_row[first + i];
             if aki == 0.0 {
                 continue;
             }
@@ -86,7 +124,20 @@ pub fn gemm_a_bt(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], c: &mut [f3
     debug_assert_eq!(a.len(), m * k);
     debug_assert_eq!(b.len(), n * k);
     debug_assert_eq!(c.len(), m * n);
-    for i in 0..m {
+    if m.saturating_mul(k).saturating_mul(n) < par::PAR_MIN_WORK {
+        gemm_a_bt_rows(m, k, n, a, b, c);
+        return;
+    }
+    par::par_row_chunks_mut(c, n, |first, c_chunk| {
+        let rows = c_chunk.len() / n;
+        gemm_a_bt_rows(rows, k, n, &a[first * k..(first + rows) * k], b, c_chunk);
+    });
+}
+
+/// Serial `gemm_a_bt` over a contiguous band of `rows` destination
+/// rows; `a` holds the matching rows of the left operand.
+fn gemm_a_bt_rows(rows: usize, k: usize, n: usize, a: &[f32], b: &[f32], c: &mut [f32]) {
+    for i in 0..rows {
         let a_row = &a[i * k..(i + 1) * k];
         let c_row = &mut c[i * n..(i + 1) * n];
         for (j, cj) in c_row.iter_mut().enumerate() {
@@ -171,6 +222,47 @@ mod tests {
         let expect2 = a.matmul(&b_t.transpose2());
         for (x, y) in c2.iter().zip(expect2.data()) {
             assert!((x - y).abs() < 1e-4);
+        }
+    }
+
+    /// Each kernel must produce bit-identical output at any thread
+    /// count. The shape is chosen above `PAR_MIN_WORK` so the parallel
+    /// path actually engages when workers > 1.
+    #[test]
+    fn parallel_kernels_are_bit_identical_to_serial() {
+        let _guard = crate::par::THREAD_CONFIG.lock().unwrap();
+        let mut rng = SeededRng::new(3);
+        let (m, k, n) = (96, 64, 96); // 96·64·96 ≈ 590k MACs > PAR_MIN_WORK
+        let a = Tensor::randn(&[m, k], 0.0, 1.0, &mut rng);
+        let b = Tensor::randn(&[k, n], 0.0, 1.0, &mut rng);
+        let a_t = Tensor::randn(&[k, m], 0.0, 1.0, &mut rng);
+        let b_t = Tensor::randn(&[n, k], 0.0, 1.0, &mut rng);
+
+        // Serial references computed inside a worker guard, which pins
+        // effective parallelism to one thread regardless of the global
+        // setting (other tests in this binary may change it).
+        let (mut s0, mut s1, mut s2) =
+            (vec![0.0f32; m * n], vec![0.0f32; m * n], vec![0.0f32; m * n]);
+        crate::par::run_as_worker(|| {
+            gemm(m, k, n, a.data(), b.data(), &mut s0);
+            gemm_at_b(m, k, n, a_t.data(), b.data(), &mut s1);
+            gemm_a_bt(m, k, n, a.data(), b_t.data(), &mut s2);
+        });
+
+        for workers in [2, 3, 5] {
+            let run = |f: &dyn Fn(&mut [f32])| {
+                let mut c = vec![0.0f32; m * n];
+                f(&mut c);
+                c
+            };
+            crate::par::set_threads(workers);
+            let p0 = run(&|c| gemm(m, k, n, a.data(), b.data(), c));
+            let p1 = run(&|c| gemm_at_b(m, k, n, a_t.data(), b.data(), c));
+            let p2 = run(&|c| gemm_a_bt(m, k, n, a.data(), b_t.data(), c));
+            crate::par::set_threads(1);
+            assert_eq!(p0, s0, "gemm diverged at {workers} workers");
+            assert_eq!(p1, s1, "gemm_at_b diverged at {workers} workers");
+            assert_eq!(p2, s2, "gemm_a_bt diverged at {workers} workers");
         }
     }
 }

@@ -1,0 +1,282 @@
+//! Deterministic data parallelism over row-partitioned buffers.
+//!
+//! The suite's determinism contract is that a benchmark cell run twice
+//! with the same seed produces bit-identical results. Naive
+//! parallelization breaks that by reassociating floating-point sums.
+//! This module provides a narrower primitive that cannot: work is
+//! partitioned into *disjoint contiguous row ranges* of the output
+//! buffer, each worker owns its rows exclusively, and every output
+//! element is accumulated in exactly the order the serial kernel used.
+//! Changing the thread count only changes which worker computes a row,
+//! never the arithmetic inside it.
+//!
+//! Workers are scoped threads ([`std::thread::scope`]): the crate
+//! forbids `unsafe`, which rules out a persistent pool lending borrowed
+//! closures across an API boundary, and scoped spawns keep lifetimes
+//! checked by the compiler. Spawn cost (~tens of microseconds) is
+//! amortized by only parallelizing kernels above a work threshold.
+//!
+//! Nested parallelism is suppressed: code running inside a worker (or
+//! inside [`run_as_worker`], used by the benchmark prefetcher) sees an
+//! effective thread count of one, so a parallel convolution that calls
+//! GEMM inside its per-sample worker does not oversubscribe the
+//! machine.
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Configured worker count. Zero means "not yet resolved"; the first
+/// reader resolves it from `DLBENCH_THREADS` or the machine.
+static THREADS: AtomicUsize = AtomicUsize::new(0);
+
+thread_local! {
+    /// Set while executing inside a parallel worker; forces nested
+    /// kernels down the serial path.
+    static IN_WORKER: Cell<bool> = const { Cell::new(false) };
+}
+
+/// Kernels below this many multiply-accumulates run serially — scoped
+/// spawn overhead would dominate the work. Exported so layer code
+/// parallelizing over samples or planes can apply the same gate.
+pub const PAR_MIN_WORK: usize = 1 << 18;
+
+/// Whether the current thread is a parallel worker (or inside
+/// [`run_as_worker`]). Layer code uses this to skip building
+/// parallel-only staging buffers when the kernels below it will run
+/// serially anyway.
+pub fn is_worker() -> bool {
+    IN_WORKER.with(Cell::get)
+}
+
+/// Sets the global worker count (clamped to at least 1).
+///
+/// The CLI calls this from `--threads`; tests call it to pin
+/// parallelism. Thread count never affects results — only wall-clock.
+pub fn set_threads(n: usize) {
+    THREADS.store(n.max(1), Ordering::Relaxed);
+}
+
+/// The configured worker count.
+///
+/// Resolution order: the last [`set_threads`] call, else the
+/// `DLBENCH_THREADS` environment variable, else
+/// [`std::thread::available_parallelism`].
+pub fn threads() -> usize {
+    let configured = THREADS.load(Ordering::Relaxed);
+    if configured != 0 {
+        return configured;
+    }
+    let resolved = std::env::var("DLBENCH_THREADS")
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .filter(|&n| n >= 1)
+        .unwrap_or_else(|| std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1));
+    THREADS.store(resolved, Ordering::Relaxed);
+    resolved
+}
+
+/// Worker count applicable right now for a job with `rows` independent
+/// rows: 1 inside a worker (no nesting), never more than `rows`.
+pub(crate) fn effective_threads(rows: usize) -> usize {
+    if IN_WORKER.with(Cell::get) {
+        1
+    } else {
+        threads().min(rows.max(1))
+    }
+}
+
+/// Runs `f` with the calling thread marked as a parallel worker, so
+/// kernels it executes take their serial path.
+///
+/// Used by tensor-internal workers and by higher layers that manage
+/// their own coarse-grained threads (e.g. the benchmark runner's
+/// prefetcher) and want the math below them deterministic and
+/// unthreaded.
+pub fn run_as_worker<R>(f: impl FnOnce() -> R) -> R {
+    struct Restore(bool);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            IN_WORKER.with(|w| w.set(self.0));
+        }
+    }
+    let _restore = Restore(IN_WORKER.with(|w| w.replace(true)));
+    f()
+}
+
+/// Splits `data` into contiguous chunks of whole rows (`row_len`
+/// elements each) and runs `f(first_row, chunk)` on each chunk, one
+/// worker per chunk.
+///
+/// With one effective worker the call is inlined on the current thread,
+/// so the serial path has zero overhead. Rows are distributed as evenly
+/// as possible (the first `rows % workers` chunks get one extra row).
+///
+/// # Panics
+///
+/// Panics if `row_len` is zero or does not divide `data.len()`.
+pub fn par_row_chunks_mut<T, F>(data: &mut [T], row_len: usize, f: F)
+where
+    T: Send,
+    F: Fn(usize, &mut [T]) + Sync,
+{
+    assert!(row_len > 0, "row_len must be positive");
+    assert_eq!(data.len() % row_len, 0, "data must be whole rows");
+    let rows = data.len() / row_len;
+    let workers = effective_threads(rows);
+    if workers <= 1 {
+        f(0, data);
+        return;
+    }
+    let base = rows / workers;
+    let extra = rows % workers;
+    std::thread::scope(|scope| {
+        let f = &f;
+        let mut rest = data;
+        let mut first = 0usize;
+        for w in 0..workers {
+            let chunk_rows = base + usize::from(w < extra);
+            let (chunk, tail) = rest.split_at_mut(chunk_rows * row_len);
+            rest = tail;
+            let chunk_first = first;
+            scope.spawn(move || run_as_worker(|| f(chunk_first, chunk)));
+            first += chunk_rows;
+        }
+    });
+}
+
+/// Two-buffer variant of [`par_row_chunks_mut`]: `a` and `b` hold the
+/// same number of rows (of possibly different widths) and are
+/// partitioned identically, so each worker gets the matching row range
+/// of both. Used where a kernel fills parallel outputs (e.g. max-pool
+/// values plus argmax indices).
+///
+/// # Panics
+///
+/// Panics if either row length is zero, does not divide its buffer, or
+/// the row counts disagree.
+pub fn par_row_chunks2_mut<A, B, F>(a: &mut [A], row_a: usize, b: &mut [B], row_b: usize, f: F)
+where
+    A: Send,
+    B: Send,
+    F: Fn(usize, &mut [A], &mut [B]) + Sync,
+{
+    assert!(row_a > 0 && row_b > 0, "row lengths must be positive");
+    assert_eq!(a.len() % row_a, 0, "first buffer must be whole rows");
+    assert_eq!(b.len() % row_b, 0, "second buffer must be whole rows");
+    let rows = a.len() / row_a;
+    assert_eq!(b.len() / row_b, rows, "buffers must have equal row counts");
+    let workers = effective_threads(rows);
+    if workers <= 1 {
+        f(0, a, b);
+        return;
+    }
+    let base = rows / workers;
+    let extra = rows % workers;
+    std::thread::scope(|scope| {
+        let f = &f;
+        let (mut rest_a, mut rest_b) = (a, b);
+        let mut first = 0usize;
+        for w in 0..workers {
+            let chunk_rows = base + usize::from(w < extra);
+            let (chunk_a, tail_a) = rest_a.split_at_mut(chunk_rows * row_a);
+            let (chunk_b, tail_b) = rest_b.split_at_mut(chunk_rows * row_b);
+            rest_a = tail_a;
+            rest_b = tail_b;
+            let chunk_first = first;
+            scope.spawn(move || run_as_worker(|| f(chunk_first, chunk_a, chunk_b)));
+            first += chunk_rows;
+        }
+    });
+}
+
+/// Serializes unit tests (across this crate's modules) that mutate the
+/// global thread count.
+#[cfg(test)]
+pub(crate) static THREAD_CONFIG: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chunks_cover_all_rows_exactly_once() {
+        let _guard = THREAD_CONFIG.lock().unwrap();
+        set_threads(4);
+        let mut data = vec![0u32; 10 * 3];
+        par_row_chunks_mut(&mut data, 3, |first, chunk| {
+            for (r, row) in chunk.chunks_mut(3).enumerate() {
+                for v in row.iter_mut() {
+                    *v += (first + r) as u32 + 1;
+                }
+            }
+        });
+        let expect: Vec<u32> = (0..10).flat_map(|r| std::iter::repeat_n(r as u32 + 1, 3)).collect();
+        assert_eq!(data, expect);
+        set_threads(1);
+    }
+
+    #[test]
+    fn single_thread_runs_inline() {
+        let _guard = THREAD_CONFIG.lock().unwrap();
+        set_threads(1);
+        let caller = std::thread::current().id();
+        let mut data = vec![0u8; 8];
+        par_row_chunks_mut(&mut data, 2, |_, _| {
+            assert_eq!(std::thread::current().id(), caller);
+        });
+    }
+
+    #[test]
+    fn nested_calls_run_serially() {
+        let _guard = THREAD_CONFIG.lock().unwrap();
+        set_threads(4);
+        assert_eq!(effective_threads(100), 4);
+        run_as_worker(|| {
+            assert_eq!(effective_threads(100), 1);
+            // A parallel helper invoked here must not spawn.
+            let caller = std::thread::current().id();
+            let mut data = vec![0u8; 100];
+            par_row_chunks_mut(&mut data, 1, |_, _| {
+                assert_eq!(std::thread::current().id(), caller);
+            });
+        });
+        assert_eq!(effective_threads(100), 4);
+        set_threads(1);
+    }
+
+    #[test]
+    fn two_buffer_chunks_stay_aligned() {
+        let _guard = THREAD_CONFIG.lock().unwrap();
+        set_threads(3);
+        let mut vals = vec![0f32; 7 * 4];
+        let mut idxs = vec![0usize; 7 * 2];
+        par_row_chunks2_mut(&mut vals, 4, &mut idxs, 2, |first, va, ib| {
+            assert_eq!(va.len() / 4, ib.len() / 2);
+            for (r, row) in va.chunks_mut(4).enumerate() {
+                row.fill((first + r) as f32);
+            }
+            for (r, row) in ib.chunks_mut(2).enumerate() {
+                row.fill(first + r);
+            }
+        });
+        for r in 0..7 {
+            assert!(vals[r * 4..(r + 1) * 4].iter().all(|&v| v == r as f32));
+            assert!(idxs[r * 2..(r + 1) * 2].iter().all(|&v| v == r));
+        }
+        set_threads(1);
+    }
+
+    #[test]
+    fn more_threads_than_rows_is_fine() {
+        let _guard = THREAD_CONFIG.lock().unwrap();
+        set_threads(8);
+        let mut data = vec![1u64; 2 * 5];
+        par_row_chunks_mut(&mut data, 5, |_, chunk| {
+            for v in chunk.iter_mut() {
+                *v += 1;
+            }
+        });
+        assert!(data.iter().all(|&v| v == 2));
+        set_threads(1);
+    }
+}

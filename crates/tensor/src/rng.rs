@@ -1,8 +1,11 @@
 //! Deterministic random number generation for reproducible benchmarks.
-
-use rand::distributions::{Distribution, Uniform};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+//!
+//! The generator is a self-contained SplitMix64 stream (no external
+//! crates): a 64-bit counter advanced by the golden-gamma constant and
+//! finalized with two xor-multiply rounds. SplitMix64 passes BigCrush,
+//! is trivially seedable from a single `u64`, and — unlike library
+//! generators — guarantees the byte-for-byte stream stays stable across
+//! toolchain upgrades, which the determinism gate in `tests/` relies on.
 
 /// A seeded random source used everywhere randomness is needed.
 ///
@@ -16,14 +19,17 @@ use rand::{Rng, SeedableRng};
 /// initialization draws does not perturb the data.
 #[derive(Debug, Clone)]
 pub struct SeededRng {
-    inner: StdRng,
+    state: u64,
     seed: u64,
 }
+
+/// SplitMix64 golden-gamma increment.
+const GAMMA: u64 = 0x9e37_79b9_7f4a_7c15;
 
 impl SeededRng {
     /// Creates a generator from an explicit seed.
     pub fn new(seed: u64) -> Self {
-        Self { inner: StdRng::seed_from_u64(seed), seed }
+        Self { state: seed, seed }
     }
 
     /// The seed this generator was created from.
@@ -48,12 +54,33 @@ impl SeededRng {
         Self::new(z)
     }
 
+    /// Next raw 64-bit output (SplitMix64 step + finalizer).
+    fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(GAMMA);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform `f32` in `[0, 1)` from the top 24 bits of one draw.
+    fn next_unit_f32(&mut self) -> f32 {
+        ((self.next_u64() >> 40) as f32) * (1.0 / (1u64 << 24) as f32)
+    }
+
     /// Uniform sample in `[lo, hi)`.
     pub fn uniform(&mut self, lo: f32, hi: f32) -> f32 {
         if lo == hi {
             return lo;
         }
-        Uniform::new(lo, hi).sample(&mut self.inner)
+        let v = lo + (hi - lo) * self.next_unit_f32();
+        // Rounding in the affine map can land exactly on `hi`; keep the
+        // half-open contract.
+        if v < hi {
+            v
+        } else {
+            lo
+        }
     }
 
     /// Standard-normal sample scaled to `mean + std * z`.
@@ -61,8 +88,8 @@ impl SeededRng {
     /// Uses Box–Muller on two uniform draws; deterministic given the
     /// stream position.
     pub fn normal(&mut self, mean: f32, std: f32) -> f32 {
-        let u1: f32 = self.inner.gen_range(f32::EPSILON..1.0);
-        let u2: f32 = self.inner.gen_range(0.0..1.0);
+        let u1 = self.next_unit_f32().max(f32::EPSILON);
+        let u2 = self.next_unit_f32();
         let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f32::consts::PI * u2).cos();
         mean + std * z
     }
@@ -70,18 +97,20 @@ impl SeededRng {
     /// Uniform integer in `[0, n)`.
     pub fn index(&mut self, n: usize) -> usize {
         assert!(n > 0, "index() requires a non-empty range");
-        self.inner.gen_range(0..n)
+        // Multiply-shift bounded sampling (Lemire); the bias for n far
+        // below 2^64 is negligible for benchmark workloads.
+        ((self.next_u64() as u128 * n as u128) >> 64) as usize
     }
 
     /// Bernoulli draw with probability `p` of `true`.
     pub fn bernoulli(&mut self, p: f32) -> bool {
-        self.inner.gen_range(0.0f32..1.0) < p
+        self.next_unit_f32() < p
     }
 
     /// Fisher–Yates shuffle of a slice, in place.
     pub fn shuffle<T>(&mut self, items: &mut [T]) {
         for i in (1..items.len()).rev() {
-            let j = self.inner.gen_range(0..=i);
+            let j = self.index(i + 1);
             items.swap(i, j);
         }
     }
@@ -129,6 +158,15 @@ mod tests {
     }
 
     #[test]
+    fn uniform_respects_bounds() {
+        let mut rng = SeededRng::new(21);
+        for _ in 0..10_000 {
+            let v = rng.uniform(-1.5, 2.5);
+            assert!((-1.5..2.5).contains(&v), "out of range: {v}");
+        }
+    }
+
+    #[test]
     fn shuffle_is_permutation() {
         let mut rng = SeededRng::new(11);
         let mut v: Vec<usize> = (0..50).collect();
@@ -144,5 +182,17 @@ mod tests {
         let mut rng = SeededRng::new(13);
         let hits = (0..10_000).filter(|_| rng.bernoulli(0.3)).count();
         assert!((hits as f32 / 10_000.0 - 0.3).abs() < 0.02);
+    }
+
+    #[test]
+    fn index_covers_range_uniformly() {
+        let mut rng = SeededRng::new(17);
+        let mut counts = [0usize; 5];
+        for _ in 0..10_000 {
+            counts[rng.index(5)] += 1;
+        }
+        for (i, &c) in counts.iter().enumerate() {
+            assert!((c as f32 / 10_000.0 - 0.2).abs() < 0.03, "bucket {i}: {c}");
+        }
     }
 }

@@ -1,0 +1,23 @@
+#!/usr/bin/env sh
+# Repository gate: formatting, lints, build, and the tier-1 test suite.
+# Everything runs with --locked against the committed Cargo.lock so the
+# script works on hosts with no reachable cargo registry (the workspace
+# has no external dependencies; the lockfile only pins workspace
+# members).
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --check"
+cargo fmt --all --check
+
+echo "==> cargo clippy (-D warnings)"
+cargo clippy --workspace --all-targets --locked -- -D warnings
+
+echo "==> cargo build --release"
+cargo build --workspace --release --locked
+
+echo "==> cargo test"
+cargo test --workspace --locked -q
+
+echo "==> OK"

@@ -21,10 +21,7 @@ fn fgsm_succeeds_more_with_larger_epsilon() {
         let r = fgsm_success_rates(&mut out.model, &test.images, &test.labels, 10, &config);
         rates.push(r.mean_success_rate());
     }
-    assert!(
-        rates[1] > rates[0],
-        "bigger perturbations should flip more: {rates:?}"
-    );
+    assert!(rates[1] > rates[0], "bigger perturbations should flip more: {rates:?}");
     assert!(rates[1] > 0.3, "eps=0.3 should flip a good fraction: {rates:?}");
 }
 
@@ -78,21 +75,12 @@ fn attacks_do_not_corrupt_the_model() {
     );
     let (_, test) = trainer::generate_data(DatasetKind::Mnist, Scale::Tiny, TEST_SEED);
     let before = out.model.snapshot();
-    let acc_before = trainer::evaluate(
-        &mut out.model,
-        &test,
-        out.preprocessing,
-        &out.channel_means,
-    );
+    let acc_before =
+        trainer::evaluate(&mut out.model, &test, out.preprocessing, &out.channel_means);
     let config = FgsmConfig { epsilon: 0.2, clamp: Some((0.0, 1.0)) };
     fgsm_success_rates(&mut out.model, &test.images, &test.labels, 10, &config);
     let after = out.model.snapshot();
     assert_eq!(before, after, "attack mutated model parameters");
-    let acc_after = trainer::evaluate(
-        &mut out.model,
-        &test,
-        out.preprocessing,
-        &out.channel_means,
-    );
+    let acc_after = trainer::evaluate(&mut out.model, &test, out.preprocessing, &out.channel_means);
     assert_eq!(acc_before, acc_after);
 }

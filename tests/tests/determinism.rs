@@ -1,0 +1,80 @@
+//! Determinism gate: the parallel execution layer must be bit-identical
+//! to serial execution at every thread count.
+//!
+//! This is the contract the whole parallelization rests on (see
+//! `dlbench_tensor::par`): work is partitioned so each output row's
+//! floating-point accumulation order is exactly the serial kernel's.
+//! These tests flip the global thread count, so they serialize on a
+//! local mutex — thread count is process-global state.
+
+use dlbench_core::{experiments, BenchmarkRunner, ExperimentReport};
+use dlbench_frameworks::Scale;
+use dlbench_tensor::{gemm, par, SeededRng, Tensor};
+use std::sync::Mutex;
+
+/// Serializes tests that mutate the global worker count.
+static THREADS_GATE: Mutex<()> = Mutex::new(());
+
+fn gate() -> std::sync::MutexGuard<'static, ()> {
+    THREADS_GATE.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Runs `f` at the given thread count, restoring single-threaded
+/// execution afterwards so unrelated tests see a fixed configuration.
+fn at_threads<R>(n: usize, f: impl FnOnce() -> R) -> R {
+    par::set_threads(n);
+    let out = f();
+    par::set_threads(1);
+    out
+}
+
+#[test]
+fn gemm_is_bit_identical_across_thread_counts() {
+    let _gate = gate();
+    let mut rng = SeededRng::new(0xD373);
+    // Big enough to clear par::PAR_MIN_WORK so 4 threads really fan out.
+    let (m, k, n) = (128, 96, 80);
+    let a = Tensor::randn(&[m, k], 0.0, 1.0, &mut rng);
+    let b = Tensor::randn(&[k, n], 0.0, 1.0, &mut rng);
+    assert!(m * k * n >= par::PAR_MIN_WORK);
+
+    let mut serial = vec![0.0f32; m * n];
+    at_threads(1, || gemm(m, k, n, a.data(), b.data(), &mut serial));
+    let mut parallel = vec![0.0f32; m * n];
+    at_threads(4, || gemm(m, k, n, a.data(), b.data(), &mut parallel));
+
+    // Bitwise, not approximate: determinism means the same floats.
+    let serial_bits: Vec<u32> = serial.iter().map(|v| v.to_bits()).collect();
+    let parallel_bits: Vec<u32> = parallel.iter().map(|v| v.to_bits()).collect();
+    assert_eq!(serial_bits, parallel_bits);
+}
+
+/// Zeroes the one field that is *measured* rather than computed —
+/// `wall_train_s` is host wall-clock time and differs run to run even
+/// at a fixed thread count. Everything else must match bitwise.
+fn computed_only(mut report: ExperimentReport) -> ExperimentReport {
+    for row in &mut report.rows {
+        row.wall_train_s = 0.0;
+    }
+    report
+}
+
+#[test]
+fn fig1_report_is_identical_serial_vs_four_threads() {
+    let _gate = gate();
+    // Full pipeline at Tiny scale: training (conv/pool/gemm kernels,
+    // prefetched cells) through report assembly.
+    let serial = at_threads(1, || {
+        let mut runner = BenchmarkRunner::new(Scale::Tiny, 42);
+        experiments::fig1(&mut runner)
+    });
+    let parallel = at_threads(4, || {
+        let mut runner = BenchmarkRunner::new(Scale::Tiny, 42);
+        experiments::fig1(&mut runner)
+    });
+    assert_eq!(
+        computed_only(serial),
+        computed_only(parallel),
+        "thread count changed experiment results"
+    );
+}

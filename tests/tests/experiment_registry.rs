@@ -48,7 +48,11 @@ fn fig1_produces_six_cells_with_shared_training() {
         assert_eq!(fig1.rows[i].accuracy_pct, fig1.rows[i + 3].accuracy_pct);
     }
     // All MNIST accuracies healthy at tiny scale.
-    assert!(fig1.rows.iter().all(|r| r.accuracy_pct > 40.0), "{:?}", fig1.rows.iter().map(|r| r.accuracy_pct).collect::<Vec<_>>());
+    assert!(
+        fig1.rows.iter().all(|r| r.accuracy_pct > 40.0),
+        "{:?}",
+        fig1.rows.iter().map(|r| r.accuracy_pct).collect::<Vec<_>>()
+    );
 }
 
 #[test]
@@ -72,6 +76,6 @@ fn reports_serialize_to_json() {
     let report = ExperimentId::TableI.run(&mut runner);
     let json = report.to_json();
     assert!(json.contains("table_i"));
-    let parsed: serde_json::Value = serde_json::from_str(&json).unwrap();
+    let parsed = dlbench_json::parse(&json).unwrap();
     assert_eq!(parsed["id"], "table_i");
 }

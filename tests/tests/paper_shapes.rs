@@ -95,12 +95,8 @@ fn diverged_cell_reports_flat_loss_curve() {
         TEST_SEED,
     );
     assert!(!out.converged);
-    let plateau: Vec<f32> = out
-        .loss_curve
-        .iter()
-        .skip(out.loss_curve.len() / 2)
-        .map(|&(_, l)| l)
-        .collect();
+    let plateau: Vec<f32> =
+        out.loss_curve.iter().skip(out.loss_curve.len() / 2).map(|&(_, l)| l).collect();
     assert!(!plateau.is_empty());
     assert!(
         plateau.iter().all(|&l| (l - trainer::DIVERGED_LOSS).abs() < 1e-3),

@@ -119,11 +119,7 @@ fn cross_framework_settings_all_run_on_mnist() {
                 Scale::Tiny,
                 TEST_SEED,
             );
-            assert!(
-                out.accuracy > 0.08,
-                "{host} with {owner}-MNIST: accuracy {}",
-                out.accuracy
-            );
+            assert!(out.accuracy > 0.08, "{host} with {owner}-MNIST: accuracy {}", out.accuracy);
             assert!(out.executed_iterations > 0);
             assert!(out.paper_iterations >= out.executed_iterations);
         }

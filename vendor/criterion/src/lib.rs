@@ -1,0 +1,291 @@
+//! Offline stand-in for the subset of the `criterion` API the DLBench
+//! bench targets use.
+//!
+//! The container this repository builds in has no reachable cargo
+//! registry, so the real `criterion` crate cannot be fetched. This
+//! facade keeps the bench sources unchanged — `Criterion`,
+//! `benchmark_group`, `bench_function`, `black_box`, and the
+//! `criterion_group!`/`criterion_main!` macros — and implements a
+//! simple calibrated timing loop.
+//!
+//! Results are printed per benchmark and written as JSON to
+//! `target/dlbench-reports/BENCH_<group>.json` so harness runs leave a
+//! machine-readable record (`cargo bench --bench kernels`, …).
+//!
+//! CLI contract honored for `cargo bench`/`cargo test` integration:
+//! `--list` prints target names and exits; a leading positional filters
+//! benchmarks by substring; `--quick` caps sampling at one iteration.
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier preventing the optimizer from deleting a
+/// benchmarked computation (best-effort safe-Rust equivalent of
+/// `criterion::black_box`).
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// One timed benchmark result.
+#[derive(Debug, Clone)]
+pub struct BenchRecord {
+    /// Full benchmark id (`group/function` or bare function name).
+    pub id: String,
+    /// Mean wall-clock nanoseconds per iteration.
+    pub mean_ns: f64,
+    /// Iterations measured.
+    pub iters: u64,
+}
+
+/// Facade benchmark driver.
+pub struct Criterion {
+    sample_size: usize,
+    /// Target measurement time per benchmark.
+    measure: Duration,
+    filter: Option<String>,
+    list_only: bool,
+    records: Vec<BenchRecord>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let args: Vec<String> = std::env::args().skip(1).collect();
+        let list_only = args.iter().any(|a| a == "--list");
+        let quick = args.iter().any(|a| a == "--quick" || a == "--test");
+        let filter = args.iter().find(|a| !a.starts_with('-')).cloned();
+        Self {
+            sample_size: 10,
+            measure: if quick { Duration::ZERO } else { Duration::from_millis(300) },
+            filter,
+            list_only,
+            records: Vec::new(),
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of samples per benchmark (compat shim; the
+    /// facade scales its iteration budget with this).
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Whether a benchmark id passes the CLI filter.
+    fn selected(&self, id: &str) -> bool {
+        self.filter.as_deref().is_none_or(|f| id.contains(f))
+    }
+
+    /// Runs one benchmark closure and records its timing.
+    fn run_one<F: FnMut(&mut Bencher)>(&mut self, id: String, mut f: F) {
+        if self.list_only {
+            println!("{id}: bench");
+            return;
+        }
+        if !self.selected(&id) {
+            return;
+        }
+        // Warm-up + calibration: one timed iteration decides the batch.
+        let mut bencher = Bencher { iters: 1, elapsed: Duration::ZERO };
+        f(&mut bencher);
+        let per_iter = bencher.elapsed.max(Duration::from_nanos(1));
+        let budget = self.measure.max(per_iter);
+        let iters = (budget.as_nanos() / per_iter.as_nanos()).clamp(1, 10_000) as u64
+            * self.sample_size.min(4) as u64
+            / 4;
+        let iters = iters.max(1);
+        let mut bencher = Bencher { iters, elapsed: Duration::ZERO };
+        f(&mut bencher);
+        let mean_ns = bencher.elapsed.as_nanos() as f64 / iters as f64;
+        println!("{id:<48} {:>12.1} ns/iter ({iters} iters)", mean_ns);
+        self.records.push(BenchRecord { id, mean_ns, iters });
+    }
+
+    /// Registers and times a standalone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<String>,
+        f: F,
+    ) -> &mut Self {
+        self.run_one(id.into(), f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { criterion: self, name: name.into() }
+    }
+
+    /// Writes accumulated records to
+    /// `target/dlbench-reports/BENCH_<target>.json`, where the target
+    /// name is derived from the bench executable (falling back to the
+    /// group name in `tag`).
+    pub fn export_json(&self, tag: &str) {
+        if self.list_only || self.records.is_empty() {
+            return;
+        }
+        let tag = exe_tag().unwrap_or_else(|| tag.to_string());
+        let tag = tag.as_str();
+        let dir = reports_dir();
+        let _ = std::fs::create_dir_all(&dir);
+        let mut json = String::from("{\n  \"benchmarks\": [\n");
+        for (i, r) in self.records.iter().enumerate() {
+            json.push_str(&format!(
+                "    {{\"id\": \"{}\", \"mean_ns\": {:.1}, \"iters\": {}}}{}\n",
+                r.id.replace('"', "'"),
+                r.mean_ns,
+                r.iters,
+                if i + 1 < self.records.len() { "," } else { "" }
+            ));
+        }
+        json.push_str("  ]\n}\n");
+        let path = dir.join(format!("BENCH_{tag}.json"));
+        if let Err(e) = std::fs::write(&path, json) {
+            eprintln!("could not write {}: {e}", path.display());
+        }
+    }
+}
+
+/// The shared `target/dlbench-reports` directory. Cargo runs bench
+/// binaries with the *package* root as cwd, so a relative `target/`
+/// would scatter per-package target dirs across a workspace; instead
+/// the real target dir is recovered from the executable's own path
+/// (`<target>/<profile>/deps/<bench>-<hash>`).
+fn reports_dir() -> std::path::PathBuf {
+    let from_exe = std::env::current_exe().ok().and_then(|exe| {
+        let deps = exe.parent()?;
+        if deps.file_name()? != "deps" {
+            return None;
+        }
+        Some(deps.parent()?.parent()?.join("dlbench-reports"))
+    });
+    from_exe.unwrap_or_else(|| std::path::Path::new("target").join("dlbench-reports"))
+}
+
+/// Bench-target name from the executable path, with cargo's trailing
+/// `-<hash>` stripped (`kernels-7f3a…` → `kernels`).
+fn exe_tag() -> Option<String> {
+    let exe = std::env::current_exe().ok()?;
+    let stem = exe.file_stem()?.to_str()?.to_string();
+    match stem.rsplit_once('-') {
+        Some((base, suffix))
+            if suffix.len() >= 8 && suffix.chars().all(|c| c.is_ascii_hexdigit()) =>
+        {
+            Some(base.to_string())
+        }
+        _ => Some(stem),
+    }
+}
+
+/// A group of related benchmarks sharing an id prefix.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Registers and times one benchmark in the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<String>,
+        f: F,
+    ) -> &mut Self {
+        let id = format!("{}/{}", self.name, id.into());
+        self.criterion.run_one(id, f);
+        self
+    }
+
+    /// Compat shim: per-group sample size override.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.criterion.sample_size = n.max(1);
+        self
+    }
+
+    /// Ends the group (no-op; kept for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Timing handle passed to benchmark closures.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `routine` over the calibrated iteration count.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// Declares a benchmark group: a runner function invoking each target
+/// with a configured [`Criterion`].
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+            criterion.export_json(stringify!($name));
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Declares `main()` running the listed benchmark groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_times_work() {
+        let mut c = Criterion { measure: Duration::ZERO, ..Criterion::default() };
+        c.list_only = false;
+        c.filter = None;
+        let mut calls = 0u64;
+        c.bench_function("counting", |b| b.iter(|| calls += 1));
+        assert!(calls >= 1);
+        assert_eq!(c.records.len(), 1);
+        assert!(c.records[0].mean_ns >= 0.0);
+    }
+
+    #[test]
+    fn groups_prefix_ids() {
+        let mut c = Criterion { measure: Duration::ZERO, ..Criterion::default() };
+        c.list_only = false;
+        c.filter = None;
+        let mut g = c.benchmark_group("g");
+        g.bench_function("f", |b| b.iter(|| 1 + 1));
+        g.finish();
+        assert_eq!(c.records[0].id, "g/f");
+    }
+
+    #[test]
+    fn filter_skips_unmatched() {
+        let mut c = Criterion { measure: Duration::ZERO, ..Criterion::default() };
+        c.list_only = false;
+        c.filter = Some("match-me".into());
+        c.bench_function("other", |b| b.iter(|| ()));
+        assert!(c.records.is_empty());
+    }
+}
