@@ -1,6 +1,6 @@
 //! Property-based tests for attack invariants.
 
-use dlbench_adversarial::{fgsm, jsma, FgsmConfig, JsmaConfig};
+use dlbench_adversarial::{fgsm, jsma, pgd, FgsmConfig, JsmaConfig, PgdConfig};
 use dlbench_nn::{Initializer, Linear, Network, Relu};
 use dlbench_tensor::{SeededRng, Tensor};
 use proptest::prelude::*;
@@ -40,6 +40,38 @@ proptest! {
             fgsm(&mut net, &x, 0, &FgsmConfig { epsilon: eps, clamp: Some((0.0, 1.0)) });
         prop_assert!(report.adversarial.min() >= 0.0);
         prop_assert!(report.adversarial.max() <= 1.0);
+    }
+
+    #[test]
+    fn fgsm_clamped_perturbation_still_within_eps_ball(
+        inputs in 2usize..12, eps in 0.001f32..0.5, seed in 0u64..500,
+    ) {
+        // Clamping to the data range can only shrink a perturbation,
+        // never grow it past the L-inf budget.
+        let mut rng = SeededRng::new(seed);
+        let mut net = mlp(inputs, 4, &mut rng);
+        let x = Tensor::rand_uniform(&[1, inputs], 0.0, 1.0, &mut rng);
+        let report =
+            fgsm(&mut net, &x, 1, &FgsmConfig { epsilon: eps, clamp: Some((0.0, 1.0)) });
+        for (a, b) in report.adversarial.data().iter().zip(x.data()) {
+            prop_assert!((a - b).abs() <= eps + 1e-6);
+        }
+    }
+
+    #[test]
+    fn pgd_linf_bound_holds(
+        inputs in 2usize..12, eps in 0.01f32..0.4, seed in 0u64..500,
+    ) {
+        // Every PGD iterate is projected back into the eps ball, so the
+        // final adversarial example must respect the same L-inf budget.
+        let mut rng = SeededRng::new(seed);
+        let mut net = mlp(inputs, 4, &mut rng);
+        let x = Tensor::rand_uniform(&[1, inputs], 0.0, 1.0, &mut rng);
+        let config = PgdConfig::standard(eps);
+        let report = pgd(&mut net, &x, 1, &config, &mut rng);
+        for (a, b) in report.adversarial.data().iter().zip(x.data()) {
+            prop_assert!((a - b).abs() <= eps + 1e-6);
+        }
     }
 
     #[test]

@@ -83,12 +83,33 @@ pub fn info() -> Result<(), String> {
     Ok(())
 }
 
+/// Checks the `--verify` / `DLBENCH_BLESS` combination up front:
+/// blessing reruns the golden experiments, which is only meaningful
+/// under `--verify` — a silently ignored `DLBENCH_BLESS=1` would let
+/// users believe they refreshed the goldens when nothing happened.
+pub(crate) fn verify_mode(args: &ParsedArgs) -> Result<(bool, bool), String> {
+    let verify = args.flag("verify");
+    let bless = dlbench_verify::golden::bless_enabled();
+    if bless && !verify {
+        return Err(format!(
+            "{}=1 requires --verify: blessing goldens without the \
+             verification pass would record unchecked reports",
+            dlbench_verify::golden::BLESS_ENV
+        ));
+    }
+    Ok((verify, bless))
+}
+
 /// `dlbench run`
 pub fn run(args: &ParsedArgs) -> Result<(), String> {
     let scale = parse_scale(args.get("scale"))?;
     let seed = args.get_parsed("seed", 42u64)?;
     let threads = configure_threads(args)?;
+    let (verify, bless) = verify_mode(args)?;
     let mut runner = BenchmarkRunner::new(scale, seed);
+    if verify {
+        runner.set_guard(std::sync::Arc::new(dlbench_verify::Verifier::new()));
+    }
     let ids: Vec<ExperimentId> = if args.positionals.is_empty() {
         ExperimentId::ALL.to_vec()
     } else {
@@ -102,8 +123,13 @@ pub fn run(args: &ParsedArgs) -> Result<(), String> {
         let mut report = id.run(&mut runner);
         // Execution provenance: thread count affects wall-clock only,
         // but is recorded so report consumers can see how a run was
-        // produced.
+        // produced. The verify flag travels with the report so readers
+        // know whether the epoch-boundary invariant guard was active.
         report.facts.push(("threads".into(), threads.to_string()));
+        report.facts.push(("verify".into(), verify.to_string()));
+        for v in runner.violations() {
+            report.notes.push(format!("verify: {v}"));
+        }
         println!("{}", report.render());
         if args.flag("bars") {
             print!("{}", report.render_bars());
@@ -116,6 +142,24 @@ pub fn run(args: &ParsedArgs) -> Result<(), String> {
                 .map_err(|e| format!("cannot write {path}: {e}"))?;
             println!("  [json written to {path}]");
         }
+    }
+    let violations = runner.violations();
+    if !violations.is_empty() {
+        return Err(format!(
+            "verification failed: {} invariant violation(s)\n  {}",
+            violations.len(),
+            violations.join("\n  ")
+        ));
+    }
+    if bless {
+        // Goldens are pinned at Tiny/seed 42 and regenerated with a
+        // dedicated runner, independent of this run's --scale/--seed.
+        dlbench_verify::golden::check_all().map_err(|diffs| diffs.join("\n"))?;
+        println!(
+            "[goldens blessed under {} at scale Tiny, seed {}]",
+            dlbench_verify::golden::golden_dir().display(),
+            dlbench_verify::golden::GOLDEN_SEED
+        );
     }
     Ok(())
 }
@@ -338,6 +382,35 @@ mod tests {
         let parsed =
             crate::args::parse(&["run".into(), "--threads".into(), "lots".into()]).unwrap();
         assert!(configure_threads(&parsed).is_err());
+    }
+
+    #[test]
+    fn bless_without_verify_is_rejected() {
+        // One test owns the env var: parallel test threads in this
+        // binary must not race on it.
+        let parsed_plain = crate::args::parse(&["run".into()]).unwrap();
+        let parsed_verify = crate::args::parse(&["run".into(), "--verify".into()]).unwrap();
+
+        std::env::set_var(dlbench_verify::golden::BLESS_ENV, "1");
+        let err = verify_mode(&parsed_plain).unwrap_err();
+        assert!(err.contains("--verify"), "{err}");
+        assert_eq!(verify_mode(&parsed_verify).unwrap(), (true, true));
+
+        // Only the literal "1" arms blessing.
+        std::env::set_var(dlbench_verify::golden::BLESS_ENV, "yes");
+        assert_eq!(verify_mode(&parsed_plain).unwrap(), (false, false));
+
+        std::env::remove_var(dlbench_verify::golden::BLESS_ENV);
+        assert_eq!(verify_mode(&parsed_plain).unwrap(), (false, false));
+        assert_eq!(verify_mode(&parsed_verify).unwrap(), (true, false));
+    }
+
+    #[test]
+    fn verify_is_a_flag_not_an_option() {
+        let parsed =
+            crate::args::parse(&["run".into(), "--verify".into(), "fig_1".into()]).unwrap();
+        assert!(parsed.flag("verify"));
+        assert_eq!(parsed.positionals, vec!["fig_1"]);
     }
 
     #[test]

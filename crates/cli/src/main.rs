@@ -26,7 +26,7 @@ COMMANDS:
     run <experiment>…             regenerate paper tables/figures
                                   [--scale tiny|small|paper] [--seed N]
                                   [--bars] [--json] [--out DIR]
-                                  [--threads N]
+                                  [--threads N] [--verify]
     train                         train one benchmark cell
                                   [--framework tf|caffe|torch]
                                   [--dataset mnist|cifar10]
@@ -47,6 +47,14 @@ THREADING:
     training and kernel execution. Results are bit-identical at any
     thread count; only wall-clock time changes. Default: machine
     parallelism.
+
+VERIFICATION:
+    run --verify installs the invariant guard: after every training
+    epoch the loss, parameters and gradients are checked for NaN/Inf
+    and shape drift; violations are recorded in the report and fail
+    the run. DLBENCH_BLESS=1 (with --verify) additionally re-blesses
+    the golden reports under tests/goldens/ at scale Tiny, seed 42.
+    DLBENCH_BLESS=1 without --verify is an error.
 ";
 
 fn main() -> ExitCode {

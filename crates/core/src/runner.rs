@@ -5,6 +5,7 @@ use dlbench_data::DatasetKind;
 use dlbench_frameworks::{trainer, DefaultSetting, FrameworkKind, Scale};
 use dlbench_simtime::Device;
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// Key for one device-independent training run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -25,6 +26,9 @@ pub struct BenchmarkRunner {
     scale: Scale,
     seed: u64,
     cache: HashMap<TrainKey, trainer::TrainOutcome>,
+    /// Invariant guard invoked at each training epoch boundary
+    /// (`--verify` installs `dlbench_verify::Verifier` here).
+    guard: Option<Arc<dyn trainer::TrainGuard>>,
     /// Cached targeted-attack campaign (Figure 9 and Tables VIII/IX
     /// share it).
     pub(crate) jsma_cache: Option<crate::experiments::JsmaCampaign>,
@@ -33,7 +37,37 @@ pub struct BenchmarkRunner {
 impl BenchmarkRunner {
     /// Creates a runner at the given scale and master seed.
     pub fn new(scale: Scale, seed: u64) -> Self {
-        Self { scale, seed, cache: HashMap::new(), jsma_cache: None }
+        Self { scale, seed, cache: HashMap::new(), guard: None, jsma_cache: None }
+    }
+
+    /// Installs a [`trainer::TrainGuard`] checked after every epoch of
+    /// every subsequent training run (cached outcomes are not
+    /// re-checked). The guard is shared with prefetch workers, hence
+    /// the `Arc`.
+    pub fn set_guard(&mut self, guard: Arc<dyn trainer::TrainGuard>) {
+        self.guard = Some(guard);
+    }
+
+    /// All guard violations recorded so far, one line per violation,
+    /// prefixed with the offending cell's label and sorted for
+    /// deterministic output (the cache is a `HashMap`).
+    pub fn violations(&self) -> Vec<String> {
+        let mut out: Vec<String> = self
+            .cache
+            .iter()
+            .flat_map(|(key, outcome)| {
+                outcome.guard_violations.iter().map(move |v| {
+                    format!(
+                        "{} ({}) on {}: {v}",
+                        key.host.name(),
+                        key.setting.label(),
+                        key.dataset.name()
+                    )
+                })
+            })
+            .collect();
+        out.sort();
+        out
     }
 
     /// The runner's scale.
@@ -80,8 +114,17 @@ impl BenchmarkRunner {
         }
         let workers = dlbench_tensor::par::threads().min(todo.len());
         let (scale, seed) = (self.scale, self.seed);
-        let train =
-            |key: TrainKey| trainer::run_training(key.host, key.setting, key.dataset, scale, seed);
+        let guard = self.guard.clone();
+        let train = |key: TrainKey| {
+            trainer::run_training_guarded(
+                key.host,
+                key.setting,
+                key.dataset,
+                scale,
+                seed,
+                guard.as_deref(),
+            )
+        };
         if workers <= 1 || dlbench_tensor::par::is_worker() {
             for key in todo {
                 let outcome = train(key);
@@ -126,8 +169,16 @@ impl BenchmarkRunner {
     ) -> R {
         let seed = self.seed;
         let scale = self.scale;
+        let guard = self.guard.clone();
         let outcome = self.cache.entry(key).or_insert_with(|| {
-            trainer::run_training(key.host, key.setting, key.dataset, scale, seed)
+            trainer::run_training_guarded(
+                key.host,
+                key.setting,
+                key.dataset,
+                scale,
+                seed,
+                guard.as_deref(),
+            )
         });
         f(outcome)
     }

@@ -55,3 +55,4 @@ pub use defaults::{training_defaults, DefaultSetting, Regularizer, TrainingConfi
 pub use kind::{FrameworkKind, FrameworkMeta};
 pub use scale::Scale;
 pub use spec::{ArchSpec, LayerSpecEntry};
+pub use trainer::{GuardCtx, TrainGuard};

@@ -72,6 +72,35 @@ pub struct SimTimes {
     pub test_seconds: f64,
 }
 
+/// What a [`TrainGuard`] sees at each epoch boundary.
+///
+/// The model is borrowed mutably so test harnesses can perturb
+/// parameters (e.g. inject a NaN) and watch a later check flag it;
+/// production guards only read.
+pub struct GuardCtx<'a> {
+    /// Zero-based epoch index just completed.
+    pub epoch: usize,
+    /// Zero-based iteration index the boundary landed on.
+    pub iteration: usize,
+    /// Loss of the boundary iteration ([`DIVERGED_LOSS`] once the run
+    /// has diverged).
+    pub loss: f32,
+    /// The model being trained.
+    pub model: &'a mut Network,
+}
+
+/// Runtime invariant hook invoked after every training epoch (and once
+/// more at the final iteration). Returning `Err` records a violation in
+/// [`TrainOutcome::guard_violations`]; training itself continues so the
+/// outcome still carries curves and timings.
+///
+/// Guards must be `Send + Sync`: [`run_training_guarded`] is called
+/// from prefetch worker threads, which share one guard instance.
+pub trait TrainGuard: Send + Sync {
+    /// Checks invariants at an epoch boundary.
+    fn after_epoch(&self, ctx: &mut GuardCtx<'_>) -> Result<(), String>;
+}
+
 /// Everything a cell run produces.
 pub struct TrainOutcome {
     /// Host framework (kept for re-deriving timings on other devices).
@@ -103,6 +132,9 @@ pub struct TrainOutcome {
     pub paper_train_batch_cost: LayerCost,
     /// Forward cost of one paper-scale test batch (batch 100).
     pub paper_test_batch_cost: LayerCost,
+    /// Invariant violations reported by the [`TrainGuard`] (empty when
+    /// no guard was installed or every check passed).
+    pub guard_violations: Vec<String>,
 }
 
 impl TrainOutcome {
@@ -268,6 +300,21 @@ pub fn run_training(
     scale: Scale,
     seed: u64,
 ) -> TrainOutcome {
+    run_training_guarded(host, setting, dataset, scale, seed, None)
+}
+
+/// [`run_training`] with an optional [`TrainGuard`] invoked at every
+/// epoch boundary. Violations never abort the run; they accumulate in
+/// [`TrainOutcome::guard_violations`] so callers (and reports) can
+/// surface them.
+pub fn run_training_guarded(
+    host: FrameworkKind,
+    setting: DefaultSetting,
+    dataset: DatasetKind,
+    scale: Scale,
+    seed: u64,
+    guard: Option<&dyn TrainGuard>,
+) -> TrainOutcome {
     let config = setting.training();
     let arch = effective_arch(host, &setting);
     let weight_decay = effective_weight_decay(host, dataset, &config);
@@ -298,45 +345,70 @@ pub fn run_training(
     let record_every = (exec_iters / 60).max(1);
     let mut diverged = false;
     let mut first_loss = f32::NAN;
+    // Epoch boundaries pace the guard hook; a diverged run keeps
+    // hitting them so guards still see (and can report) the blow-up.
+    let iters_per_epoch = (train.len() / config.batch_size).max(1);
+    let mut guard_violations = Vec::new();
+    let mut guard_tripped = false;
     let started = Instant::now();
 
     for it in 0..exec_iters {
+        let mut step_loss = DIVERGED_LOSS;
         if diverged {
             // Paper Figure 5: a diverged run's loss stays flat at its
             // ceiling for the rest of the schedule.
             if it % record_every == 0 {
                 loss_curve.push((it, DIVERGED_LOSS));
             }
-            continue;
+        } else {
+            let (images, labels) = batches.next_batch();
+            let x = preprocessing.apply(&images, &channel_means);
+            let logits = model.forward(&x, true);
+            let (loss, _) = loss_node.forward(&logits, &labels);
+            step_loss = loss;
+            if first_loss.is_nan() {
+                first_loss = loss;
+            }
+            if it % record_every == 0 {
+                loss_curve.push((
+                    it,
+                    if loss.is_finite() { loss.min(DIVERGED_LOSS) } else { DIVERGED_LOSS },
+                ));
+            }
+            // Divergence latch: non-finite values, or a saturated
+            // softmax (loss beyond any achievable initialization value)
+            // mean the run has exploded. Caffe reports exactly this as
+            // its flat 87.34 line in the paper's Figure 5; at some
+            // scales the explosion collapses to uniform predictions
+            // (loss ln 10) instead of NaN, which the latch still
+            // catches at the moment of saturation.
+            if !loss.is_finite() || loss > 20.0 || logits.has_non_finite() {
+                diverged = true;
+            } else {
+                model.zero_grads();
+                model.backward(&loss_node.backward());
+                optimizer.step(&mut model.params(), it);
+                // Divergence guard: non-finite parameters end learning.
+                if model.params().iter().any(|p| p.value.has_non_finite()) {
+                    diverged = true;
+                }
+            }
         }
-        let (images, labels) = batches.next_batch();
-        let x = preprocessing.apply(&images, &channel_means);
-        let logits = model.forward(&x, true);
-        let (loss, _) = loss_node.forward(&logits, &labels);
-        if first_loss.is_nan() {
-            first_loss = loss;
-        }
-        if it % record_every == 0 {
-            loss_curve
-                .push((it, if loss.is_finite() { loss.min(DIVERGED_LOSS) } else { DIVERGED_LOSS }));
-        }
-        // Divergence latch: non-finite values, or a saturated softmax
-        // (loss beyond any achievable initialization value) mean the
-        // run has exploded. Caffe reports exactly this as its flat
-        // 87.34 line in the paper's Figure 5; at some scales the
-        // explosion collapses to uniform predictions (loss ln 10)
-        // instead of NaN, which the latch still catches at the moment
-        // of saturation.
-        if !loss.is_finite() || loss > 20.0 || logits.has_non_finite() {
-            diverged = true;
-            continue;
-        }
-        model.zero_grads();
-        model.backward(&loss_node.backward());
-        optimizer.step(&mut model.params(), it);
-        // Divergence guard: non-finite parameters end learning.
-        if model.params().iter().any(|p| p.value.has_non_finite()) {
-            diverged = true;
+        if let Some(g) = guard {
+            // First violation wins: repeating the same message every
+            // remaining epoch would drown the report.
+            if !guard_tripped && ((it + 1) % iters_per_epoch == 0 || it + 1 == exec_iters) {
+                let mut ctx = GuardCtx {
+                    epoch: it / iters_per_epoch,
+                    iteration: it,
+                    loss: step_loss,
+                    model: &mut model,
+                };
+                if let Err(msg) = g.after_epoch(&mut ctx) {
+                    guard_violations.push(msg);
+                    guard_tripped = true;
+                }
+            }
         }
     }
     let wall_train_seconds = started.elapsed().as_secs_f64();
@@ -388,6 +460,7 @@ pub fn run_training(
         channel_means,
         paper_train_batch_cost,
         paper_test_batch_cost,
+        guard_violations,
     }
 }
 
@@ -483,6 +556,38 @@ mod tests {
         let gpu = out.simulated_times(&devices::gtx_1080_ti());
         assert!(gpu.train_seconds < cpu.train_seconds);
         assert!(gpu.test_seconds < cpu.test_seconds);
+    }
+
+    #[test]
+    fn guard_runs_once_per_epoch_and_collects_first_violation() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        struct Counting(AtomicUsize);
+        impl TrainGuard for Counting {
+            fn after_epoch(&self, ctx: &mut GuardCtx<'_>) -> Result<(), String> {
+                self.0.fetch_add(1, Ordering::Relaxed);
+                Err(format!("epoch {}: always fails", ctx.epoch))
+            }
+        }
+        let guard = Counting(AtomicUsize::new(0));
+        let s = DefaultSetting::new(FrameworkKind::Torch, DatasetKind::Mnist);
+        let out = run_training_guarded(
+            FrameworkKind::Torch,
+            s,
+            DatasetKind::Mnist,
+            Scale::Tiny,
+            11,
+            Some(&guard),
+        );
+        // First violation latches; later boundaries are not re-checked.
+        assert_eq!(out.guard_violations, vec!["epoch 0: always fails".to_string()]);
+        assert_eq!(guard.0.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn unguarded_run_reports_no_violations() {
+        let s = DefaultSetting::new(FrameworkKind::Torch, DatasetKind::Mnist);
+        let out = run_training(FrameworkKind::Torch, s, DatasetKind::Mnist, Scale::Tiny, 11);
+        assert!(out.guard_violations.is_empty());
     }
 
     #[test]

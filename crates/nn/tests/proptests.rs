@@ -116,4 +116,47 @@ proptest! {
         // window: total mass is conserved.
         prop_assert!((gx.sum() - g.sum()).abs() < 1e-3);
     }
+
+    #[test]
+    fn maxpool_backward_routes_only_to_argmax(
+        n in 1usize..3, c in 1usize..3, hw in 2usize..9, k in 1usize..4, seed in 0u64..500,
+    ) {
+        prop_assume!(hw >= k);
+        let mut rng = SeededRng::new(seed);
+        // Continuous draws: ties have measure zero, so every window has
+        // a unique argmax and the expected routing is unambiguous.
+        let x = Tensor::rand_uniform(&[n, c, hw, hw], 0.0, 1.0, &mut rng);
+        let mut pool = MaxPool2d::new(k, k, false);
+        let y = pool.forward(&x, true);
+        // Strictly positive upstream gradient: a misrouted entry can
+        // never cancel to zero by accident.
+        let g = Tensor::rand_uniform(y.shape(), 0.5, 1.5, &mut rng);
+        let gx = pool.backward(&g);
+        let (oh, ow) = (y.shape()[2], y.shape()[3]);
+        let mut expect = vec![0.0f32; x.len()];
+        for ni in 0..n {
+            for ci in 0..c {
+                for i in 0..oh {
+                    for j in 0..ow {
+                        let mut best = f32::NEG_INFINITY;
+                        let mut best_idx = 0usize;
+                        for di in 0..k {
+                            for dj in 0..k {
+                                let idx =
+                                    ((ni * c + ci) * hw + i * k + di) * hw + j * k + dj;
+                                if x.data()[idx] > best {
+                                    best = x.data()[idx];
+                                    best_idx = idx;
+                                }
+                            }
+                        }
+                        expect[best_idx] += g.data()[((ni * c + ci) * oh + i) * ow + j];
+                    }
+                }
+            }
+        }
+        // Gradient lands exactly on the argmax of each window — and
+        // nowhere else (uncovered pixels and non-max positions stay 0).
+        prop_assert_eq!(gx.data(), &expect[..]);
+    }
 }

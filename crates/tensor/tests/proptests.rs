@@ -123,6 +123,62 @@ proptest! {
     }
 
     #[test]
+    fn im2col_col2im_roundtrip_identity_when_disjoint(
+        c in 1usize..3, oh in 1usize..4, ow in 1usize..4, k in 1usize..4, seed in 0u64..500,
+    ) {
+        // stride == kernel, no padding: every pixel lands in exactly
+        // one patch, so the col2im(im2col(x)) round trip must return x
+        // bitwise — gradients pushed through the pair are preserved.
+        let (h, w) = (oh * k, ow * k);
+        let geo = Conv2dGeometry {
+            in_channels: c, in_h: h, in_w: w,
+            kernel_h: k, kernel_w: k, stride: k, pad: 0,
+        };
+        let mut rng = SeededRng::new(seed);
+        let x: Vec<f32> = (0..c * h * w).map(|_| rng.normal(0.0, 1.0)).collect();
+        let mut cols = vec![0.0f32; geo.patch_len() * geo.out_plane()];
+        im2col(&geo, &x, &mut cols);
+        let mut back = vec![0.0f32; x.len()];
+        col2im(&geo, &cols, &mut back);
+        prop_assert_eq!(&back[..], &x[..]);
+    }
+
+    #[test]
+    fn im2col_col2im_roundtrip_scales_by_coverage(
+        c in 1usize..3, h in 3usize..8, w in 3usize..8,
+        k in 1usize..4, stride in 1usize..3, pad in 0usize..2,
+        seed in 0u64..500,
+    ) {
+        // General geometry: the round trip multiplies each pixel by the
+        // number of patches covering it (computable by pushing ones
+        // through the same pair). No gradient is lost or invented.
+        prop_assume!(h + 2 * pad >= k && w + 2 * pad >= k);
+        let geo = Conv2dGeometry {
+            in_channels: c, in_h: h, in_w: w,
+            kernel_h: k, kernel_w: k, stride, pad,
+        };
+        let mut rng = SeededRng::new(seed);
+        let x: Vec<f32> = (0..c * h * w).map(|_| rng.normal(0.0, 1.0)).collect();
+        let n_cols = geo.patch_len() * geo.out_plane();
+
+        let mut cols = vec![0.0f32; n_cols];
+        im2col(&geo, &x, &mut cols);
+        let mut back = vec![0.0f32; x.len()];
+        col2im(&geo, &cols, &mut back);
+
+        let ones = vec![1.0f32; x.len()];
+        let mut ones_cols = vec![0.0f32; n_cols];
+        im2col(&geo, &ones, &mut ones_cols);
+        let mut coverage = vec![0.0f32; x.len()];
+        col2im(&geo, &ones_cols, &mut coverage);
+
+        for ((&b, &v), &cov) in back.iter().zip(&x).zip(&coverage) {
+            prop_assert!(cov >= 0.0);
+            prop_assert!((b - v * cov).abs() < 1e-4 * (1.0 + v.abs() * cov));
+        }
+    }
+
+    #[test]
     fn argmax_is_maximal(len in 1usize..64, seed in 0u64..1000) {
         let mut rng = SeededRng::new(seed);
         let t = Tensor::randn(&[len], 0.0, 1.0, &mut rng);

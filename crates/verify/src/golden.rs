@@ -1,0 +1,209 @@
+//! Golden-trace regression harness.
+//!
+//! Regenerates a fixed subset of the paper artifacts and diffs their
+//! JSON field-by-field against goldens committed under `tests/goldens/`
+//! at the repository root. Goldens are pinned at `Scale::Tiny` with
+//! seed 42: Tiny is the only scale cheap enough to regenerate on every
+//! CI run, and the substrate is bit-deterministic there (including
+//! across thread counts), so the comparison can demand byte equality.
+//!
+//! Re-blessing after an intentional change:
+//!
+//! ```text
+//! DLBENCH_BLESS=1 cargo test -p dlbench-verify --test goldens
+//! ```
+//!
+//! The only normalization applied before comparison is zeroing
+//! `wall_train_s` — real wall-clock time, the one nondeterministic
+//! field a report carries.
+
+use dlbench_core::registry::ExperimentId;
+use dlbench_core::{BenchmarkRunner, ExperimentReport};
+use dlbench_frameworks::Scale;
+use dlbench_json::JsonValue;
+use std::path::PathBuf;
+
+/// The experiments with committed goldens: the two static tables the
+/// whole methodology hangs off (default settings, default networks) and
+/// the first trained figure (own defaults on MNIST).
+pub const GOLDEN_EXPERIMENTS: [ExperimentId; 3] =
+    [ExperimentId::TableII, ExperimentId::TableIV, ExperimentId::Fig1];
+
+/// Scale goldens are pinned at.
+pub const GOLDEN_SCALE: Scale = Scale::Tiny;
+
+/// Master seed goldens are pinned at.
+pub const GOLDEN_SEED: u64 = 42;
+
+/// Environment variable that switches the harness from *diff* to
+/// *bless* (rewrite the goldens in place).
+pub const BLESS_ENV: &str = "DLBENCH_BLESS";
+
+/// Whether the current process asked for goldens to be re-blessed.
+pub fn bless_enabled() -> bool {
+    std::env::var(BLESS_ENV).map(|v| v == "1").unwrap_or(false)
+}
+
+/// Directory the goldens live in (`tests/goldens/` at the repo root).
+pub fn golden_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../tests/goldens")
+}
+
+/// Path of one experiment's golden file.
+pub fn golden_path(id: ExperimentId) -> PathBuf {
+    golden_dir().join(format!("{}.json", id.key()))
+}
+
+/// A runner pinned at the golden scale and seed.
+pub fn golden_runner() -> BenchmarkRunner {
+    BenchmarkRunner::new(GOLDEN_SCALE, GOLDEN_SEED)
+}
+
+/// Zeroes the nondeterministic fields of a report (`wall_train_s` is
+/// measured wall-clock time; everything else is computed and
+/// bit-deterministic at Tiny scale).
+pub fn normalize(report: &mut ExperimentReport) {
+    for row in &mut report.rows {
+        row.wall_train_s = 0.0;
+    }
+}
+
+/// Regenerates one experiment and returns its normalized golden JSON.
+pub fn regenerate(id: ExperimentId, runner: &mut BenchmarkRunner) -> String {
+    let mut report = id.run(runner);
+    normalize(&mut report);
+    let mut json = report.to_json();
+    json.push('\n');
+    json
+}
+
+/// Recursively diffs two JSON trees, appending `path: expected vs
+/// actual` lines for every leaf that differs.
+pub fn diff_json(expected: &JsonValue, actual: &JsonValue, path: &str, out: &mut Vec<String>) {
+    match (expected, actual) {
+        (JsonValue::Object(e), JsonValue::Object(a)) => {
+            for (key, ev) in e {
+                match a.iter().find(|(k, _)| k == key) {
+                    Some((_, av)) => diff_json(ev, av, &format!("{path}.{key}"), out),
+                    None => out.push(format!("{path}.{key}: missing from actual")),
+                }
+            }
+            for (key, _) in a {
+                if !e.iter().any(|(k, _)| k == key) {
+                    out.push(format!("{path}.{key}: unexpected in actual"));
+                }
+            }
+        }
+        (JsonValue::Array(e), JsonValue::Array(a)) => {
+            if e.len() != a.len() {
+                out.push(format!("{path}: length {} vs {}", e.len(), a.len()));
+            }
+            for (i, (ev, av)) in e.iter().zip(a).enumerate() {
+                diff_json(ev, av, &format!("{path}[{i}]"), out);
+            }
+        }
+        _ if expected == actual => {}
+        _ => out.push(format!("{path}: {} vs {}", expected.pretty(), actual.pretty())),
+    }
+}
+
+/// Diffs one experiment against its committed golden; in bless mode the
+/// golden is rewritten instead. Returns the field-level differences
+/// (empty = match).
+pub fn check_one(id: ExperimentId, runner: &mut BenchmarkRunner) -> Result<(), Vec<String>> {
+    let actual = regenerate(id, runner);
+    let path = golden_path(id);
+    if bless_enabled() {
+        std::fs::create_dir_all(golden_dir())
+            .map_err(|e| vec![format!("{}: creating goldens dir: {e}", id.key())])?;
+        std::fs::write(&path, &actual)
+            .map_err(|e| vec![format!("{}: writing {}: {e}", id.key(), path.display())])?;
+        return Ok(());
+    }
+    let expected = std::fs::read_to_string(&path).map_err(|e| {
+        vec![format!(
+            "{}: no golden at {} ({e}); run with {BLESS_ENV}=1 to create it",
+            id.key(),
+            path.display()
+        )]
+    })?;
+    if expected == actual {
+        return Ok(());
+    }
+    // Bytes differ: produce a field-by-field account.
+    let mut diffs = Vec::new();
+    match (dlbench_json::parse(&expected), dlbench_json::parse(&actual)) {
+        (Ok(e), Ok(a)) => diff_json(&e, &a, id.key(), &mut diffs),
+        (Err(e), _) => diffs.push(format!("{}: golden file is not valid JSON: {e:?}", id.key())),
+        (_, Err(e)) => diffs.push(format!("{}: regenerated report is invalid: {e:?}", id.key())),
+    }
+    if diffs.is_empty() {
+        // Semantically equal but byte-different (formatting drift) —
+        // still a failure: byte stability is part of the contract.
+        diffs.push(format!("{}: byte-level difference with identical JSON tree", id.key()));
+    }
+    Err(diffs)
+}
+
+/// Runs [`check_one`] for every golden experiment with a pinned runner.
+/// Collects all differences rather than stopping at the first.
+pub fn check_all() -> Result<(), Vec<String>> {
+    let mut runner = golden_runner();
+    let mut diffs = Vec::new();
+    for id in GOLDEN_EXPERIMENTS {
+        if let Err(mut d) = check_one(id, &mut runner) {
+            diffs.append(&mut d);
+        }
+    }
+    if diffs.is_empty() {
+        Ok(())
+    } else {
+        Err(diffs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn diff_reports_leaf_paths() {
+        let e = dlbench_json::parse(r#"{"a": 1, "b": [1, 2], "c": "x"}"#).unwrap();
+        let a = dlbench_json::parse(r#"{"a": 1, "b": [1, 3], "d": "x"}"#).unwrap();
+        let mut out = Vec::new();
+        diff_json(&e, &a, "root", &mut out);
+        assert!(out.iter().any(|d| d.contains("root.b[1]")), "{out:?}");
+        assert!(out.iter().any(|d| d.contains("root.c: missing")), "{out:?}");
+        assert!(out.iter().any(|d| d.contains("root.d: unexpected")), "{out:?}");
+    }
+
+    #[test]
+    fn diff_empty_for_equal_trees() {
+        let e = dlbench_json::parse(r#"{"rows": [{"x": 1.5}]}"#).unwrap();
+        let mut out = Vec::new();
+        diff_json(&e, &e.clone(), "root", &mut out);
+        assert!(out.is_empty(), "{out:?}");
+    }
+
+    #[test]
+    fn normalize_zeroes_wall_clock() {
+        let mut report = ExperimentReport::new("x", "t");
+        report.rows.push(dlbench_core::CellMetrics {
+            label: "l".into(),
+            device: "GPU".into(),
+            train_time_s: 1.0,
+            test_time_s: 2.0,
+            accuracy_pct: 3.0,
+            converged: true,
+            wall_train_s: 123.0,
+        });
+        normalize(&mut report);
+        assert_eq!(report.rows[0].wall_train_s, 0.0);
+        assert_eq!(report.rows[0].train_time_s, 1.0);
+    }
+
+    #[test]
+    fn golden_paths_use_experiment_keys() {
+        assert!(golden_path(ExperimentId::Fig1).ends_with("tests/goldens/fig_1.json"));
+    }
+}

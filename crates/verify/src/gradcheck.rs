@@ -1,0 +1,457 @@
+//! Central-difference gradient checking for layers, losses and whole
+//! networks.
+//!
+//! The check projects the layer output onto a fixed random direction
+//! `r`, making the scalar loss `L = Σ y ⊙ r` whose analytic gradient is
+//! exactly what `backward(r)` computes. Each probed coordinate is then
+//! perturbed by `±eps` and the numeric slope `(L₊ − L₋) / 2eps` compared
+//! against the analytic value.
+//!
+//! Everything runs in f32 (the substrate's precision), so tolerances are
+//! f32-appropriate: `eps = 1e-2` keeps the signal well above forward
+//! rounding noise, and agreement is accepted at relative error `1e-2`
+//! with an absolute-error escape hatch for near-zero gradients.
+//! Piecewise-linear layers (ReLU, MaxPool) have kinks where central
+//! differences are invalid; probes whose second difference reveals a
+//! nonsmooth point are skipped rather than counted as failures.
+
+use dlbench_nn::{Layer, Network, ParamKind, SoftmaxCrossEntropy};
+use dlbench_tensor::{SeededRng, Tensor};
+
+/// Tuning knobs for one gradient check.
+#[derive(Debug, Clone, Copy)]
+pub struct GradCheckConfig {
+    /// Perturbation step (applied as `±eps` per probe).
+    pub eps: f32,
+    /// Maximum accepted relative error `|num − ana| / max(|num|, |ana|)`.
+    pub rel_tol: f64,
+    /// Probes also pass when `|num − ana|` is below this (near-zero
+    /// gradients make relative error meaningless).
+    pub abs_tol: f64,
+    /// Probes per tensor (evenly spaced with a seeded offset); tensors
+    /// smaller than this are checked exhaustively.
+    pub max_samples: usize,
+    /// Seed for the projection direction and probe offsets.
+    pub seed: u64,
+}
+
+impl Default for GradCheckConfig {
+    fn default() -> Self {
+        Self { eps: 1e-2, rel_tol: 1e-2, abs_tol: 2e-3, max_samples: 48, seed: 7 }
+    }
+}
+
+/// Result of checking one tensor (a parameter, or the layer input).
+#[derive(Debug, Clone)]
+pub struct ParamCheck {
+    /// `"weight[0]"`, `"bias[1]"`, or `"input"`.
+    pub param: String,
+    /// Probes that produced a valid comparison.
+    pub checked: usize,
+    /// Probes skipped because the loss is nonsmooth there (kinks).
+    pub skipped: usize,
+    /// Largest relative error among checked probes that also exceeded
+    /// the absolute tolerance (0 when everything agreed).
+    pub max_rel_err: f64,
+    /// Flat index of the worst probe.
+    pub worst_index: usize,
+    /// Analytic gradient at the worst probe.
+    pub worst_analytic: f64,
+    /// Numeric gradient at the worst probe.
+    pub worst_numeric: f64,
+    /// Whether every checked probe met the tolerances.
+    pub pass: bool,
+}
+
+/// Gradient-check report for one layer / loss / network.
+#[derive(Debug, Clone)]
+pub struct GradCheckReport {
+    /// What was checked (layer name or network name).
+    pub target: String,
+    /// One entry per parameter tensor, plus one for the input gradient.
+    pub checks: Vec<ParamCheck>,
+}
+
+impl GradCheckReport {
+    /// `true` when every tensor passed and at least one probe ran.
+    pub fn passes(&self) -> bool {
+        !self.checks.is_empty()
+            && self.checks.iter().all(|c| c.pass)
+            && self.checks.iter().any(|c| c.checked > 0)
+    }
+
+    /// Human-readable summary (one line per tensor).
+    pub fn render(&self) -> String {
+        let mut out = format!("gradcheck {}\n", self.target);
+        for c in &self.checks {
+            out.push_str(&format!(
+                "  {:<12} {:>3} checked {:>2} skipped  max rel {:.2e}  [{}]{}\n",
+                c.param,
+                c.checked,
+                c.skipped,
+                c.max_rel_err,
+                if c.pass { "ok" } else { "FAIL" },
+                if c.pass {
+                    String::new()
+                } else {
+                    format!(
+                        "  worst @{}: analytic {:.4e} vs numeric {:.4e}",
+                        c.worst_index, c.worst_analytic, c.worst_numeric
+                    )
+                }
+            ));
+        }
+        out
+    }
+}
+
+/// Evenly spaced probe indices with a seeded starting offset — distinct,
+/// deterministic, and covering the tensor without enumerating it.
+fn probe_indices(len: usize, max_samples: usize, rng: &mut SeededRng) -> Vec<usize> {
+    if len <= max_samples {
+        return (0..len).collect();
+    }
+    let start = rng.index(len);
+    (0..max_samples).map(|i| (start + i * len / max_samples) % len).collect()
+}
+
+/// Compares one probe, classifying kinks. `l0`, `lp`, `lm` are the loss
+/// at the base point and the `±eps` perturbations.
+struct Probe {
+    numeric: f64,
+    rel_err: f64,
+    abs_err: f64,
+    kinked: bool,
+    ok: bool,
+}
+
+fn judge(cfg: &GradCheckConfig, analytic: f64, l0: f64, lp: f64, lm: f64) -> Probe {
+    judge_at(cfg, cfg.eps as f64, analytic, l0, lp, lm)
+}
+
+fn judge_at(cfg: &GradCheckConfig, eps: f64, analytic: f64, l0: f64, lp: f64, lm: f64) -> Probe {
+    let numeric = (lp - lm) / (2.0 * eps);
+    let abs_err = (numeric - analytic).abs();
+    let rel_err = abs_err / numeric.abs().max(analytic.abs()).max(1e-8);
+    let ok = rel_err <= cfg.rel_tol || abs_err <= cfg.abs_tol;
+    // Second difference ≈ eps²·f″ for smooth losses, but ≈ eps·|slope
+    // jump| across a kink — orders of magnitude larger at eps = 1e-2.
+    // Only probes that would otherwise *fail* are tested for kinks, so
+    // a genuine mismatch on a smooth path is never masked.
+    let kinked = !ok && (lp + lm - 2.0 * l0).abs() > 5.0 * eps * eps * numeric.abs().max(1.0);
+    Probe { numeric, rel_err, abs_err, kinked, ok }
+}
+
+/// Accumulates probe outcomes into a [`ParamCheck`].
+struct CheckAcc {
+    abs_tol: f64,
+    check: ParamCheck,
+}
+
+impl CheckAcc {
+    fn new(param: impl Into<String>, abs_tol: f64) -> Self {
+        Self {
+            abs_tol,
+            check: ParamCheck {
+                param: param.into(),
+                checked: 0,
+                skipped: 0,
+                max_rel_err: 0.0,
+                worst_index: 0,
+                worst_analytic: 0.0,
+                worst_numeric: 0.0,
+                pass: true,
+            },
+        }
+    }
+
+    fn record(&mut self, idx: usize, analytic: f64, probe: Probe) {
+        if probe.kinked {
+            self.check.skipped += 1;
+            return;
+        }
+        self.check.checked += 1;
+        if !probe.ok {
+            self.check.pass = false;
+        }
+        // Probes passing on the absolute escape hatch don't count
+        // toward the headline relative error.
+        let effective_rel = if probe.abs_err <= self.abs_tol { 0.0 } else { probe.rel_err };
+        if effective_rel > self.check.max_rel_err {
+            self.check.max_rel_err = effective_rel;
+            self.check.worst_index = idx;
+            self.check.worst_analytic = analytic;
+            self.check.worst_numeric = probe.numeric;
+        }
+    }
+
+    fn finish(self) -> ParamCheck {
+        self.check
+    }
+}
+
+/// Projection loss `Σ y ⊙ r` accumulated in f64.
+fn project(y: &Tensor, r: &Tensor) -> f64 {
+    y.data().iter().zip(r.data()).map(|(&a, &b)| a as f64 * b as f64).sum()
+}
+
+/// Names parameter tensors `weight[i]` / `bias[j]` by kind and ordinal.
+fn param_names(kinds: &[ParamKind]) -> Vec<String> {
+    let (mut w, mut b) = (0usize, 0usize);
+    kinds
+        .iter()
+        .map(|k| match k {
+            ParamKind::Weight => {
+                w += 1;
+                format!("weight[{}]", w - 1)
+            }
+            ParamKind::Bias => {
+                b += 1;
+                format!("bias[{}]", b - 1)
+            }
+        })
+        .collect()
+}
+
+/// Gradient-checks a single layer: every parameter tensor plus the
+/// gradient w.r.t. the input.
+///
+/// Runs the layer in eval mode (`train = false`): training-mode layers
+/// like Dropout resample their mask on every forward, which makes
+/// finite differences meaningless. The eval path still exercises the
+/// same backward code.
+pub fn gradcheck_layer(
+    layer: &mut dyn Layer,
+    input: &Tensor,
+    cfg: &GradCheckConfig,
+) -> GradCheckReport {
+    let mut rng = SeededRng::new(cfg.seed).fork(11);
+    let y0 = layer.forward(input, false);
+    let r = Tensor::randn(y0.shape(), 0.0, 1.0, &mut rng);
+    let l0 = project(&y0, &r);
+
+    // Analytic gradients: one backward pass against the projection.
+    layer.zero_grads();
+    let grad_input = layer.backward(&r);
+    let analytic_params: Vec<Tensor> = layer.params().iter().map(|p| p.grad.clone()).collect();
+    let kinds: Vec<ParamKind> = layer.params().iter().map(|p| p.kind).collect();
+    let names = param_names(&kinds);
+
+    let mut checks = Vec::new();
+    for (pi, name) in names.iter().enumerate() {
+        let analytic = &analytic_params[pi];
+        let mut acc = CheckAcc::new(name.clone(), cfg.abs_tol);
+        for idx in probe_indices(analytic.len(), cfg.max_samples, &mut rng) {
+            let ana = analytic.data()[idx] as f64;
+            let base = layer.params()[pi].value.data()[idx];
+            layer.params()[pi].value.data_mut()[idx] = base + cfg.eps;
+            let lp = project(&layer.forward(input, false), &r);
+            layer.params()[pi].value.data_mut()[idx] = base - cfg.eps;
+            let lm = project(&layer.forward(input, false), &r);
+            layer.params()[pi].value.data_mut()[idx] = base;
+            acc.record(idx, ana, judge(cfg, ana, l0, lp, lm));
+        }
+        checks.push(acc.finish());
+    }
+
+    // Input gradient.
+    let mut x = input.clone();
+    let mut acc = CheckAcc::new("input", cfg.abs_tol);
+    for idx in probe_indices(x.len(), cfg.max_samples, &mut rng) {
+        let ana = grad_input.data()[idx] as f64;
+        let base = x.data()[idx];
+        x.data_mut()[idx] = base + cfg.eps;
+        let lp = project(&layer.forward(&x, false), &r);
+        x.data_mut()[idx] = base - cfg.eps;
+        let lm = project(&layer.forward(&x, false), &r);
+        x.data_mut()[idx] = base;
+        acc.record(idx, ana, judge(cfg, ana, l0, lp, lm));
+    }
+    checks.push(acc.finish());
+    // Restore the layer's caches to the unperturbed point.
+    layer.forward(input, false);
+
+    GradCheckReport { target: layer.name().to_string(), checks }
+}
+
+/// Gradient-checks [`SoftmaxCrossEntropy`]: its backward against
+/// numeric derivatives of the scalar loss w.r.t. the logits.
+pub fn gradcheck_loss(logits: &Tensor, labels: &[usize], cfg: &GradCheckConfig) -> GradCheckReport {
+    let mut rng = SeededRng::new(cfg.seed).fork(13);
+    let mut loss_node = SoftmaxCrossEntropy::new();
+    let (l0, _) = loss_node.forward(logits, labels);
+    let l0 = l0 as f64;
+    let analytic = loss_node.backward();
+
+    let mut x = logits.clone();
+    let mut acc = CheckAcc::new("input", cfg.abs_tol);
+    for idx in probe_indices(x.len(), cfg.max_samples, &mut rng) {
+        let ana = analytic.data()[idx] as f64;
+        let base = x.data()[idx];
+        x.data_mut()[idx] = base + cfg.eps;
+        let lp = loss_node.forward(&x, labels).0 as f64;
+        x.data_mut()[idx] = base - cfg.eps;
+        let lm = loss_node.forward(&x, labels).0 as f64;
+        x.data_mut()[idx] = base;
+        acc.record(idx, ana, judge(cfg, ana, l0, lp, lm));
+    }
+    GradCheckReport { target: "softmax_cross_entropy".into(), checks: vec![acc.finish()] }
+}
+
+/// Cross-entropy of f32 logits accumulated in f64 (log-sum-exp form) —
+/// the extra headroom matters for the network-level finite differences.
+fn ce_loss_f64(logits: &Tensor, labels: &[usize]) -> f64 {
+    let n = labels.len();
+    let classes = logits.len() / n;
+    let mut total = 0.0f64;
+    for (i, &label) in labels.iter().enumerate() {
+        let row = &logits.data()[i * classes..(i + 1) * classes];
+        let max = row.iter().cloned().fold(f32::NEG_INFINITY, f32::max) as f64;
+        let lse = max + row.iter().map(|&v| (v as f64 - max).exp()).sum::<f64>().ln();
+        total += lse - row[label] as f64;
+    }
+    total / n as f64
+}
+
+/// Gradient-checks a whole network end to end through the real
+/// cross-entropy loss: every parameter tensor of every layer.
+///
+/// Unlike [`gradcheck_layer`], coordinates are not probed one at a
+/// time: in a deep f32 ReLU/MaxPool network a single-coordinate probe
+/// flips downstream kinks whose noise swamps the tiny per-coordinate
+/// gradients. Instead each parameter tensor is perturbed **along its
+/// analytic gradient direction**, and the numeric directional
+/// derivative is compared against `‖g‖` — the aggregate signal is
+/// `√len` larger while the kink noise is not, and any scaling, sign or
+/// wiring error in that tensor's backward still shifts the directional
+/// derivative. Probes landing on a kink retry at half the step.
+pub fn gradcheck_network(
+    net: &mut Network,
+    input: &Tensor,
+    labels: &[usize],
+    cfg: &GradCheckConfig,
+) -> GradCheckReport {
+    let mut loss_node = SoftmaxCrossEntropy::new();
+    let logits = net.forward(input, false);
+    let l0 = ce_loss_f64(&logits, labels);
+    loss_node.forward(&logits, labels);
+    net.zero_grads();
+    net.backward(&loss_node.backward());
+    let analytic_params: Vec<Tensor> = net.params().iter().map(|p| p.grad.clone()).collect();
+    let kinds: Vec<ParamKind> = net.params().iter().map(|p| p.kind).collect();
+    let names = param_names(&kinds);
+
+    let mut checks = Vec::new();
+    for (pi, name) in names.iter().enumerate() {
+        let g = &analytic_params[pi];
+        let norm = g.data().iter().map(|&v| v as f64 * v as f64).sum::<f64>().sqrt();
+        let mut acc = CheckAcc::new(name.clone(), cfg.abs_tol);
+        if norm <= cfg.abs_tol {
+            // Gradient indistinguishable from zero at f32 precision —
+            // nothing a directional probe could resolve.
+            acc.record(0, norm, judge_at(cfg, cfg.eps as f64, norm, l0, l0, l0));
+            checks.push(acc.finish());
+            continue;
+        }
+        let direction: Vec<f32> = g.data().iter().map(|&v| (v as f64 / norm) as f32).collect();
+        let base: Vec<f32> = net.params()[pi].value.data().to_vec();
+        let mut eps = cfg.eps as f64;
+        for attempt in 0..3 {
+            let perturb = |net: &mut Network, step: f64| {
+                let mut params = net.params();
+                let values = params[pi].value.data_mut();
+                for (v, (&b, &d)) in values.iter_mut().zip(base.iter().zip(&direction)) {
+                    *v = b + (step * d as f64) as f32;
+                }
+            };
+            perturb(net, eps);
+            let lp = ce_loss_f64(&net.forward(input, false), labels);
+            perturb(net, -eps);
+            let lm = ce_loss_f64(&net.forward(input, false), labels);
+            perturb(net, 0.0);
+            let probe = judge_at(cfg, eps, norm, l0, lp, lm);
+            if probe.kinked && attempt < 2 {
+                // Retry across a smaller interval: kink-crossing
+                // probability shrinks linearly with the step.
+                eps /= 2.0;
+                continue;
+            }
+            acc.record(0, norm, probe);
+            break;
+        }
+        checks.push(acc.finish());
+    }
+    // Leave the caches consistent with the unperturbed parameters.
+    net.forward(input, false);
+    GradCheckReport { target: net.name().to_string(), checks }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dlbench_nn::Linear;
+    use dlbench_tensor::SeededRng;
+
+    #[test]
+    fn linear_layer_passes() {
+        let mut rng = SeededRng::new(3);
+        let mut layer = Linear::new(6, 4, dlbench_nn::Initializer::Xavier, &mut rng);
+        let x = Tensor::randn(&[2, 6], 0.0, 1.0, &mut rng);
+        let report = gradcheck_layer(&mut layer, &x, &GradCheckConfig::default());
+        assert!(report.passes(), "{}", report.render());
+        // weight, bias, input.
+        assert_eq!(report.checks.len(), 3);
+    }
+
+    #[test]
+    fn corrupted_backward_is_caught() {
+        // A layer whose backward lies about the input gradient.
+        struct Liar(Linear);
+        impl Layer for Liar {
+            fn name(&self) -> &'static str {
+                "liar"
+            }
+            fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
+                self.0.forward(input, train)
+            }
+            fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+                self.0.backward(grad_out).scale(3.0)
+            }
+            fn params(&mut self) -> Vec<dlbench_nn::ParamSet<'_>> {
+                self.0.params()
+            }
+            fn output_shape(&self, input_shape: &[usize]) -> Vec<usize> {
+                self.0.output_shape(input_shape)
+            }
+            fn cost(&self, input_shape: &[usize]) -> dlbench_nn::LayerCost {
+                self.0.cost(input_shape)
+            }
+        }
+        let mut rng = SeededRng::new(3);
+        let mut layer = Liar(Linear::new(5, 3, dlbench_nn::Initializer::Xavier, &mut rng));
+        let x = Tensor::randn(&[2, 5], 0.0, 1.0, &mut rng);
+        let report = gradcheck_layer(&mut layer, &x, &GradCheckConfig::default());
+        assert!(!report.passes(), "scaled input gradient must fail:\n{}", report.render());
+    }
+
+    #[test]
+    fn loss_gradcheck_passes() {
+        let mut rng = SeededRng::new(5);
+        let logits = Tensor::randn(&[4, 10], 0.0, 2.0, &mut rng);
+        let labels = vec![0, 3, 9, 5];
+        let report = gradcheck_loss(&logits, &labels, &GradCheckConfig::default());
+        assert!(report.passes(), "{}", report.render());
+    }
+
+    #[test]
+    fn render_mentions_every_tensor() {
+        let mut rng = SeededRng::new(3);
+        let mut layer = Linear::new(4, 2, dlbench_nn::Initializer::Xavier, &mut rng);
+        let x = Tensor::randn(&[1, 4], 0.0, 1.0, &mut rng);
+        let report = gradcheck_layer(&mut layer, &x, &GradCheckConfig::default());
+        let text = report.render();
+        assert!(text.contains("weight[0]"));
+        assert!(text.contains("bias[0]"));
+        assert!(text.contains("input"));
+    }
+}

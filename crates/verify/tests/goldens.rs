@@ -1,0 +1,39 @@
+//! Golden-trace regression: the committed paper artifacts under
+//! `tests/goldens/` must be reproduced byte-for-byte at the pinned
+//! scale and seed.
+//!
+//! After an intentional output change, re-bless with:
+//! `DLBENCH_BLESS=1 cargo test -p dlbench-verify --test goldens`
+
+use dlbench_core::registry::ExperimentId;
+use dlbench_verify::golden;
+
+#[test]
+fn committed_goldens_match_regenerated_reports() {
+    // In bless mode this rewrites the goldens instead of diffing them.
+    if let Err(diffs) = golden::check_all() {
+        panic!("golden mismatch ({} differences):\n{}", diffs.len(), diffs.join("\n"));
+    }
+}
+
+#[test]
+fn regeneration_is_byte_stable_across_runs() {
+    // Two fresh runners — separate caches, separate training runs —
+    // must produce identical bytes for every golden experiment.
+    let mut first = golden::golden_runner();
+    let mut second = golden::golden_runner();
+    for id in golden::GOLDEN_EXPERIMENTS {
+        let a = golden::regenerate(id, &mut first);
+        let b = golden::regenerate(id, &mut second);
+        assert_eq!(a, b, "{} not byte-stable across two consecutive runs", id.key());
+    }
+}
+
+#[test]
+fn static_tables_need_no_training() {
+    // Two of the three goldens are static paper tables: pinning them
+    // costs nothing per CI run, and they gate the report serialization.
+    assert!(!ExperimentId::TableII.needs_training());
+    assert!(!ExperimentId::TableIV.needs_training());
+    assert!(ExperimentId::Fig1.needs_training());
+}

@@ -1,0 +1,176 @@
+//! Gradient checks for every backward implementation in `crates/nn`:
+//! the nine layers, the softmax cross-entropy loss, and full networks —
+//! including each framework personality's default architecture.
+
+use dlbench_data::DatasetKind;
+use dlbench_frameworks::{trainer, DefaultSetting, FrameworkKind, Scale};
+use dlbench_nn::{
+    AvgPool2d, Conv2d, Dropout, Flatten, Initializer, Layer, LocalResponseNorm, MaxPool2d, Relu,
+    SoftmaxCrossEntropy, Tanh,
+};
+use dlbench_tensor::{SeededRng, Tensor};
+use dlbench_verify::{gradcheck_layer, gradcheck_loss, gradcheck_network, GradCheckConfig};
+
+fn check(layer: &mut dyn Layer, input: &Tensor) {
+    let report = gradcheck_layer(layer, input, &GradCheckConfig::default());
+    assert!(report.passes(), "{}", report.render());
+}
+
+#[test]
+fn conv2d_backward() {
+    let mut rng = SeededRng::new(101);
+    let mut layer = Conv2d::new(3, 4, 3, 1, 1, Initializer::Xavier, &mut rng);
+    let x = Tensor::randn(&[2, 3, 8, 8], 0.0, 1.0, &mut rng);
+    check(&mut layer, &x);
+}
+
+#[test]
+fn conv2d_backward_strided_unpadded() {
+    let mut rng = SeededRng::new(102);
+    let mut layer = Conv2d::new(2, 3, 3, 2, 0, Initializer::Xavier, &mut rng);
+    let x = Tensor::randn(&[2, 2, 9, 9], 0.0, 1.0, &mut rng);
+    check(&mut layer, &x);
+}
+
+#[test]
+fn linear_backward() {
+    let mut rng = SeededRng::new(103);
+    let mut layer = dlbench_nn::Linear::new(10, 7, Initializer::Xavier, &mut rng);
+    let x = Tensor::randn(&[3, 10], 0.0, 1.0, &mut rng);
+    check(&mut layer, &x);
+}
+
+#[test]
+fn maxpool2d_backward() {
+    let mut rng = SeededRng::new(104);
+    let mut layer = MaxPool2d::new(2, 2, false);
+    let x = Tensor::randn(&[2, 3, 6, 6], 0.0, 1.0, &mut rng);
+    check(&mut layer, &x);
+}
+
+#[test]
+fn maxpool2d_backward_ceil_mode() {
+    let mut rng = SeededRng::new(105);
+    let mut layer = MaxPool2d::new(3, 2, true);
+    let x = Tensor::randn(&[1, 2, 7, 7], 0.0, 1.0, &mut rng);
+    check(&mut layer, &x);
+}
+
+#[test]
+fn avgpool2d_backward() {
+    let mut rng = SeededRng::new(106);
+    let mut layer = AvgPool2d::new(2, 2, false);
+    let x = Tensor::randn(&[2, 3, 6, 6], 0.0, 1.0, &mut rng);
+    check(&mut layer, &x);
+}
+
+#[test]
+fn relu_backward() {
+    let mut rng = SeededRng::new(107);
+    let mut layer = Relu::new();
+    let x = Tensor::randn(&[4, 20], 0.0, 1.0, &mut rng);
+    check(&mut layer, &x);
+}
+
+#[test]
+fn tanh_backward() {
+    let mut rng = SeededRng::new(108);
+    let mut layer = Tanh::new();
+    let x = Tensor::randn(&[4, 20], 0.0, 1.0, &mut rng);
+    check(&mut layer, &x);
+}
+
+#[test]
+fn local_response_norm_backward() {
+    let mut rng = SeededRng::new(109);
+    // Torch-style LRN with a strong enough alpha that the cross-channel
+    // term actually contributes to the gradient.
+    let mut layer = LocalResponseNorm::new(2, 1e-2, 0.75, 1.0);
+    let x = Tensor::randn(&[2, 6, 4, 4], 0.0, 1.0, &mut rng);
+    check(&mut layer, &x);
+}
+
+#[test]
+fn dropout_backward_eval_mode() {
+    // Gradcheck runs layers in eval mode: Dropout resamples its mask on
+    // every training-mode forward, which would invalidate finite
+    // differences. Eval mode exercises the same backward plumbing.
+    let mut rng = SeededRng::new(110);
+    let mut layer = Dropout::new(0.5, rng.fork(1));
+    let x = Tensor::randn(&[3, 15], 0.0, 1.0, &mut rng);
+    check(&mut layer, &x);
+}
+
+#[test]
+fn flatten_backward() {
+    let mut rng = SeededRng::new(111);
+    let mut layer = Flatten::new();
+    let x = Tensor::randn(&[2, 3, 4, 4], 0.0, 1.0, &mut rng);
+    check(&mut layer, &x);
+}
+
+#[test]
+fn softmax_cross_entropy_backward() {
+    let mut rng = SeededRng::new(112);
+    let logits = Tensor::randn(&[5, 10], 0.0, 2.0, &mut rng);
+    let labels = vec![0, 9, 4, 4, 7];
+    let report = gradcheck_loss(&logits, &labels, &GradCheckConfig::default());
+    assert!(report.passes(), "{}", report.render());
+}
+
+#[test]
+fn softmax_cross_entropy_matches_analytic_form() {
+    // Independent of finite differences: backward must equal
+    // (softmax(logits) - onehot) / batch.
+    let mut rng = SeededRng::new(113);
+    let logits = Tensor::randn(&[3, 6], 0.0, 1.5, &mut rng);
+    let labels = vec![1, 5, 0];
+    let mut loss = SoftmaxCrossEntropy::new();
+    loss.forward(&logits, &labels);
+    let grad = loss.backward();
+    let probs = logits.softmax_rows();
+    for (i, &label) in labels.iter().enumerate() {
+        for j in 0..6 {
+            let expect = (probs.at(&[i, j]) - if label == j { 1.0 } else { 0.0 }) / 3.0;
+            assert!((grad.at(&[i, j]) - expect).abs() < 1e-6);
+        }
+    }
+}
+
+/// End-to-end gradcheck of a framework personality's default network
+/// at Tiny scale, through the real cross-entropy loss.
+fn check_personality(host: FrameworkKind, dataset: DatasetKind) {
+    let scale = Scale::Tiny;
+    let setting = DefaultSetting::new(host, dataset);
+    let arch = trainer::effective_arch(host, &setting);
+    let mut rng = SeededRng::new(202);
+    let c = dataset.channels();
+    let size = scale.image_size(dataset);
+    let mut net = arch.build((c, size, size), scale.width_mult(), host.initializer(), &mut rng);
+
+    let n = 2usize;
+    let x = Tensor::rand_uniform(&[n, c, size, size], 0.0, 1.0, &mut rng);
+    let labels: Vec<usize> = (0..n).map(|_| rng.index(10)).collect();
+    // The directional network check has ‖g‖-sized signal, so a smaller
+    // step is affordable — and needed: along the gradient direction the
+    // cross-entropy is steep and the O(eps²) truncation term of the
+    // central difference is visible at the default eps = 1e-2.
+    let cfg = GradCheckConfig { eps: 2.5e-3, ..GradCheckConfig::default() };
+    let report = gradcheck_network(&mut net, &x, &labels, &cfg);
+    assert!(report.passes(), "{} {}:\n{}", host.name(), dataset.name(), report.render());
+}
+
+#[test]
+fn tensorflow_default_network_gradchecks() {
+    check_personality(FrameworkKind::TensorFlow, DatasetKind::Mnist);
+}
+
+#[test]
+fn caffe_default_network_gradchecks() {
+    check_personality(FrameworkKind::Caffe, DatasetKind::Mnist);
+}
+
+#[test]
+fn torch_default_network_gradchecks() {
+    check_personality(FrameworkKind::Torch, DatasetKind::Cifar10);
+}

@@ -20,4 +20,7 @@ cargo build --workspace --release --locked
 echo "==> cargo test"
 cargo test --workspace --locked -q
 
+echo "==> verify gate (gradcheck + goldens + guards)"
+cargo test -p dlbench-verify --locked -q
+
 echo "==> OK"

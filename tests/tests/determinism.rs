@@ -9,6 +9,10 @@
 
 use dlbench_core::{experiments, BenchmarkRunner, ExperimentReport};
 use dlbench_frameworks::Scale;
+use dlbench_nn::{
+    Conv2d, Flatten, Initializer, Layer, Linear, MaxPool2d, Network, Relu, SoftmaxCrossEntropy,
+};
+use dlbench_optim::{Adam, LrPolicy, Optimizer};
 use dlbench_tensor::{gemm, par, SeededRng, Tensor};
 use std::sync::Mutex;
 
@@ -47,6 +51,77 @@ fn gemm_is_bit_identical_across_thread_counts() {
     let serial_bits: Vec<u32> = serial.iter().map(|v| v.to_bits()).collect();
     let parallel_bits: Vec<u32> = parallel.iter().map(|v| v.to_bits()).collect();
     assert_eq!(serial_bits, parallel_bits);
+}
+
+#[test]
+fn conv_backward_is_bit_identical_across_thread_counts() {
+    let _gate = gate();
+    // Geometry chosen so the im2col GEMM clears par::PAR_MIN_WORK and
+    // the backward pass genuinely fans out at 4 threads:
+    // per-sample m*k*n = 16 * (8*3*3) * (32*32) ≈ 1.2M elements.
+    let (n, c, hw, oc, k) = (8, 8, 32, 16, 3);
+    assert!(oc * (c * k * k) * (hw * hw) >= par::PAR_MIN_WORK);
+
+    let run = |threads: usize| {
+        at_threads(threads, || {
+            let mut rng = SeededRng::new(0xC0DE);
+            let mut conv = Conv2d::new(c, oc, k, 1, 1, Initializer::Xavier, &mut rng);
+            let x = Tensor::randn(&[n, c, hw, hw], 0.0, 1.0, &mut rng);
+            let y = conv.forward(&x, true);
+            let g = Tensor::randn(y.shape(), 0.0, 1.0, &mut rng);
+            let gx = conv.backward(&g);
+            let mut grads: Vec<Vec<u32>> = conv
+                .params()
+                .iter()
+                .map(|p| p.grad.data().iter().map(|v| v.to_bits()).collect())
+                .collect();
+            grads.push(gx.data().iter().map(|v| v.to_bits()).collect());
+            grads
+        })
+    };
+
+    // Bitwise: input gradient and every parameter gradient.
+    assert_eq!(run(1), run(4), "conv backward differs across thread counts");
+}
+
+fn adam_fixture(rng: &mut SeededRng) -> Network {
+    let mut net = Network::new("determinism-adam");
+    net.push(Conv2d::new(3, 16, 3, 1, 1, Initializer::Xavier, rng));
+    net.push(Relu::new());
+    net.push(MaxPool2d::new(2, 2, false));
+    net.push(Flatten::new());
+    net.push(Linear::new(16 * 16 * 16, 10, Initializer::Xavier, rng));
+    net
+}
+
+#[test]
+fn adam_update_is_bit_identical_across_thread_counts() {
+    let _gate = gate();
+    let run = |threads: usize| {
+        at_threads(threads, || {
+            let mut rng = SeededRng::new(0xADA0);
+            let mut net = adam_fixture(&mut rng);
+            let x = Tensor::randn(&[8, 3, 32, 32], 0.0, 1.0, &mut rng);
+            let labels: Vec<usize> = (0..8).map(|i| i % 10).collect();
+            let mut loss = SoftmaxCrossEntropy::new();
+            let mut adam = Adam::new(1e-3, 0.9, 0.999, 1e-8, LrPolicy::Fixed);
+            for it in 0..3 {
+                let logits = net.forward(&x, true);
+                loss.forward(&logits, &labels);
+                net.zero_grads();
+                net.backward(&loss.backward());
+                adam.step(&mut net.params(), it);
+            }
+            net.snapshot()
+                .iter()
+                .map(|t| t.data().iter().map(|v| v.to_bits()).collect::<Vec<u32>>())
+                .collect::<Vec<_>>()
+        })
+    };
+
+    // Three full forward/backward/Adam iterations must land on exactly
+    // the same parameters regardless of worker count.
+    assert_eq!(run(1), run(4), "Adam-updated params differ across thread counts");
 }
 
 /// Zeroes the one field that is *measured* rather than computed —
