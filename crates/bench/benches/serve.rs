@@ -1,0 +1,95 @@
+//! Serving benchmark: throughput and tail latency versus the
+//! micro-batcher's flush deadline, per framework personality, under
+//! open-loop load.
+//!
+//! ```sh
+//! cargo bench --bench serve              # full sweep
+//! cargo bench --bench serve -- --quick   # CI smoke: short sweep
+//! ```
+//!
+//! Results land in `target/dlbench-reports/BENCH_serve.json`: one row
+//! per *(framework, batch deadline)* with client-observed p50/p95/p99,
+//! achieved throughput and shed counts. A longer deadline buys larger
+//! batches (higher throughput per forward) at the price of queueing
+//! latency — the classic serving trade-off this file makes measurable.
+
+use dlbench_bench::BENCH_SEED;
+use dlbench_frameworks::Scale;
+use dlbench_serve::loadgen;
+use std::time::Instant;
+
+/// The shared `target/dlbench-reports` directory, recovered from the
+/// executable path exactly like the criterion facade does — cargo runs
+/// bench binaries with the *package* root as cwd, so a relative
+/// `target/` would land inside `crates/bench/`.
+fn reports_dir() -> std::path::PathBuf {
+    let from_exe = std::env::current_exe().ok().and_then(|exe| {
+        let deps = exe.parent()?;
+        if deps.file_name()? != "deps" {
+            return None;
+        }
+        Some(deps.parent()?.parent()?.join("dlbench-reports"))
+    });
+    from_exe.unwrap_or_else(|| std::path::Path::new("target").join("dlbench-reports"))
+}
+
+fn main() {
+    if std::env::args().any(|a| a == "--list") {
+        println!("serve: bench");
+        return;
+    }
+    let quick = std::env::args().any(|a| a == "--quick");
+    let (deadlines_ms, requests, rate_rps): (&[u64], usize, f64) =
+        if quick { (&[0, 2], 24, 200.0) } else { (&[0, 1, 2, 5, 10], 96, 300.0) };
+    let max_batch = 8;
+
+    println!(
+        "DLBench serve sweep — scale Tiny, seed {BENCH_SEED:#x}, open-loop {rate_rps} req/s, \
+         {requests} requests per cell, max batch {max_batch}"
+    );
+    let started = Instant::now();
+    let doc = loadgen::sweep_personalities(
+        Scale::Tiny,
+        BENCH_SEED,
+        deadlines_ms,
+        requests,
+        rate_rps,
+        max_batch,
+    );
+
+    if let Some(rows) = doc["rows"].as_array() {
+        println!(
+            "{:<12} {:>11} {:>6} {:>6} {:>10} {:>9} {:>9} {:>9}",
+            "framework", "deadline_ms", "ok", "shed", "rps", "p50_ms", "p95_ms", "p99_ms"
+        );
+        for row in rows {
+            let fmt_ms = |k: &str| match row["latency_ms"][k].as_f64() {
+                Some(v) => format!("{v:.2}"),
+                None => "-".to_string(),
+            };
+            println!(
+                "{:<12} {:>11} {:>6} {:>6} {:>10.1} {:>9} {:>9} {:>9}",
+                row["framework"].as_str().unwrap_or("?"),
+                row["batch_deadline_ms"].as_f64().unwrap_or(-1.0) as u64,
+                row["ok"].as_f64().unwrap_or(0.0) as u64,
+                row["shed"].as_f64().unwrap_or(0.0) as u64,
+                row["achieved_rps"].as_f64().unwrap_or(0.0),
+                fmt_ms("p50"),
+                fmt_ms("p95"),
+                fmt_ms("p99"),
+            );
+        }
+    }
+
+    let out_dir = reports_dir();
+    let _ = std::fs::create_dir_all(&out_dir);
+    let path = out_dir.join("BENCH_serve.json");
+    match std::fs::write(&path, doc.pretty()) {
+        Ok(()) => println!(
+            "done in {:.1}s; rows written to {}",
+            started.elapsed().as_secs_f64(),
+            path.display()
+        ),
+        Err(e) => eprintln!("could not write {}: {e}", path.display()),
+    }
+}

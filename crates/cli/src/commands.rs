@@ -192,7 +192,16 @@ pub fn train(args: &ParsedArgs) -> Result<(), String> {
         setting.label(),
         dataset.name()
     );
-    let mut out = trainer::run_training(host, setting, dataset, scale, seed);
+    let mut out = match args.get("load") {
+        Some(path) => {
+            let file = std::fs::File::open(path).map_err(|e| format!("cannot open {path}: {e}"))?;
+            let mut reader = std::io::BufReader::new(file);
+            println!("warm-starting from checkpoint {path}");
+            trainer::run_training_resumed(host, setting, dataset, scale, seed, None, &mut reader)
+                .map_err(|e| format!("cannot warm-start from {path}: {e}"))?
+        }
+        None => trainer::run_training(host, setting, dataset, scale, seed),
+    };
     let cpu = out.simulated_times(&devices::xeon_e5_1620());
     let gpu = out.simulated_times(&devices::gtx_1080_ti());
     println!("accuracy        {:.2}%", out.accuracy * 100.0);
@@ -231,39 +240,39 @@ pub fn attack(args: &ParsedArgs) -> Result<(), String> {
         host.name(),
         setting.label()
     );
-    let mut out = trainer::run_training(host, setting, dataset, scale, seed);
+    let mut model = match args.get("load") {
+        Some(path) => {
+            // Attack a checkpointed model directly — no training run.
+            // A checkpoint from a different architecture fails with the
+            // structure-mismatch message, never a panic.
+            let mut m = trainer::build_cell_model(host, &setting, dataset, scale, seed);
+            dlbench_nn::load_parameters_path(&mut m, path)
+                .map_err(|e| format!("cannot load {path}: {e}"))?;
+            println!("loaded checkpoint {path} (skipping training)");
+            m
+        }
+        None => trainer::run_training(host, setting, dataset, scale, seed).model,
+    };
     let (_, test) = trainer::generate_data(dataset, scale, seed);
     let mut rng = SeededRng::new(seed).fork(0xA77);
     match kind.as_str() {
         "fgsm" => {
             let config = FgsmConfig { epsilon, clamp: Some((0.0, 1.0)) };
-            let rates = fgsm_success_rates(&mut out.model, &test.images, &test.labels, 10, &config);
+            let rates = fgsm_success_rates(&mut model, &test.images, &test.labels, 10, &config);
             print_rates("per-source-digit success", &rates.success_rates());
             println!("mean success rate: {:.3}", rates.mean_success_rate());
         }
         "pgd" => {
             let config = PgdConfig::standard(epsilon);
-            let rates = pgd_success_rates(
-                &mut out.model,
-                &test.images,
-                &test.labels,
-                10,
-                &config,
-                &mut rng,
-            );
+            let rates =
+                pgd_success_rates(&mut model, &test.images, &test.labels, 10, &config, &mut rng);
             print_rates("per-source-digit success", &rates.success_rates());
             println!("mean success rate: {:.3}", rates.mean_success_rate());
         }
         "noise" => {
             let config = NoiseConfig { epsilon, sign_noise: true, clamp: Some((0.0, 1.0)) };
-            let rates = noise_success_rates(
-                &mut out.model,
-                &test.images,
-                &test.labels,
-                10,
-                &config,
-                &mut rng,
-            );
+            let rates =
+                noise_success_rates(&mut model, &test.images, &test.labels, 10, &config, &mut rng);
             print_rates("per-source-digit success", &rates.success_rates());
             println!(
                 "mean success rate: {:.3} (random-noise baseline at the same epsilon)",
@@ -273,14 +282,8 @@ pub fn attack(args: &ParsedArgs) -> Result<(), String> {
         "jsma" => {
             let source = args.get_parsed("source", 1usize)?;
             let config = JsmaConfig::default();
-            let (rates, mean_iters) = jsma_success_matrix(
-                &mut out.model,
-                &test.images,
-                &test.labels,
-                source,
-                10,
-                &config,
-            );
+            let (rates, mean_iters) =
+                jsma_success_matrix(&mut model, &test.images, &test.labels, source, 10, &config);
             print_rates(&format!("crafting digit {source} into target"), &rates);
             println!("mean saliency iterations per attempt: {mean_iters:.1}");
         }
@@ -322,6 +325,128 @@ pub fn stats(args: &ParsedArgs) -> Result<(), String> {
     println!("  sparsity        {:.1}% of pixels below 0.1", s.sparsity * 100.0);
     for (ch, (m, sd)) in s.channel_means.iter().zip(&s.channel_stds).enumerate() {
         println!("  channel {ch}       mean {m:.3}, std {sd:.3}");
+    }
+    Ok(())
+}
+
+/// Builds the micro-batcher config shared by `serve` and the sweep.
+fn batch_config_from_args(args: &ParsedArgs) -> Result<dlbench_serve::BatchConfig, String> {
+    let defaults = dlbench_serve::BatchConfig::default();
+    Ok(dlbench_serve::BatchConfig {
+        max_batch: args.get_parsed("max-batch", defaults.max_batch)?,
+        max_wait: std::time::Duration::from_millis(
+            args.get_parsed("batch-wait-ms", defaults.max_wait.as_millis() as u64)?,
+        ),
+        queue_capacity: args.get_parsed("queue", defaults.queue_capacity)?,
+    })
+}
+
+/// `dlbench serve`
+pub fn serve(args: &ParsedArgs) -> Result<(), String> {
+    use dlbench_serve::{ModelRegistry, ModelSpec};
+    let scale = parse_scale(args.get("scale"))?;
+    let seed = args.get_parsed("seed", 42u64)?;
+    configure_threads(args)?;
+    let port = args.get_parsed("port", 8080u16)?;
+    let config = batch_config_from_args(args)?;
+
+    let mut registry = ModelRegistry::new();
+    if args.positionals.is_empty() {
+        // One model from the usual cell flags, optionally checkpointed.
+        let (host, setting, dataset) = cell_from_args(args)?;
+        let name = args.get("name").unwrap_or("default").to_string();
+        let spec = ModelSpec { name, host, setting, dataset, scale, seed };
+        let checkpoint = args.get("load").map(std::path::Path::new);
+        let served = spec.instantiate(checkpoint).map_err(|e| e.to_string())?;
+        registry.register(served, config).map_err(|e| e.to_string())?;
+    } else {
+        // Multiple models: NAME=FRAMEWORK:DATASET[:CHECKPOINT].
+        for raw in &args.positionals {
+            let (name, rest) = raw.split_once('=').ok_or_else(|| {
+                format!("model spec `{raw}` must be NAME=FRAMEWORK:DATASET[:CHECKPOINT]")
+            })?;
+            let mut parts = rest.splitn(3, ':');
+            let host = parse_framework(parts.next().unwrap_or(""))?;
+            let dataset = parse_dataset(
+                parts.next().ok_or_else(|| format!("model spec `{raw}` missing dataset"))?,
+            )?;
+            let checkpoint = parts.next().map(std::path::Path::new);
+            let spec = ModelSpec::own_default(name, host, dataset, scale, seed);
+            let served = spec.instantiate(checkpoint).map_err(|e| e.to_string())?;
+            registry.register(served, config).map_err(|e| e.to_string())?;
+        }
+    }
+    let names = registry.names().join(", ");
+    let count = registry.len();
+    let server = dlbench_serve::serve(registry, &format!("127.0.0.1:{port}"))
+        .map_err(|e| format!("cannot bind 127.0.0.1:{port}: {e}"))?;
+    println!("serving {count} model(s) [{names}] on http://{}", server.addr());
+    println!("  POST /predict/<model>    body: JSON array of input floats");
+    println!("  GET  /healthz | GET /metrics | POST /shutdown");
+    println!(
+        "  batching: max {} per forward, {}ms flush deadline, queue {}",
+        config.max_batch,
+        config.max_wait.as_millis(),
+        config.queue_capacity
+    );
+    server.wait();
+    println!("drained; all in-flight requests answered");
+    Ok(())
+}
+
+/// `dlbench loadgen`
+pub fn loadgen(args: &ParsedArgs) -> Result<(), String> {
+    use dlbench_serve::loadgen::{self, LoadConfig, LoadMode};
+    let scale = parse_scale(args.get("scale"))?;
+    let seed = args.get_parsed("seed", 42u64)?;
+    configure_threads(args)?;
+
+    if args.flag("sweep") {
+        let deadlines: Vec<u64> = args
+            .get("deadlines-ms")
+            .unwrap_or("0,1,2,5,10")
+            .split(',')
+            .map(|s| s.trim().parse::<u64>().map_err(|_| format!("bad deadline `{s}`")))
+            .collect::<Result<_, _>>()?;
+        let requests = args.get_parsed("requests", 64usize)?;
+        let rate = args.get_parsed("rate", 200.0f64)?;
+        let max_batch = args.get_parsed("max-batch", 8usize)?;
+        let doc = loadgen::sweep_personalities(scale, seed, &deadlines, requests, rate, max_batch);
+        let out = args.get("out").unwrap_or("target/dlbench-reports/BENCH_serve.json");
+        if let Some(dir) = std::path::Path::new(out).parent() {
+            std::fs::create_dir_all(dir)
+                .map_err(|e| format!("cannot create {}: {e}", dir.display()))?;
+        }
+        std::fs::write(out, doc.pretty()).map_err(|e| format!("cannot write {out}: {e}"))?;
+        println!("[serve sweep written to {out}]");
+        return Ok(());
+    }
+
+    let url = args.get("url").ok_or("loadgen needs --url HOST:PORT (or --sweep)")?;
+    let addr: std::net::SocketAddr =
+        url.parse().map_err(|_| format!("bad --url `{url}` (expected HOST:PORT)"))?;
+    let model = args.get("model").unwrap_or("default");
+    let dataset = parse_dataset(args.get("dataset").unwrap_or("mnist"))?;
+    let requests = args.get_parsed("requests", 64usize)?;
+    let mode = match args.get("mode").unwrap_or("closed") {
+        "closed" => LoadMode::Closed { concurrency: args.get_parsed("concurrency", 4usize)? },
+        "open" => LoadMode::Open { rate_rps: args.get_parsed("rate", 100.0f64)? },
+        other => return Err(format!("unknown mode `{other}` (closed|open)")),
+    };
+    let inputs = loadgen::sample_inputs(dataset, scale, seed, 16);
+    println!("{mode:?} load: {requests} requests at {url}, model `{model}`");
+    let report = loadgen::run(addr, model, &inputs, &LoadConfig { mode, requests });
+    println!("sent            {}", report.sent);
+    println!("ok              {}", report.ok);
+    println!("shed (503)      {}", report.shed);
+    println!("errors          {}", report.errors);
+    println!("wall            {:.2}s", report.wall_s);
+    println!("throughput      {:.1} req/s", report.achieved_rps);
+    if let Some(s) = report.latency_ms.summary() {
+        println!(
+            "latency (ms)    p50 {:.2}   p95 {:.2}   p99 {:.2}   max {:.2}",
+            s.p50, s.p95, s.p99, s.max
+        );
     }
     Ok(())
 }

@@ -33,9 +33,27 @@ COMMANDS:
                                   [--setting-owner tf|caffe|torch]
                                   [--setting-dataset mnist|cifar10]
                                   [--scale …] [--seed N] [--save FILE]
+                                  [--load FILE]  (warm-start checkpoint)
     attack                        attack a trained cell
                                   [--attack fgsm|pgd|jsma|noise]
                                   [--framework …] [--epsilon X] [--seed N]
+                                  [--load FILE]  (skip training, attack
+                                  the checkpointed model)
+    serve                         serve models over HTTP with dynamic
+                                  micro-batching
+                                  [NAME=FRAMEWORK:DATASET[:CKPT]]…
+                                  [--framework …] [--dataset …]
+                                  [--load FILE] [--name NAME]
+                                  [--port N] [--max-batch N]
+                                  [--batch-wait-ms N] [--queue N]
+                                  [--scale …] [--seed N] [--threads N]
+    loadgen                       drive predict load at a serve instance
+                                  --url HOST:PORT [--model NAME]
+                                  [--mode closed|open] [--requests N]
+                                  [--concurrency N] [--rate RPS]
+                                  [--dataset …] [--scale …] [--seed N]
+                                  or: --sweep [--deadlines-ms 0,1,2,5]
+                                  [--out FILE] (BENCH_serve.json rows)
     stats                         dataset characterization statistics
                                   [--dataset …] [--size N] [--samples N]
     ablate                        regularizer-robustness ablation (extension)
@@ -78,6 +96,8 @@ fn main() -> ExitCode {
         "attack" => commands::attack(&parsed),
         "stats" => commands::stats(&parsed),
         "ablate" => commands::ablate(&parsed),
+        "serve" => commands::serve(&parsed),
+        "loadgen" => commands::loadgen(&parsed),
         other => Err(format!("unknown command `{other}`\n\n{USAGE}")),
     };
     match result {

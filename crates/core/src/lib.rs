@@ -39,7 +39,7 @@ pub mod registry;
 pub mod report;
 pub mod runner;
 
-pub use metrics::CellMetrics;
+pub use metrics::{CellMetrics, Histogram, HistogramSummary};
 pub use registry::ExperimentId;
 pub use report::ExperimentReport;
 pub use runner::BenchmarkRunner;

@@ -19,7 +19,7 @@ use crate::kind::FrameworkKind;
 use crate::scale::Scale;
 use crate::spec::{ArchSpec, LayerSpecEntry};
 use dlbench_data::{BatchIter, Dataset, DatasetKind, Preprocessing, SynthCifar10, SynthMnist};
-use dlbench_nn::{LayerCost, Network, SoftmaxCrossEntropy};
+use dlbench_nn::{CheckpointError, LayerCost, Network, SoftmaxCrossEntropy};
 use dlbench_optim::{Adam, Optimizer, Sgd};
 use dlbench_simtime::{CostModel, Device};
 use dlbench_tensor::SeededRng;
@@ -250,6 +250,32 @@ pub fn generate_data(dataset: DatasetKind, scale: Scale, seed: u64) -> (Dataset,
     full.split(n_train)
 }
 
+/// The RNG stream a cell's model parameters are drawn from. Forking is
+/// keyed on the parent *seed*, not its advanced state, so this stream
+/// is stable no matter how many draws other subsystems make.
+fn cell_model_rng(host: FrameworkKind, setting: &DefaultSetting, seed: u64) -> SeededRng {
+    SeededRng::new(seed).fork(host as u64 * 31 + setting.owner as u64 * 7 + 1)
+}
+
+/// Builds the exact network a cell trains — same architecture, width
+/// multiplier, initializer and RNG stream as [`run_training`] — without
+/// running any training. The serving layer instantiates checkpoint
+/// files against this, and the CLI `--load` paths use it to rebuild the
+/// model a `dlbench train --save` checkpoint was saved from.
+pub fn build_cell_model(
+    host: FrameworkKind,
+    setting: &DefaultSetting,
+    dataset: DatasetKind,
+    scale: Scale,
+    seed: u64,
+) -> Network {
+    let arch = effective_arch(host, setting);
+    let mut rng = cell_model_rng(host, setting, seed);
+    let c = dataset.channels();
+    let size = scale.image_size(dataset);
+    arch.build((c, size, size), scale.width_mult(), host.initializer(), &mut rng)
+}
+
 fn make_optimizer(
     config: &TrainingConfig,
     weight_decay: f32,
@@ -315,6 +341,38 @@ pub fn run_training_guarded(
     seed: u64,
     guard: Option<&dyn TrainGuard>,
 ) -> TrainOutcome {
+    match run_training_impl(host, setting, dataset, scale, seed, guard, None) {
+        Ok(out) => out,
+        Err(_) => unreachable!("training without a warm start cannot fail a checkpoint load"),
+    }
+}
+
+/// [`run_training_guarded`], warm-started from a checkpoint stream:
+/// the cell's model is built as usual, then its parameters are replaced
+/// by the checkpoint before the first iteration. A checkpoint saved
+/// from a different architecture fails with
+/// [`CheckpointError::StructureMismatch`] instead of training garbage.
+pub fn run_training_resumed(
+    host: FrameworkKind,
+    setting: DefaultSetting,
+    dataset: DatasetKind,
+    scale: Scale,
+    seed: u64,
+    guard: Option<&dyn TrainGuard>,
+    checkpoint: &mut dyn std::io::Read,
+) -> Result<TrainOutcome, CheckpointError> {
+    run_training_impl(host, setting, dataset, scale, seed, guard, Some(checkpoint))
+}
+
+fn run_training_impl(
+    host: FrameworkKind,
+    setting: DefaultSetting,
+    dataset: DatasetKind,
+    scale: Scale,
+    seed: u64,
+    guard: Option<&dyn TrainGuard>,
+    warm_start: Option<&mut dyn std::io::Read>,
+) -> Result<TrainOutcome, CheckpointError> {
     let config = setting.training();
     let arch = effective_arch(host, &setting);
     let weight_decay = effective_weight_decay(host, dataset, &config);
@@ -323,11 +381,16 @@ pub fn run_training_guarded(
     let (train, test) = generate_data(dataset, scale, seed);
     let channel_means = Preprocessing::channel_means(&train);
 
-    // Model + optimizer.
-    let mut rng = SeededRng::new(seed).fork(host as u64 * 31 + setting.owner as u64 * 7 + 1);
+    // Model + optimizer. The model RNG stream matches
+    // `build_cell_model` exactly, so a checkpoint loaded against that
+    // function's output is interchangeable with a freshly trained cell.
+    let mut rng = cell_model_rng(host, &setting, seed);
     let c = dataset.channels();
     let size = scale.image_size(dataset);
     let mut model = arch.build((c, size, size), scale.width_mult(), host.initializer(), &mut rng);
+    if let Some(mut reader) = warm_start {
+        dlbench_nn::load_parameters(&mut model, &mut reader)?;
+    }
     let paper_epochs = config.paper_epochs(setting.tuned_for);
     let mut exec_iters = scale.exec_iterations(paper_epochs, config.batch_size, dataset);
     // SGD needs a step budget inversely proportional to its learning
@@ -445,7 +508,7 @@ pub fn run_training_guarded(
     fwd_only.bwd_kernels = 0;
     let paper_test_batch_cost = fwd_only;
 
-    TrainOutcome {
+    Ok(TrainOutcome {
         host,
         accuracy,
         loss_curve,
@@ -461,7 +524,7 @@ pub fn run_training_guarded(
         paper_train_batch_cost,
         paper_test_batch_cost,
         guard_violations,
-    }
+    })
 }
 
 /// Runs a full cell (training + device timings).
@@ -588,6 +651,73 @@ mod tests {
         let s = DefaultSetting::new(FrameworkKind::Torch, DatasetKind::Mnist);
         let out = run_training(FrameworkKind::Torch, s, DatasetKind::Mnist, Scale::Tiny, 11);
         assert!(out.guard_violations.is_empty());
+    }
+
+    #[test]
+    fn build_cell_model_matches_trained_cell() {
+        // A checkpoint saved from a trained cell must load cleanly into
+        // build_cell_model's output (same arch, widths, param order) —
+        // and an untrained build must reproduce the trained cell's
+        // *initialization* exactly (same RNG stream).
+        let s = DefaultSetting::new(FrameworkKind::Torch, DatasetKind::Mnist);
+        let mut out = run_training(FrameworkKind::Torch, s, DatasetKind::Mnist, Scale::Tiny, 4);
+        let mut buf = Vec::new();
+        dlbench_nn::save_parameters(&mut out.model, &mut buf).unwrap();
+        let mut rebuilt =
+            build_cell_model(FrameworkKind::Torch, &s, DatasetKind::Mnist, Scale::Tiny, 4);
+        dlbench_nn::load_parameters(&mut rebuilt, &mut buf.as_slice()).unwrap();
+        let mut rng = SeededRng::new(99);
+        let x = dlbench_tensor::Tensor::randn(&[2, 1, 16, 16], 0.0, 1.0, &mut rng);
+        assert_eq!(rebuilt.forward(&x, false), out.model.forward(&x, false));
+    }
+
+    #[test]
+    fn resumed_training_rejects_mismatched_checkpoint() {
+        // A Caffe-MNIST checkpoint has different parameter shapes than
+        // the Torch-MNIST cell; resuming must surface StructureMismatch
+        // rather than panicking.
+        let caffe = DefaultSetting::new(FrameworkKind::Caffe, DatasetKind::Mnist);
+        let mut donor =
+            build_cell_model(FrameworkKind::Caffe, &caffe, DatasetKind::Mnist, Scale::Tiny, 1);
+        let mut buf = Vec::new();
+        dlbench_nn::save_parameters(&mut donor, &mut buf).unwrap();
+        let torch = DefaultSetting::new(FrameworkKind::Torch, DatasetKind::Mnist);
+        let err = run_training_resumed(
+            FrameworkKind::Torch,
+            torch,
+            DatasetKind::Mnist,
+            Scale::Tiny,
+            1,
+            None,
+            &mut buf.as_slice(),
+        );
+        let err = match err {
+            Err(e) => e,
+            Ok(_) => panic!("mismatched checkpoint must not train"),
+        };
+        assert!(matches!(err, CheckpointError::StructureMismatch(_)), "{err}");
+    }
+
+    #[test]
+    fn resumed_training_from_own_checkpoint_runs() {
+        let s = DefaultSetting::new(FrameworkKind::Torch, DatasetKind::Mnist);
+        let mut out = run_training(FrameworkKind::Torch, s, DatasetKind::Mnist, Scale::Tiny, 4);
+        let mut buf = Vec::new();
+        dlbench_nn::save_parameters(&mut out.model, &mut buf).unwrap();
+        let resumed = run_training_resumed(
+            FrameworkKind::Torch,
+            s,
+            DatasetKind::Mnist,
+            Scale::Tiny,
+            4,
+            None,
+            &mut buf.as_slice(),
+        )
+        .unwrap();
+        // Warm-started from already-converged weights, the cell should
+        // stay at least as accurate as chance and complete its budget.
+        assert_eq!(resumed.executed_iterations, out.executed_iterations);
+        assert!(resumed.accuracy > 0.2, "accuracy {}", resumed.accuracy);
     }
 
     #[test]

@@ -63,4 +63,6 @@ pub use network::Network;
 pub use norm::LocalResponseNorm;
 pub use pool::{AvgPool2d, MaxPool2d};
 pub use profile::LayerCost;
-pub use serialize::{load_parameters, save_parameters, CheckpointError};
+pub use serialize::{
+    load_parameters, load_parameters_path, save_parameters, save_parameters_path, CheckpointError,
+};

@@ -68,6 +68,26 @@ pub fn save_parameters(net: &mut Network, w: &mut impl Write) -> Result<(), Chec
     Ok(())
 }
 
+/// Writes all parameters of `net` to a file at `path`.
+pub fn save_parameters_path(
+    net: &mut Network,
+    path: impl AsRef<std::path::Path>,
+) -> Result<(), CheckpointError> {
+    let mut file = std::fs::File::create(path)?;
+    save_parameters(net, &mut file)
+}
+
+/// Loads parameters into `net` from a file at `path`, validating
+/// shapes (the `serve` registry's and the CLI `--load` flag's entry
+/// point).
+pub fn load_parameters_path(
+    net: &mut Network,
+    path: impl AsRef<std::path::Path>,
+) -> Result<(), CheckpointError> {
+    let mut file = std::fs::File::open(path)?;
+    load_parameters(net, &mut std::io::BufReader::new(&mut file))
+}
+
 /// Loads parameters from `r` into `net`, validating shapes.
 pub fn load_parameters(net: &mut Network, r: &mut impl Read) -> Result<(), CheckpointError> {
     let mut magic = [0u8; 8];
@@ -156,6 +176,28 @@ mod tests {
         other.push(Linear::new(5, 3, Initializer::Xavier, &mut rng));
         let err = load_parameters(&mut other, &mut buf.as_slice()).unwrap_err();
         assert!(matches!(err, CheckpointError::StructureMismatch(_)));
+    }
+
+    #[test]
+    fn path_roundtrip_restores_outputs() {
+        let dir = std::env::temp_dir().join("dlbench-ckpt-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(format!("roundtrip-{}.ckpt", std::process::id()));
+        let mut a = net(5);
+        save_parameters_path(&mut a, &path).unwrap();
+        let mut b = net(6);
+        load_parameters_path(&mut b, &path).unwrap();
+        let mut rng = SeededRng::new(11);
+        let x = Tensor::randn(&[3, 4], 0.0, 1.0, &mut rng);
+        assert_eq!(a.forward(&x, false), b.forward(&x, false));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn missing_path_is_io_error() {
+        let mut b = net(1);
+        let err = load_parameters_path(&mut b, "/nonexistent/dlbench.ckpt").unwrap_err();
+        assert!(matches!(err, CheckpointError::Io(_)));
     }
 
     #[test]

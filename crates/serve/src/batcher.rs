@@ -1,0 +1,212 @@
+//! Dynamic micro-batching: a bounded request queue drained by one
+//! worker thread that coalesces whatever is waiting — up to a max batch
+//! size, waiting at most a deadline for stragglers — into a single
+//! batched forward pass.
+//!
+//! Batching is *bit-transparent*: preprocessing and every layer in the
+//! suite operate row-independently, so a request's logits are identical
+//! whether it rode a batch of 1 or of `max_batch` (the determinism test
+//! suite pins this down).
+
+use crate::metrics::ServeMetrics;
+use crate::model::ServedModel;
+use crate::ServeError;
+use dlbench_tensor::Tensor;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Tuning knobs for one model's micro-batcher.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BatchConfig {
+    /// Largest batch one forward pass may carry.
+    pub max_batch: usize,
+    /// How long a flush may wait for stragglers after the first request
+    /// of a batch arrives.
+    pub max_wait: Duration,
+    /// Bounded queue capacity; requests beyond it are shed with
+    /// [`ServeError::QueueFull`] (HTTP 503), never buffered unboundedly.
+    pub queue_capacity: usize,
+}
+
+impl Default for BatchConfig {
+    fn default() -> Self {
+        Self { max_batch: 8, max_wait: Duration::from_millis(2), queue_capacity: 64 }
+    }
+}
+
+/// One served prediction.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Prediction {
+    /// Argmax class index.
+    pub class: usize,
+    /// Raw logits row for the request.
+    pub logits: Vec<f32>,
+    /// Size of the batch this request was served in.
+    pub batch_size: usize,
+    /// Queue-to-reply latency.
+    pub latency: Duration,
+}
+
+struct Job {
+    input: Vec<f32>,
+    enqueued: Instant,
+    reply: mpsc::SyncSender<Result<Prediction, ServeError>>,
+}
+
+/// A bounded queue in front of one model, drained by a dedicated
+/// worker thread that runs batched forward passes.
+pub struct MicroBatcher {
+    queue: Mutex<Option<mpsc::SyncSender<Job>>>,
+    worker: Mutex<Option<JoinHandle<()>>>,
+    depth: Arc<AtomicUsize>,
+    metrics: Arc<ServeMetrics>,
+    input_len: usize,
+}
+
+impl MicroBatcher {
+    /// Spawns the worker thread and returns the batcher handle.
+    pub fn spawn(served: ServedModel, config: BatchConfig, metrics: Arc<ServeMetrics>) -> Self {
+        let (tx, rx) = mpsc::sync_channel::<Job>(config.queue_capacity.max(1));
+        let depth = Arc::new(AtomicUsize::new(0));
+        let (c, h, w) = served.spec.input_dims();
+        let input_len = c * h * w;
+        let worker = {
+            let depth = Arc::clone(&depth);
+            let metrics = Arc::clone(&metrics);
+            std::thread::spawn(move || worker_loop(served, config, rx, depth, metrics))
+        };
+        Self {
+            queue: Mutex::new(Some(tx)),
+            worker: Mutex::new(Some(worker)),
+            depth,
+            metrics,
+            input_len,
+        }
+    }
+
+    /// Enqueues one request and blocks until its batch is served.
+    ///
+    /// Sheds immediately with [`ServeError::QueueFull`] when the
+    /// bounded queue is at capacity — the caller (HTTP layer) turns
+    /// this into `503` + `Retry-After` rather than stalling the client.
+    pub fn predict(&self, input: Vec<f32>) -> Result<Prediction, ServeError> {
+        if input.len() != self.input_len {
+            self.metrics.count_error();
+            return Err(ServeError::BadInput(format!(
+                "expected {} input values, got {}",
+                self.input_len,
+                input.len()
+            )));
+        }
+        let (reply_tx, reply_rx) = mpsc::sync_channel(1);
+        let job = Job { input, enqueued: Instant::now(), reply: reply_tx };
+        let sender = match lock(&self.queue).as_ref() {
+            Some(s) => s.clone(),
+            None => return Err(ServeError::Draining),
+        };
+        // Count the request before it can be observed by the worker so
+        // the gauge never under-reports.
+        self.depth.fetch_add(1, Ordering::SeqCst);
+        match sender.try_send(job) {
+            Ok(()) => {}
+            Err(mpsc::TrySendError::Full(_)) => {
+                self.depth.fetch_sub(1, Ordering::SeqCst);
+                self.metrics.count_shed();
+                return Err(ServeError::QueueFull);
+            }
+            Err(mpsc::TrySendError::Disconnected(_)) => {
+                self.depth.fetch_sub(1, Ordering::SeqCst);
+                return Err(ServeError::Draining);
+            }
+        }
+        drop(sender);
+        reply_rx.recv().unwrap_or(Err(ServeError::Draining))
+    }
+
+    /// Requests currently queued or being batched.
+    pub fn queue_depth(&self) -> usize {
+        self.depth.load(Ordering::SeqCst)
+    }
+
+    /// Graceful drain: stop accepting new requests, let the worker
+    /// serve everything already queued, then join it. Idempotent.
+    pub fn drain(&self) {
+        drop(lock(&self.queue).take());
+        if let Some(handle) = lock(&self.worker).take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for MicroBatcher {
+    fn drop(&mut self) {
+        self.drain();
+    }
+}
+
+fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+fn worker_loop(
+    mut served: ServedModel,
+    config: BatchConfig,
+    rx: mpsc::Receiver<Job>,
+    depth: Arc<AtomicUsize>,
+    metrics: Arc<ServeMetrics>,
+) {
+    let (c, h, w) = served.spec.input_dims();
+    let max_batch = config.max_batch.max(1);
+    loop {
+        // Block for the batch's first request; a closed, empty channel
+        // means the batcher has drained and the worker exits.
+        let first = match rx.recv() {
+            Ok(job) => job,
+            Err(_) => break,
+        };
+        let mut batch = vec![first];
+        let deadline = Instant::now() + config.max_wait;
+        while batch.len() < max_batch {
+            let now = Instant::now();
+            if now >= deadline {
+                break;
+            }
+            match rx.recv_timeout(deadline - now) {
+                Ok(job) => batch.push(job),
+                // Timeout: flush what we have. Disconnected: flush this
+                // final batch; the outer recv will then observe the
+                // closed channel and exit.
+                Err(_) => break,
+            }
+        }
+        let n = batch.len();
+        depth.fetch_sub(n, Ordering::SeqCst);
+
+        let mut data = Vec::with_capacity(n * c * h * w);
+        for job in &batch {
+            data.extend_from_slice(&job.input);
+        }
+        let raw =
+            Tensor::from_vec(&[n, c, h, w], data).expect("input lengths validated at enqueue");
+        let x = served.preprocessing.apply(&raw, &served.channel_means);
+        let logits = served.model.forward(&x, false);
+        let classes = logits.argmax_rows();
+        let width = logits.shape()[1];
+        metrics.observe_batch(n);
+        for (i, job) in batch.into_iter().enumerate() {
+            let latency = job.enqueued.elapsed();
+            metrics.observe_latency(latency);
+            let row = logits.data()[i * width..(i + 1) * width].to_vec();
+            // A receiver gone away (client disconnected mid-flight) is
+            // its problem, not the worker's.
+            let _ = job.reply.send(Ok(Prediction {
+                class: classes[i],
+                logits: row,
+                batch_size: n,
+                latency,
+            }));
+        }
+    }
+}

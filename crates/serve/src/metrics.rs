@@ -1,0 +1,149 @@
+//! Per-model serving metrics: completed/shed/error counters, a
+//! latency histogram (shared [`Histogram`] implementation, so `/metrics`
+//! and the bench harness agree on percentile semantics), and the
+//! batch-size distribution the micro-batcher actually achieved.
+
+use dlbench_core::Histogram;
+use dlbench_json::{JsonValue, ToJson};
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, MutexGuard};
+use std::time::{Duration, Instant};
+
+/// Thread-safe metrics for one served model. All mutation paths are
+/// lock-light (atomics for counters, short critical sections for the
+/// histogram) so metric recording never backpressures the hot path.
+#[derive(Debug)]
+pub struct ServeMetrics {
+    started: Instant,
+    completed: AtomicU64,
+    shed: AtomicU64,
+    errors: AtomicU64,
+    latency_ms: Mutex<Histogram>,
+    batch_sizes: Mutex<BTreeMap<usize, u64>>,
+}
+
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    // A panicking metrics writer must not take the server down with it.
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+impl Default for ServeMetrics {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ServeMetrics {
+    /// Fresh metrics; throughput is measured from this instant.
+    pub fn new() -> Self {
+        Self {
+            started: Instant::now(),
+            completed: AtomicU64::new(0),
+            shed: AtomicU64::new(0),
+            errors: AtomicU64::new(0),
+            latency_ms: Mutex::new(Histogram::new()),
+            batch_sizes: Mutex::new(BTreeMap::new()),
+        }
+    }
+
+    /// Records one completed request and its queue-to-reply latency.
+    pub fn observe_latency(&self, latency: Duration) {
+        self.completed.fetch_add(1, Ordering::Relaxed);
+        lock(&self.latency_ms).record(latency.as_secs_f64() * 1e3);
+    }
+
+    /// Records one flushed batch of `n` requests.
+    pub fn observe_batch(&self, n: usize) {
+        *lock(&self.batch_sizes).entry(n).or_insert(0) += 1;
+    }
+
+    /// Records one request shed because the queue was full.
+    pub fn count_shed(&self) {
+        self.shed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one malformed or otherwise failed request.
+    pub fn count_error(&self) {
+        self.errors.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Completed-request count.
+    pub fn completed(&self) -> u64 {
+        self.completed.load(Ordering::Relaxed)
+    }
+
+    /// Shed-request count.
+    pub fn shed(&self) -> u64 {
+        self.shed.load(Ordering::Relaxed)
+    }
+
+    /// Error count.
+    pub fn errors(&self) -> u64 {
+        self.errors.load(Ordering::Relaxed)
+    }
+
+    /// Point-in-time JSON snapshot for the `/metrics` endpoint.
+    /// `queue_depth` is sampled by the caller (the batcher owns the
+    /// gauge).
+    pub fn snapshot(&self, queue_depth: usize) -> JsonValue {
+        let elapsed = self.started.elapsed().as_secs_f64().max(1e-9);
+        let completed = self.completed();
+        let latency = match lock(&self.latency_ms).summary() {
+            Some(s) => s.to_json(),
+            None => JsonValue::Null,
+        };
+        let batches: Vec<JsonValue> = lock(&self.batch_sizes)
+            .iter()
+            .map(|(&size, &count)| {
+                JsonValue::Object(vec![
+                    ("batch_size".into(), size.into()),
+                    ("count".into(), (count as usize).into()),
+                ])
+            })
+            .collect();
+        JsonValue::Object(vec![
+            ("completed".into(), (completed as usize).into()),
+            ("shed".into(), (self.shed() as usize).into()),
+            ("errors".into(), (self.errors() as usize).into()),
+            ("queue_depth".into(), queue_depth.into()),
+            ("uptime_s".into(), elapsed.into()),
+            ("throughput_rps".into(), (completed as f64 / elapsed).into()),
+            ("latency_ms".into(), latency),
+            ("batch_size_counts".into(), JsonValue::Array(batches)),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_reports_counts_and_percentiles() {
+        let m = ServeMetrics::new();
+        m.observe_latency(Duration::from_millis(10));
+        m.observe_latency(Duration::from_millis(20));
+        m.observe_batch(2);
+        m.count_shed();
+        m.count_error();
+        let snap = m.snapshot(3);
+        assert_eq!(snap["completed"], 2.0);
+        assert_eq!(snap["shed"], 1.0);
+        assert_eq!(snap["errors"], 1.0);
+        assert_eq!(snap["queue_depth"], 3.0);
+        let p50 = snap["latency_ms"]["p50"].as_f64().unwrap();
+        assert!((14.0..=16.0).contains(&p50), "p50 {p50} should interpolate 10..20");
+        let batches = snap["batch_size_counts"].as_array().unwrap();
+        assert_eq!(batches.len(), 1);
+        assert_eq!(batches[0]["batch_size"], 2.0);
+    }
+
+    #[test]
+    fn empty_metrics_snapshot_has_null_latency() {
+        let m = ServeMetrics::new();
+        let snap = m.snapshot(0);
+        assert_eq!(snap["latency_ms"], JsonValue::Null);
+        assert_eq!(snap["completed"], 0.0);
+    }
+}

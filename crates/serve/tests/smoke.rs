@@ -1,0 +1,161 @@
+//! End-to-end smoke test of the serving stack: a real server on an
+//! ephemeral port, concurrent predict requests, a `/metrics` scrape,
+//! and a graceful shutdown that answers every in-flight request.
+
+use dlbench_data::DatasetKind;
+use dlbench_frameworks::{FrameworkKind, Scale};
+use dlbench_json::JsonValue;
+use dlbench_serve::{loadgen, serve, BatchConfig, ModelRegistry, ModelSpec};
+use std::time::Duration;
+
+const SEED: u64 = 42;
+
+fn registry_with(name: &str, host: FrameworkKind, config: BatchConfig) -> ModelRegistry {
+    let spec = ModelSpec::own_default(name, host, DatasetKind::Mnist, Scale::Tiny, SEED);
+    let served = spec.instantiate(None).expect("fresh model");
+    let mut registry = ModelRegistry::new();
+    registry.register(served, config).expect("fresh name");
+    registry
+}
+
+fn tiny_inputs(count: usize) -> Vec<Vec<f32>> {
+    loadgen::sample_inputs(DatasetKind::Mnist, Scale::Tiny, SEED, count)
+}
+
+#[test]
+fn serves_concurrent_predicts_and_metrics_then_drains() {
+    let registry = registry_with("mnist", FrameworkKind::TensorFlow, BatchConfig::default());
+    let server = serve(registry, "127.0.0.1:0").expect("ephemeral bind");
+    let addr = server.addr();
+    let inputs = tiny_inputs(8);
+
+    // Concurrent predict requests from independent client threads.
+    let replies: Vec<(u16, JsonValue)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = inputs
+            .iter()
+            .map(|input| scope.spawn(move || loadgen::predict(addr, "mnist", input).unwrap()))
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    assert_eq!(replies.len(), 8);
+    for (status, body) in &replies {
+        assert_eq!(*status, 200, "predict failed: {}", body.pretty());
+        let class = body["class"].as_f64().unwrap();
+        assert!((0.0..10.0).contains(&class));
+        assert_eq!(body["logits"].as_array().unwrap().len(), 10);
+    }
+
+    // Health and metrics endpoints.
+    let (status, health) = loadgen::http_request(addr, "GET", "/healthz", None).unwrap();
+    assert_eq!(status, 200);
+    let health = dlbench_json::parse(&health).unwrap();
+    assert_eq!(health["status"].as_str(), Some("ok"));
+    assert_eq!(health["models"].as_array().unwrap().len(), 1);
+
+    let (status, metrics) = loadgen::http_request(addr, "GET", "/metrics", None).unwrap();
+    assert_eq!(status, 200);
+    let metrics = dlbench_json::parse(&metrics).unwrap();
+    let model = &metrics["mnist"];
+    assert_eq!(model["completed"], 8.0);
+    assert_eq!(model["shed"], 0.0);
+    for p in ["p50", "p95", "p99"] {
+        assert!(model["latency_ms"][p].as_f64().unwrap() >= 0.0);
+    }
+
+    // Graceful drain: in-flight work above was all answered; afterwards
+    // new requests are refused without a crash.
+    server.shutdown();
+    assert!(loadgen::predict(addr, "mnist", &inputs[0]).is_err());
+}
+
+#[test]
+fn unknown_model_and_bad_input_report_clean_statuses() {
+    let registry = registry_with("m", FrameworkKind::Torch, BatchConfig::default());
+    let server = serve(registry, "127.0.0.1:0").expect("ephemeral bind");
+    let addr = server.addr();
+
+    let (status, _) = loadgen::predict(addr, "nope", &[0.0; 784]).unwrap();
+    assert_eq!(status, 404);
+
+    let (status, body) =
+        loadgen::http_request(addr, "POST", "/predict/m", Some("[1, 2, 3]")).unwrap();
+    assert_eq!(status, 400, "wrong input length must be a client error");
+    assert!(body.contains("expected"));
+
+    let (status, _) =
+        loadgen::http_request(addr, "POST", "/predict/m", Some("{\"not\": \"array\"}")).unwrap();
+    assert_eq!(status, 400);
+
+    let (status, _) = loadgen::http_request(addr, "GET", "/no-such-route", None).unwrap();
+    assert_eq!(status, 404);
+
+    server.shutdown();
+}
+
+#[test]
+fn overload_sheds_with_503_and_never_crashes() {
+    // A one-slot queue with a slow flush cadence guarantees overflow
+    // under a burst; the contract is 503 + Retry-After, not a panic or
+    // a hung client.
+    let config =
+        BatchConfig { max_batch: 1, max_wait: Duration::from_millis(20), queue_capacity: 1 };
+    let registry = registry_with("m", FrameworkKind::Caffe, config);
+    let server = serve(registry, "127.0.0.1:0").expect("ephemeral bind");
+    let addr = server.addr();
+    let inputs = tiny_inputs(4);
+
+    let report = loadgen::run(
+        addr,
+        "m",
+        &inputs,
+        &loadgen::LoadConfig { mode: loadgen::LoadMode::Closed { concurrency: 8 }, requests: 64 },
+    );
+    assert_eq!(report.sent, 64);
+    assert_eq!(report.errors, 0, "overload must shed (503), not error");
+    assert_eq!(report.ok + report.shed, 64);
+    assert!(report.ok > 0, "some requests must be served under overload");
+
+    // The server is still healthy after the burst.
+    let (status, _) = loadgen::http_request(addr, "GET", "/healthz", None).unwrap();
+    assert_eq!(status, 200);
+    server.shutdown();
+}
+
+#[test]
+fn shutdown_endpoint_drains_and_wait_returns() {
+    let registry = registry_with("m", FrameworkKind::TensorFlow, BatchConfig::default());
+    let server = serve(registry, "127.0.0.1:0").expect("ephemeral bind");
+    let addr = server.addr();
+
+    let (status, body) = loadgen::http_request(addr, "POST", "/shutdown", None).unwrap();
+    assert_eq!(status, 200);
+    assert!(body.contains("draining"));
+    // wait() must return now that the drain has been requested.
+    server.wait();
+}
+
+#[test]
+fn two_models_are_served_independently() {
+    let mut registry = ModelRegistry::new();
+    for (name, fw) in [("tf", FrameworkKind::TensorFlow), ("torch", FrameworkKind::Torch)] {
+        let spec = ModelSpec::own_default(name, fw, DatasetKind::Mnist, Scale::Tiny, SEED);
+        registry.register(spec.instantiate(None).unwrap(), BatchConfig::default()).unwrap();
+    }
+    let server = serve(registry, "127.0.0.1:0").expect("ephemeral bind");
+    let addr = server.addr();
+    let input = &tiny_inputs(1)[0];
+
+    let (status, tf) = loadgen::predict(addr, "tf", input).unwrap();
+    assert_eq!(status, 200);
+    let (status, torch) = loadgen::predict(addr, "torch", input).unwrap();
+    assert_eq!(status, 200);
+    // Different personalities, different architectures — the logits
+    // cannot coincide.
+    assert_ne!(tf["logits"], torch["logits"]);
+
+    let (_, metrics) = loadgen::http_request(addr, "GET", "/metrics", None).unwrap();
+    let metrics = dlbench_json::parse(&metrics).unwrap();
+    assert_eq!(metrics["tf"]["completed"], 1.0);
+    assert_eq!(metrics["torch"]["completed"], 1.0);
+    server.shutdown();
+}

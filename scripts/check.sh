@@ -23,4 +23,7 @@ cargo test --workspace --locked -q
 echo "==> verify gate (gradcheck + goldens + guards)"
 cargo test -p dlbench-verify --locked -q
 
+echo "==> serve smoke (ephemeral port, concurrent predicts, metrics, drain)"
+cargo test -p dlbench-serve --test smoke --locked -q
+
 echo "==> OK"

@@ -135,6 +135,86 @@ fn computed_only(mut report: ExperimentReport) -> ExperimentReport {
 }
 
 #[test]
+fn micro_batched_serving_matches_individual_forwards_bitwise() {
+    let _gate = gate();
+    use dlbench_data::DatasetKind;
+    use dlbench_frameworks::{trainer, FrameworkKind};
+    use dlbench_serve::{loadgen, serve, BatchConfig, ModelRegistry, ModelSpec};
+    use std::time::Duration;
+
+    // Train a real cell and checkpoint it — the model the server loads
+    // must be the model offline inference uses.
+    let host = FrameworkKind::TensorFlow;
+    let (scale, seed) = (Scale::Tiny, 42);
+    let mut out = trainer::run_training(
+        host,
+        dlbench_frameworks::DefaultSetting::new(host, DatasetKind::Mnist),
+        DatasetKind::Mnist,
+        scale,
+        seed,
+    );
+    let mut checkpoint = Vec::new();
+    dlbench_nn::save_parameters(&mut out.model, &mut checkpoint).unwrap();
+
+    let spec = ModelSpec::own_default("m", host, DatasetKind::Mnist, scale, seed);
+    let served = spec.instantiate_from(&mut checkpoint.as_slice()).unwrap();
+    let inputs = loadgen::sample_inputs(DatasetKind::Mnist, scale, seed, 12);
+
+    // Reference: one forward per sample (batch size 1) offline.
+    let reference: Vec<Vec<u32>> = {
+        let solo = spec.instantiate_from(&mut checkpoint.as_slice()).unwrap();
+        let mut model = solo.model;
+        let (c, h, w) = spec.input_dims();
+        inputs
+            .iter()
+            .map(|input| {
+                let raw = Tensor::from_vec(&[1, c, h, w], input.clone()).unwrap();
+                let x = solo.preprocessing.apply(&raw, &solo.channel_means);
+                model.forward(&x, false).data().iter().map(|v| v.to_bits()).collect()
+            })
+            .collect()
+    };
+
+    // Serve the same checkpoint with a generous flush deadline so the
+    // concurrent requests really coalesce into multi-row batches.
+    let mut registry = ModelRegistry::new();
+    let config =
+        BatchConfig { max_batch: 4, max_wait: Duration::from_millis(50), queue_capacity: 64 };
+    registry.register(served, config).unwrap();
+    let server = serve(registry, "127.0.0.1:0").unwrap();
+    let addr = server.addr();
+
+    let (replies, max_batch_seen) = std::thread::scope(|scope| {
+        let handles: Vec<_> = inputs
+            .iter()
+            .map(|input| scope.spawn(move || loadgen::predict(addr, "m", input).unwrap()))
+            .collect();
+        let mut replies = Vec::new();
+        let mut max_batch_seen = 0usize;
+        for h in handles {
+            let (status, body) = h.join().unwrap();
+            assert_eq!(status, 200, "predict failed: {}", body.pretty());
+            max_batch_seen =
+                max_batch_seen.max(body["batch_size"].as_f64().unwrap_or(0.0) as usize);
+            let logits: Vec<u32> = body["logits"]
+                .as_array()
+                .unwrap()
+                .iter()
+                .map(|v| (v.as_f64().unwrap() as f32).to_bits())
+                .collect();
+            replies.push(logits);
+        }
+        (replies, max_batch_seen)
+    });
+    server.shutdown();
+
+    // Bitwise, through JSON and HTTP: micro-batching must not change a
+    // single mantissa bit relative to single-sample offline inference.
+    assert_eq!(replies, reference, "batched serving diverged from offline forwards");
+    assert!(max_batch_seen >= 2, "deadline batching never formed a multi-request batch");
+}
+
+#[test]
 fn fig1_report_is_identical_serial_vs_four_threads() {
     let _gate = gate();
     // Full pipeline at Tiny scale: training (conv/pool/gemm kernels,
