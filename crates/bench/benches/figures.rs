@@ -15,7 +15,7 @@
 
 use dlbench_core::{BenchmarkRunner, ExperimentId};
 use dlbench_frameworks::Scale;
-use std::time::Instant;
+use dlbench_trace::Stopwatch;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).filter(|a| !a.starts_with('-')).collect();
@@ -44,12 +44,12 @@ fn main() {
 
     println!("DLBench paper harness — scale {scale:?}, seed 42");
     println!("regenerating {} paper artifacts\n", selected.len());
-    let started = Instant::now();
+    let started = Stopwatch::start();
     for id in selected {
-        let t0 = Instant::now();
+        let t0 = Stopwatch::start();
         let report = id.run(&mut runner);
         println!("{}", report.render());
-        println!("  [{} regenerated in {:.1}s]\n", id.key(), t0.elapsed().as_secs_f64());
+        println!("  [{} regenerated in {:.1}s]\n", id.key(), t0.elapsed_s());
         let path = out_dir.join(format!("{}.json", id.key()));
         if let Err(e) = std::fs::write(&path, report.to_json()) {
             eprintln!("could not write {}: {e}", path.display());
@@ -58,7 +58,7 @@ fn main() {
     println!(
         "done: {} training cells, {:.1}s total; JSON reports in {}",
         runner.trained_cells(),
-        started.elapsed().as_secs_f64(),
+        started.elapsed_s(),
         out_dir.display()
     );
 }

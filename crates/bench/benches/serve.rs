@@ -16,7 +16,7 @@
 use dlbench_bench::BENCH_SEED;
 use dlbench_frameworks::Scale;
 use dlbench_serve::loadgen;
-use std::time::Instant;
+use dlbench_trace::Stopwatch;
 
 /// The shared `target/dlbench-reports` directory, recovered from the
 /// executable path exactly like the criterion facade does — cargo runs
@@ -47,7 +47,7 @@ fn main() {
         "DLBench serve sweep — scale Tiny, seed {BENCH_SEED:#x}, open-loop {rate_rps} req/s, \
          {requests} requests per cell, max batch {max_batch}"
     );
-    let started = Instant::now();
+    let started = Stopwatch::start();
     let doc = loadgen::sweep_personalities(
         Scale::Tiny,
         BENCH_SEED,
@@ -85,11 +85,9 @@ fn main() {
     let _ = std::fs::create_dir_all(&out_dir);
     let path = out_dir.join("BENCH_serve.json");
     match std::fs::write(&path, doc.pretty()) {
-        Ok(()) => println!(
-            "done in {:.1}s; rows written to {}",
-            started.elapsed().as_secs_f64(),
-            path.display()
-        ),
+        Ok(()) => {
+            println!("done in {:.1}s; rows written to {}", started.elapsed_s(), path.display())
+        }
         Err(e) => eprintln!("could not write {}: {e}", path.display()),
     }
 }

@@ -10,7 +10,7 @@ use dlbench_frameworks::{trainer, DefaultSetting, FrameworkKind, Scale};
 use dlbench_nn::SoftmaxCrossEntropy;
 use dlbench_optim::{LrPolicy, Optimizer, Sgd};
 use dlbench_tensor::SeededRng;
-use std::time::Instant;
+use dlbench_trace::Stopwatch;
 
 fn sweep(base_lr: f32, batch_size: usize, iters: usize, seed: u64) -> (f32, f64) {
     let host = FrameworkKind::Caffe;
@@ -28,19 +28,19 @@ fn sweep(base_lr: f32, batch_size: usize, iters: usize, seed: u64) -> (f32, f64)
     let mut opt = Sgd::new(base_lr, 0.9, 5e-4, LrPolicy::Fixed);
     let mut batches = BatchIter::new(&train, batch_size, rng.fork(2));
     let mut loss = SoftmaxCrossEntropy::new();
-    let started = Instant::now();
+    let started = Stopwatch::start();
     for it in 0..iters {
         let (images, labels) = batches.next_batch();
         let logits = model.forward(&images, true);
         let (l, _) = loss.forward(&logits, &labels);
         if !l.is_finite() {
-            return (f32::NAN, started.elapsed().as_secs_f64());
+            return (f32::NAN, started.elapsed_s());
         }
         model.zero_grads();
         model.backward(&loss.backward());
         opt.step(&mut model.params(), it);
     }
-    let wall = started.elapsed().as_secs_f64();
+    let wall = started.elapsed_s();
     let means = vec![];
     let acc = trainer::evaluate(&mut model, &test, dlbench_data::Preprocessing::Raw01, &means);
     (acc, wall)

@@ -83,6 +83,41 @@ pub fn info() -> Result<(), String> {
     Ok(())
 }
 
+/// Arms the tracer when `--trace FILE` is present and returns the
+/// export path; pair with [`trace_finish`] once the traced work is
+/// done.
+pub(crate) fn trace_start(args: &ParsedArgs) -> Option<String> {
+    let path = args.get("trace")?.to_string();
+    dlbench_trace::configure(dlbench_trace::TraceConfig::on());
+    dlbench_trace::clear();
+    Some(path)
+}
+
+/// Drains everything recorded since [`trace_start`], writes it as a
+/// Chrome trace_event JSON document, and disarms the tracer.
+pub(crate) fn trace_finish(path: Option<String>) -> Result<(), String> {
+    let Some(path) = path else { return Ok(()) };
+    let events = dlbench_trace::take_events();
+    dlbench_trace::configure(dlbench_trace::TraceConfig::Off);
+    let dropped = dlbench_trace::dropped_events();
+    write_text_file(&path, &dlbench_trace::chrome_trace(&events))?;
+    if dropped > 0 {
+        println!("[trace: ring buffer dropped {dropped} events; raise capacity if this matters]");
+    }
+    println!("[trace: {} events written to {path}]", events.len());
+    Ok(())
+}
+
+fn write_text_file(path: &str, text: &str) -> Result<(), String> {
+    if let Some(dir) = std::path::Path::new(path).parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir)
+                .map_err(|e| format!("cannot create {}: {e}", dir.display()))?;
+        }
+    }
+    std::fs::write(path, text).map_err(|e| format!("cannot write {path}: {e}"))
+}
+
 /// Checks the `--verify` / `DLBENCH_BLESS` combination up front:
 /// blessing reruns the golden experiments, which is only meaningful
 /// under `--verify` — a silently ignored `DLBENCH_BLESS=1` would let
@@ -106,6 +141,7 @@ pub fn run(args: &ParsedArgs) -> Result<(), String> {
     let seed = args.get_parsed("seed", 42u64)?;
     let threads = configure_threads(args)?;
     let (verify, bless) = verify_mode(args)?;
+    let trace = trace_start(args);
     let mut runner = BenchmarkRunner::new(scale, seed);
     if verify {
         runner.set_guard(std::sync::Arc::new(dlbench_verify::Verifier::new()));
@@ -143,6 +179,7 @@ pub fn run(args: &ParsedArgs) -> Result<(), String> {
             println!("  [json written to {path}]");
         }
     }
+    trace_finish(trace)?;
     let violations = runner.violations();
     if !violations.is_empty() {
         return Err(format!(
@@ -185,6 +222,7 @@ pub fn train(args: &ParsedArgs) -> Result<(), String> {
     let scale = parse_scale(args.get("scale"))?;
     let seed = args.get_parsed("seed", 42u64)?;
     configure_threads(args)?;
+    let trace = trace_start(args);
     let (host, setting, dataset) = cell_from_args(args)?;
     println!(
         "training {} with setting {} on {} (scale {scale:?}, seed {seed})",
@@ -202,6 +240,7 @@ pub fn train(args: &ParsedArgs) -> Result<(), String> {
         }
         None => trainer::run_training(host, setting, dataset, scale, seed),
     };
+    trace_finish(trace)?;
     let cpu = out.simulated_times(&devices::xeon_e5_1620());
     let gpu = out.simulated_times(&devices::gtx_1080_ti());
     println!("accuracy        {:.2}%", out.accuracy * 100.0);
@@ -349,6 +388,7 @@ pub fn serve(args: &ParsedArgs) -> Result<(), String> {
     configure_threads(args)?;
     let port = args.get_parsed("port", 8080u16)?;
     let config = batch_config_from_args(args)?;
+    let trace = trace_start(args);
 
     let mut registry = ModelRegistry::new();
     if args.positionals.is_empty() {
@@ -391,6 +431,7 @@ pub fn serve(args: &ParsedArgs) -> Result<(), String> {
     );
     server.wait();
     println!("drained; all in-flight requests answered");
+    trace_finish(trace)?;
     Ok(())
 }
 
@@ -448,6 +489,136 @@ pub fn loadgen(args: &ParsedArgs) -> Result<(), String> {
             s.p50, s.p95, s.p99, s.max
         );
     }
+    Ok(())
+}
+
+/// Per-thread structural validation of a training trace: spans must
+/// nest properly (no partial overlap) and at least one thread must
+/// carry the full epoch ⊃ iteration ⊃ layer ⊃ kernel chain.
+fn validate_trace(events: &[dlbench_trace::Event]) -> Result<(), String> {
+    use dlbench_trace::Category;
+    use std::collections::BTreeMap;
+    let mut per_tid: BTreeMap<u64, Vec<&dlbench_trace::Event>> = BTreeMap::new();
+    for e in events {
+        if e.is_span() {
+            per_tid.entry(e.tid).or_default().push(e);
+        }
+    }
+    if per_tid.is_empty() {
+        return Err("trace contains no spans".into());
+    }
+    let mut full_chain = false;
+    for (tid, mut spans) in per_tid {
+        // Outermost-first at equal starts, so a stack walk detects any
+        // partial overlap between same-thread spans.
+        spans.sort_by(|a, b| a.start_ns().cmp(&b.start_ns()).then(b.end_ns().cmp(&a.end_ns())));
+        let mut stack: Vec<&dlbench_trace::Event> = Vec::new();
+        for span in spans {
+            while let Some(top) = stack.last() {
+                if span.start_ns() >= top.end_ns() {
+                    stack.pop();
+                } else {
+                    break;
+                }
+            }
+            if let Some(top) = stack.last() {
+                if span.end_ns() > top.end_ns() {
+                    return Err(format!(
+                        "thread {tid}: span `{}` partially overlaps `{}` — broken nesting",
+                        span.name, top.name
+                    ));
+                }
+            }
+            if span.cat == Category::Kernel {
+                let mut have = (false, false, false);
+                for anc in &stack {
+                    match (anc.cat, anc.name.as_ref()) {
+                        (Category::Layer, _) => have.0 = true,
+                        (Category::Train, "iteration") => have.1 = true,
+                        (Category::Train, "epoch") => have.2 = true,
+                        _ => {}
+                    }
+                }
+                full_chain |= have == (true, true, true);
+            }
+            stack.push(span);
+        }
+    }
+    if !full_chain {
+        return Err("no thread carries the epoch ⊃ iteration ⊃ layer ⊃ kernel chain".into());
+    }
+    Ok(())
+}
+
+/// Every layer of the cell's architecture must have produced at least
+/// one forward span; returns the layer count on success.
+fn check_layer_coverage(
+    events: &[dlbench_trace::Event],
+    host: FrameworkKind,
+    setting: &DefaultSetting,
+    dataset: DatasetKind,
+    scale: Scale,
+    seed: u64,
+) -> Result<usize, String> {
+    use std::collections::BTreeSet;
+    let model = trainer::build_cell_model(host, setting, dataset, scale, seed);
+    let expected: BTreeSet<&str> = model.layers().iter().map(|l| l.name()).collect();
+    let seen: BTreeSet<&str> = events
+        .iter()
+        .filter(|e| e.cat == dlbench_trace::Category::Layer && e.is_span())
+        .map(|e| e.name.as_ref())
+        .collect();
+    let missing: Vec<&str> = expected.iter().copied().filter(|n| !seen.contains(n)).collect();
+    if missing.is_empty() {
+        Ok(expected.len())
+    } else {
+        Err(format!("layers with no forward span: {}", missing.join(", ")))
+    }
+}
+
+/// `dlbench profile`
+pub fn profile(args: &ParsedArgs) -> Result<(), String> {
+    use dlbench_trace::{ChromeTraceDoc, ProfileReport, TraceConfig};
+    let scale = parse_scale(args.get("scale"))?;
+    let seed = args.get_parsed("seed", 42u64)?;
+    configure_threads(args)?;
+    let dataset = parse_dataset(args.get("dataset").unwrap_or("mnist"))?;
+    let out = args.get("trace").unwrap_or("target/dlbench-reports/TRACE_profile.json").to_string();
+    let out_dir = args.get("out").unwrap_or("target/dlbench-reports").to_string();
+    let mut doc = ChromeTraceDoc::new();
+    for (i, &host) in FrameworkKind::ALL.iter().enumerate() {
+        let setting = DefaultSetting::new(host, dataset);
+        let label = format!("{} ({}) on {}", host.name(), setting.label(), dataset.name());
+        dlbench_trace::configure(TraceConfig::on());
+        dlbench_trace::clear();
+        let _ = trainer::run_training(host, setting, dataset, scale, seed);
+        let events = dlbench_trace::take_events();
+        dlbench_trace::configure(TraceConfig::Off);
+        validate_trace(&events).map_err(|e| format!("{label}: {e}"))?;
+        let layers = check_layer_coverage(&events, host, &setting, dataset, scale, seed)
+            .map_err(|e| format!("{label}: {e}"))?;
+        // Efficiency is judged against what the simtime model says this
+        // personality should extract from the CPU reference device.
+        let reference =
+            devices::xeon_e5_1620().throughput_gflops * host.execution_profile().cpu_efficiency;
+        let report = ProfileReport::from_events(&events);
+        let span_count = events.iter().filter(|e| e.is_span()).count();
+        println!("== {label} ==");
+        println!("{span_count} spans across {layers} instrumented layers, nesting OK");
+        println!("{}", report.render(Some(reference)));
+        if args.flag("json") {
+            let path = format!("{out_dir}/PROFILE_{}.json", host.name().to_ascii_lowercase());
+            write_text_file(&path, &report.to_json(Some(reference)))?;
+            println!("  [profile json written to {path}]");
+        }
+        doc.add_process((i + 1) as u64, &label, &events);
+    }
+    let rendered = doc.render();
+    // The exporter hand-emits JSON; prove the artifact parses before
+    // handing it to the user.
+    dlbench_json::parse(&rendered).map_err(|e| format!("exported trace is invalid JSON: {e}"))?;
+    write_text_file(&out, &rendered)?;
+    println!("[chrome trace written to {out}; load in Perfetto or chrome://tracing]");
     Ok(())
 }
 

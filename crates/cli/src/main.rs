@@ -27,6 +27,8 @@ COMMANDS:
                                   [--scale tiny|small|paper] [--seed N]
                                   [--bars] [--json] [--out DIR]
                                   [--threads N] [--verify]
+                                  [--trace FILE]  (Chrome trace of the
+                                  whole run; also on train and serve)
     train                         train one benchmark cell
                                   [--framework tf|caffe|torch]
                                   [--dataset mnist|cifar10]
@@ -54,6 +56,14 @@ COMMANDS:
                                   [--dataset …] [--scale …] [--seed N]
                                   or: --sweep [--deadlines-ms 0,1,2,5]
                                   [--out FILE] (BENCH_serve.json rows)
+    profile                       trace one training run per framework
+                                  personality and report per-op time,
+                                  achieved GFLOP/s and efficiency
+                                  [--dataset …] [--scale …] [--seed N]
+                                  [--threads N] [--json] [--out DIR]
+                                  [--trace FILE]  (Chrome trace path,
+                                  default target/dlbench-reports/
+                                  TRACE_profile.json)
     stats                         dataset characterization statistics
                                   [--dataset …] [--size N] [--samples N]
     ablate                        regularizer-robustness ablation (extension)
@@ -98,6 +108,7 @@ fn main() -> ExitCode {
         "ablate" => commands::ablate(&parsed),
         "serve" => commands::serve(&parsed),
         "loadgen" => commands::loadgen(&parsed),
+        "profile" => commands::profile(&parsed),
         other => Err(format!("unknown command `{other}`\n\n{USAGE}")),
     };
     match result {

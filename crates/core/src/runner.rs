@@ -7,6 +7,22 @@ use dlbench_simtime::Device;
 use std::collections::HashMap;
 use std::sync::Arc;
 
+/// Cell-lifecycle span covering one full training run, named like the
+/// cell's paper label (built only while tracing is armed).
+fn cell_span(key: &TrainKey) -> Option<dlbench_trace::SpanGuard> {
+    dlbench_trace::enabled().then(|| {
+        dlbench_trace::span_owned(
+            dlbench_trace::Category::Runner,
+            format!(
+                "cell: {} ({}) on {}",
+                key.host.name(),
+                key.setting.label(),
+                key.dataset.name()
+            ),
+        )
+    })
+}
+
 /// Key for one device-independent training run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct TrainKey {
@@ -116,6 +132,7 @@ impl BenchmarkRunner {
         let (scale, seed) = (self.scale, self.seed);
         let guard = self.guard.clone();
         let train = |key: TrainKey| {
+            let _span = cell_span(&key);
             trainer::run_training_guarded(
                 key.host,
                 key.setting,
@@ -171,6 +188,7 @@ impl BenchmarkRunner {
         let scale = self.scale;
         let guard = self.guard.clone();
         let outcome = self.cache.entry(key).or_insert_with(|| {
+            let _span = cell_span(&key);
             trainer::run_training_guarded(
                 key.host,
                 key.setting,

@@ -23,7 +23,7 @@ use dlbench_nn::{CheckpointError, LayerCost, Network, SoftmaxCrossEntropy};
 use dlbench_optim::{Adam, Optimizer, Sgd};
 use dlbench_simtime::{CostModel, Device};
 use dlbench_tensor::SeededRng;
-use std::time::Instant;
+use dlbench_trace::{span, Category, Stopwatch};
 
 /// Loss ceiling recorded when training diverges (softmax probabilities
 /// floored at `1e-12` bound the true loss at ~27.6).
@@ -298,6 +298,7 @@ pub fn evaluate(
     preprocessing: Preprocessing,
     channel_means: &[f32],
 ) -> f32 {
+    let _span = span(Category::Train, "evaluate");
     let mut correct = 0usize;
     let mut total = 0usize;
     let n = data.len();
@@ -413,9 +414,18 @@ fn run_training_impl(
     let iters_per_epoch = (train.len() / config.batch_size).max(1);
     let mut guard_violations = Vec::new();
     let mut guard_tripped = false;
-    let started = Instant::now();
+    let started = Stopwatch::start();
+    let train_span = span(Category::Train, "train");
+    let mut epoch_span = span(Category::Train, "epoch");
 
     for it in 0..exec_iters {
+        // The previous iteration's span has closed, so the epoch span
+        // can be renewed at the boundary without orphaning a child.
+        if it > 0 && it % iters_per_epoch == 0 {
+            drop(epoch_span);
+            epoch_span = span(Category::Train, "epoch");
+        }
+        let _iter_span = span(Category::Train, "iteration");
         let mut step_loss = DIVERGED_LOSS;
         if diverged {
             // Paper Figure 5: a diverged run's loss stays flat at its
@@ -474,12 +484,14 @@ fn run_training_impl(
             }
         }
     }
-    let wall_train_seconds = started.elapsed().as_secs_f64();
+    drop(epoch_span);
+    drop(train_span);
+    let wall_train_seconds = started.elapsed_s();
 
     // Evaluation.
-    let eval_started = Instant::now();
+    let eval_started = Stopwatch::start();
     let accuracy = evaluate(&mut model, &test, preprocessing, &channel_means);
-    let wall_test_seconds = eval_started.elapsed().as_secs_f64();
+    let wall_test_seconds = eval_started.elapsed_s();
 
     // Convergence check over the tail of the curve (single-batch losses
     // are noisy at batch size 1, so average the last several samples).

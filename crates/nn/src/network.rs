@@ -52,9 +52,17 @@ impl Network {
     }
 
     /// Runs all layers forward, returning the final output (logits).
+    ///
+    /// Each layer runs under a trace span named after the layer,
+    /// carrying the forward-FLOP estimate from the same [`LayerCost`]
+    /// arithmetic the simtime cost model charges (computed only while
+    /// tracing is armed).
     pub fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
         let mut x = input.clone();
         for layer in &mut self.layers {
+            let flops = if dlbench_trace::enabled() { layer.cost(x.shape()).fwd_flops } else { 0 };
+            let _span =
+                dlbench_trace::span_flops(dlbench_trace::Category::Layer, layer.name(), flops);
             x = layer.forward(&x, train);
         }
         x
@@ -66,6 +74,15 @@ impl Network {
     pub fn backward(&mut self, grad_output: &Tensor) -> Tensor {
         let mut g = grad_output.clone();
         for layer in self.layers.iter_mut().rev() {
+            // Backward spans carry no FLOP payload: the layer's input
+            // shape (which the estimate needs) is not visible here, and
+            // the kernel spans inside carry their own counts.
+            let _span = dlbench_trace::enabled().then(|| {
+                dlbench_trace::span_owned(
+                    dlbench_trace::Category::Layer,
+                    format!("{}.bwd", layer.name()),
+                )
+            });
             g = layer.backward(&g);
         }
         g

@@ -104,6 +104,11 @@ impl Layer for MaxPool2d {
                 }
             }
         };
+        let _span = dlbench_trace::span_flops(
+            dlbench_trace::Category::Kernel,
+            "maxpool_fwd",
+            (n * c * out_plane * kernel * kernel) as u64,
+        );
         if n * c * out_plane * kernel * kernel < par::PAR_MIN_WORK {
             per_plane(0, out.data_mut(), &mut self.cached_argmax);
         } else {
@@ -136,6 +141,11 @@ impl Layer for MaxPool2d {
                 gin_chunk[src - first * in_plane] += gout[o0 + o];
             }
         };
+        let _span = dlbench_trace::span_flops(
+            dlbench_trace::Category::Kernel,
+            "maxpool_bwd",
+            self.cached_argmax.len() as u64,
+        );
         if self.cached_argmax.len() < par::PAR_MIN_WORK {
             scatter(0, grad_in.data_mut());
         } else {

@@ -12,10 +12,11 @@ use crate::metrics::ServeMetrics;
 use crate::model::ServedModel;
 use crate::ServeError;
 use dlbench_tensor::Tensor;
+use dlbench_trace::{monotonic_ns, Category, Stopwatch};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc, Mutex};
 use std::thread::JoinHandle;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 /// Tuning knobs for one model's micro-batcher.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -51,7 +52,9 @@ pub struct Prediction {
 
 struct Job {
     input: Vec<f32>,
-    enqueued: Instant,
+    /// Enqueue timestamp on the shared monotonic clock, so the worker
+    /// can split latency into queue wait vs. forward time.
+    enqueued_ns: u64,
     reply: mpsc::SyncSender<Result<Prediction, ServeError>>,
 }
 
@@ -101,7 +104,7 @@ impl MicroBatcher {
             )));
         }
         let (reply_tx, reply_rx) = mpsc::sync_channel(1);
-        let job = Job { input, enqueued: Instant::now(), reply: reply_tx };
+        let job = Job { input, enqueued_ns: monotonic_ns(), reply: reply_tx };
         let sender = match lock(&self.queue).as_ref() {
             Some(s) => s.clone(),
             None => return Err(ServeError::Draining),
@@ -166,14 +169,15 @@ fn worker_loop(
             Ok(job) => job,
             Err(_) => break,
         };
+        let assembly_span = dlbench_trace::span(Category::Serve, "batch_assembly");
         let mut batch = vec![first];
-        let deadline = Instant::now() + config.max_wait;
+        let waited = Stopwatch::start();
         while batch.len() < max_batch {
-            let now = Instant::now();
-            if now >= deadline {
+            let elapsed = waited.elapsed();
+            if elapsed >= config.max_wait {
                 break;
             }
-            match rx.recv_timeout(deadline - now) {
+            match rx.recv_timeout(config.max_wait - elapsed) {
                 Ok(job) => batch.push(job),
                 // Timeout: flush what we have. Disconnected: flush this
                 // final batch; the outer recv will then observe the
@@ -183,20 +187,34 @@ fn worker_loop(
         }
         let n = batch.len();
         depth.fetch_sub(n, Ordering::SeqCst);
+        dlbench_trace::counter(Category::Serve, "queue_depth", depth.load(Ordering::SeqCst) as f64);
+        // Queue wait ends here: the batch's membership is final and the
+        // forward pass it rides is next.
+        let dequeued_ns = monotonic_ns();
+        for job in &batch {
+            let wait = Duration::from_nanos(dequeued_ns.saturating_sub(job.enqueued_ns));
+            metrics.observe_queue_wait(wait);
+            dlbench_trace::record_span(Category::Serve, "queue_wait", job.enqueued_ns, dequeued_ns);
+        }
 
         let mut data = Vec::with_capacity(n * c * h * w);
         for job in &batch {
             data.extend_from_slice(&job.input);
         }
+        drop(assembly_span);
+        let forward_started = Stopwatch::start();
+        let forward_span = dlbench_trace::span(Category::Serve, "forward");
         let raw =
             Tensor::from_vec(&[n, c, h, w], data).expect("input lengths validated at enqueue");
         let x = served.preprocessing.apply(&raw, &served.channel_means);
         let logits = served.model.forward(&x, false);
         let classes = logits.argmax_rows();
+        drop(forward_span);
+        metrics.observe_forward(forward_started.elapsed());
         let width = logits.shape()[1];
         metrics.observe_batch(n);
         for (i, job) in batch.into_iter().enumerate() {
-            let latency = job.enqueued.elapsed();
+            let latency = Duration::from_nanos(monotonic_ns().saturating_sub(job.enqueued_ns));
             metrics.observe_latency(latency);
             let row = logits.data()[i * width..(i + 1) * width].to_vec();
             // A receiver gone away (client disconnected mid-flight) is

@@ -153,6 +153,7 @@ fn handle_connection(stream: TcpStream, inner: Arc<Inner>) {
         }
     };
     let (status, extra_headers, body) = route(&request, &inner);
+    let _serialize = dlbench_trace::span(dlbench_trace::Category::Serve, "serialize");
     let _ = write_response(&stream, status, &extra_headers, &body);
 }
 

@@ -10,11 +10,12 @@ use dlbench_core::Histogram;
 use dlbench_data::DatasetKind;
 use dlbench_frameworks::{trainer, FrameworkKind, Scale};
 use dlbench_json::JsonValue;
+use dlbench_trace::Stopwatch;
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpStream};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 /// How requests are paced.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -62,6 +63,15 @@ pub struct LoadReport {
 }
 
 impl LoadReport {
+    /// Fraction of sent requests the server shed with `503`.
+    pub fn shed_rate(&self) -> f64 {
+        if self.sent == 0 {
+            0.0
+        } else {
+            self.shed as f64 / self.sent as f64
+        }
+    }
+
     /// JSON row for reports and the bench harness.
     pub fn to_json(&self) -> JsonValue {
         let latency = match self.latency_ms.summary() {
@@ -72,6 +82,7 @@ impl LoadReport {
             ("sent".into(), self.sent.into()),
             ("ok".into(), self.ok.into()),
             ("shed".into(), self.shed.into()),
+            ("shed_rate".into(), self.shed_rate().into()),
             ("errors".into(), self.errors.into()),
             ("wall_s".into(), self.wall_s.into()),
             ("achieved_rps".into(), self.achieved_rps.into()),
@@ -168,7 +179,7 @@ impl Tally {
 /// through `inputs` round-robin.
 pub fn run(addr: SocketAddr, model: &str, inputs: &[Vec<f32>], config: &LoadConfig) -> LoadReport {
     assert!(!inputs.is_empty(), "loadgen needs at least one input sample");
-    let started = Instant::now();
+    let started = Stopwatch::start();
     let results: Mutex<Tally> = Mutex::new(Tally::new());
     match config.mode {
         LoadMode::Closed { concurrency } => {
@@ -184,7 +195,7 @@ pub fn run(addr: SocketAddr, model: &str, inputs: &[Vec<f32>], config: &LoadConf
                                 break;
                             }
                             let input = &inputs[i % inputs.len()];
-                            let t0 = Instant::now();
+                            let t0 = Stopwatch::start();
                             let outcome = predict(addr, model, input);
                             local.observe(outcome, t0.elapsed());
                         }
@@ -197,15 +208,16 @@ pub fn run(addr: SocketAddr, model: &str, inputs: &[Vec<f32>], config: &LoadConf
             let interval = Duration::from_secs_f64(1.0 / rate_rps.max(1e-6));
             std::thread::scope(|scope| {
                 for i in 0..config.requests {
-                    let due = started + interval * i as u32;
-                    if let Some(wait) = due.checked_duration_since(Instant::now()) {
-                        std::thread::sleep(wait);
+                    let due_ns = interval.as_nanos() as u64 * i as u64;
+                    let wait_ns = due_ns.saturating_sub(started.elapsed_ns());
+                    if wait_ns > 0 {
+                        std::thread::sleep(Duration::from_nanos(wait_ns));
                     }
                     let input = &inputs[i % inputs.len()];
                     let results = &results;
                     scope.spawn(move || {
                         let mut local = Tally::new();
-                        let t0 = Instant::now();
+                        let t0 = Stopwatch::start();
                         let outcome = predict(addr, model, input);
                         local.observe(outcome, t0.elapsed());
                         merge_tallies(results, local);
@@ -214,7 +226,7 @@ pub fn run(addr: SocketAddr, model: &str, inputs: &[Vec<f32>], config: &LoadConf
             });
         }
     }
-    let wall_s = started.elapsed().as_secs_f64().max(1e-9);
+    let wall_s = started.elapsed_s().max(1e-9);
     let tally = results.into_inner().unwrap_or_else(|e| e.into_inner());
     LoadReport {
         sent: config.requests,

@@ -55,6 +55,7 @@ impl Conv2dGeometry {
 ///
 /// Panics (debug assertions) if slice lengths disagree with `geo`.
 pub fn im2col(geo: &Conv2dGeometry, input: &[f32], cols: &mut [f32]) {
+    let _span = dlbench_trace::span(dlbench_trace::Category::Kernel, "im2col");
     let (oh, ow) = (geo.out_h(), geo.out_w());
     debug_assert_eq!(input.len(), geo.in_channels * geo.in_h * geo.in_w);
     debug_assert_eq!(cols.len(), geo.patch_len() * oh * ow);
@@ -97,6 +98,7 @@ pub fn im2col(geo: &Conv2dGeometry, input: &[f32], cols: &mut [f32]) {
 /// `grad` must be zeroed by the caller if a pure gradient (rather than
 /// accumulation) is desired.
 pub fn col2im(geo: &Conv2dGeometry, cols: &[f32], grad: &mut [f32]) {
+    let _span = dlbench_trace::span(dlbench_trace::Category::Kernel, "col2im");
     let (oh, ow) = (geo.out_h(), geo.out_w());
     debug_assert_eq!(grad.len(), geo.in_channels * geo.in_h * geo.in_w);
     debug_assert_eq!(cols.len(), geo.patch_len() * oh * ow);

@@ -13,6 +13,14 @@
 //! any thread count.
 
 use crate::par;
+use dlbench_trace::{span_flops, Category};
+
+/// FLOPs charged for an `m×k @ k×n` product (one multiply + one add
+/// per MAC) — the same count `dlbench-simtime` layer costs are built
+/// from, so profile reports join cleanly.
+fn gemm_flops(m: usize, k: usize, n: usize) -> u64 {
+    2 * (m as u64) * (k as u64) * (n as u64)
+}
 
 /// `c += a @ b` for row-major matrices: `a` is `m×k`, `b` is `k×n`, `c`
 /// is `m×n`.
@@ -28,6 +36,7 @@ pub fn gemm(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], c: &mut [f32]) {
     debug_assert_eq!(a.len(), m * k);
     debug_assert_eq!(b.len(), k * n);
     debug_assert_eq!(c.len(), m * n);
+    let _span = span_flops(Category::Kernel, "gemm", gemm_flops(m, k, n));
     if m.saturating_mul(k).saturating_mul(n) < par::PAR_MIN_WORK {
         gemm_rows(m, k, n, a, b, c);
         return;
@@ -86,6 +95,7 @@ pub fn gemm_at_b(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], c: &mut [f3
     debug_assert_eq!(a.len(), k * m);
     debug_assert_eq!(b.len(), k * n);
     debug_assert_eq!(c.len(), m * n);
+    let _span = span_flops(Category::Kernel, "gemm_at_b", gemm_flops(m, k, n));
     if m.saturating_mul(k).saturating_mul(n) < par::PAR_MIN_WORK {
         gemm_at_b_rows(0, m, k, n, a, b, c);
         return;
@@ -124,6 +134,7 @@ pub fn gemm_a_bt(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], c: &mut [f3
     debug_assert_eq!(a.len(), m * k);
     debug_assert_eq!(b.len(), n * k);
     debug_assert_eq!(c.len(), m * n);
+    let _span = span_flops(Category::Kernel, "gemm_a_bt", gemm_flops(m, k, n));
     if m.saturating_mul(k).saturating_mul(n) < par::PAR_MIN_WORK {
         gemm_a_bt_rows(m, k, n, a, b, c);
         return;

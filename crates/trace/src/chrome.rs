@@ -1,0 +1,124 @@
+//! Chrome `trace_event` JSON export.
+//!
+//! The emitted document loads directly in `chrome://tracing` and
+//! [Perfetto](https://ui.perfetto.dev) (*Open trace file*). Spans
+//! become complete (`"ph":"X"`) events with microsecond timestamps,
+//! detached intervals become async (`"b"`/`"e"`) pairs so they never
+//! distort same-track nesting, and counters become `"ph":"C"` samples.
+//! JSON is emitted by hand — this crate stays dependency-free; the
+//! format round-trips through `dlbench-json` in tests.
+
+use crate::recorder::{Event, EventKind};
+
+/// Escapes a string for direct inclusion inside JSON quotes.
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Nanoseconds → the microsecond float Chrome's `ts`/`dur` expect.
+fn us(ns: u64) -> String {
+    format!("{:.3}", ns as f64 / 1e3)
+}
+
+fn push_event_json(out: &mut Vec<String>, pid: u64, event: &Event) {
+    let name = escape(&event.name);
+    let cat = event.cat.as_str();
+    match event.kind {
+        EventKind::Span { start_ns, dur_ns, depth, flops } => {
+            let mut args = format!("\"depth\": {depth}");
+            if flops > 0 {
+                args.push_str(&format!(", \"flops\": {flops}"));
+            }
+            out.push(format!(
+                "{{\"ph\": \"X\", \"pid\": {pid}, \"tid\": {}, \"name\": \"{name}\", \
+                 \"cat\": \"{cat}\", \"ts\": {}, \"dur\": {}, \"args\": {{{args}}}}}",
+                event.tid,
+                us(start_ns),
+                us(dur_ns)
+            ));
+        }
+        EventKind::Interval { start_ns, dur_ns } => {
+            // Async pair keyed by the globally unique record sequence.
+            let id = format!("0x{:x}", event.seq);
+            out.push(format!(
+                "{{\"ph\": \"b\", \"pid\": {pid}, \"tid\": {}, \"name\": \"{name}\", \
+                 \"cat\": \"{cat}\", \"id\": \"{id}\", \"ts\": {}}}",
+                event.tid,
+                us(start_ns)
+            ));
+            out.push(format!(
+                "{{\"ph\": \"e\", \"pid\": {pid}, \"tid\": {}, \"name\": \"{name}\", \
+                 \"cat\": \"{cat}\", \"id\": \"{id}\", \"ts\": {}}}",
+                event.tid,
+                us(start_ns + dur_ns)
+            ));
+        }
+        EventKind::Counter { at_ns, value } => {
+            out.push(format!(
+                "{{\"ph\": \"C\", \"pid\": {pid}, \"tid\": {}, \"name\": \"{name}\", \
+                 \"cat\": \"{cat}\", \"ts\": {}, \"args\": {{\"value\": {value}}}}}",
+                event.tid,
+                us(at_ns)
+            ));
+        }
+    }
+}
+
+/// Builder for a multi-process Chrome trace — one `pid` per labeled
+/// event stream (the `profile` command uses one process per framework
+/// personality so all three timelines load side by side).
+#[derive(Default)]
+pub struct ChromeTraceDoc {
+    events: Vec<String>,
+}
+
+impl ChromeTraceDoc {
+    /// An empty document.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one labeled process holding `events`. The label shows as
+    /// the process name in the trace viewer.
+    pub fn add_process(&mut self, pid: u64, label: &str, events: &[Event]) {
+        self.events.push(format!(
+            "{{\"ph\": \"M\", \"pid\": {pid}, \"name\": \"process_name\", \
+             \"args\": {{\"name\": \"{}\"}}}}",
+            escape(label)
+        ));
+        for event in events {
+            push_event_json(&mut self.events, pid, event);
+        }
+    }
+
+    /// Renders the complete `trace_event` JSON document.
+    pub fn render(&self) -> String {
+        let mut out = String::from("{\n  \"displayTimeUnit\": \"ms\",\n  \"traceEvents\": [\n");
+        for (i, e) in self.events.iter().enumerate() {
+            out.push_str("    ");
+            out.push_str(e);
+            out.push_str(if i + 1 < self.events.len() { ",\n" } else { "\n" });
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+}
+
+/// Renders `events` as a single-process Chrome trace document.
+pub fn chrome_trace(events: &[Event]) -> String {
+    let mut doc = ChromeTraceDoc::new();
+    doc.add_process(1, "dlbench", events);
+    doc.render()
+}

@@ -1,0 +1,81 @@
+//! The shared monotonic clock: one process-wide epoch, nanosecond
+//! timestamps, and a [`Stopwatch`] for ad-hoc durations.
+//!
+//! Every timing in the workspace — trace spans, trainer wall clocks,
+//! serve latencies, bench loops — reads this clock, so timestamps from
+//! different subsystems land on one comparable axis (which is what
+//! lets a Chrome trace line them up).
+
+use std::sync::OnceLock;
+use std::time::{Duration, Instant};
+
+static EPOCH: OnceLock<Instant> = OnceLock::new();
+
+fn epoch() -> Instant {
+    *EPOCH.get_or_init(Instant::now)
+}
+
+/// Nanoseconds since the process trace epoch (the first call wins the
+/// zero point). Monotonic and thread-safe.
+pub fn monotonic_ns() -> u64 {
+    epoch().elapsed().as_nanos() as u64
+}
+
+/// A started wall-clock measurement against the shared monotonic
+/// clock. Replaces scattered `Instant::now()` sites so every reported
+/// timing has a single source of truth.
+#[derive(Debug, Clone, Copy)]
+pub struct Stopwatch {
+    start_ns: u64,
+}
+
+impl Stopwatch {
+    /// Starts measuring now.
+    pub fn start() -> Self {
+        Self { start_ns: monotonic_ns() }
+    }
+
+    /// The start timestamp, in nanoseconds since the trace epoch.
+    pub fn start_ns(&self) -> u64 {
+        self.start_ns
+    }
+
+    /// Elapsed nanoseconds since [`Stopwatch::start`].
+    pub fn elapsed_ns(&self) -> u64 {
+        monotonic_ns().saturating_sub(self.start_ns)
+    }
+
+    /// Elapsed time as a [`Duration`].
+    pub fn elapsed(&self) -> Duration {
+        Duration::from_nanos(self.elapsed_ns())
+    }
+
+    /// Elapsed seconds as `f64` (the unit most reports use).
+    pub fn elapsed_s(&self) -> f64 {
+        self.elapsed_ns() as f64 / 1e9
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn monotonic_never_goes_backwards() {
+        let mut prev = monotonic_ns();
+        for _ in 0..1000 {
+            let now = monotonic_ns();
+            assert!(now >= prev);
+            prev = now;
+        }
+    }
+
+    #[test]
+    fn stopwatch_measures_sleep() {
+        let sw = Stopwatch::start();
+        std::thread::sleep(Duration::from_millis(5));
+        assert!(sw.elapsed_ns() >= 5_000_000);
+        assert!(sw.elapsed_s() >= 0.005);
+        assert!(sw.elapsed() >= Duration::from_millis(5));
+    }
+}

@@ -1,0 +1,64 @@
+//! Structured tracing and per-op profiling for DLBench.
+//!
+//! The paper's runtime analysis attributes framework differences to
+//! *where the time goes* — per-iteration work, op-launch overhead,
+//! execution style — not just end-to-end wall clock. This crate is the
+//! observability backbone that makes that breakdown visible: a
+//! dependency-free, thread-safe span recorder that the whole stack
+//! (tensor kernels, nn layers, trainer, runner, serve) instruments
+//! against.
+//!
+//! Design:
+//!
+//! - **Runtime switch, not a cargo feature.** One binary serves both
+//!   modes: [`configure`] with [`TraceConfig::Off`] (the default) keeps
+//!   every instrumentation site down to a single relaxed atomic load
+//!   and a branch; [`TraceConfig::On`] arms recording.
+//! - **Per-thread ring buffers.** Each recording thread owns a shard
+//!   (a bounded ring; oldest events drop first) registered with a
+//!   global registry. Shards of exiting threads are retired into a
+//!   completed buffer, so the thousands of short-lived scoped workers
+//!   spawned by `dlbench_tensor::par` lose nothing.
+//! - **RAII spans.** [`span`] (and the [`span!`] macro) returns a
+//!   guard that records one complete event on drop, carrying the
+//!   monotonic start/duration, a per-thread nesting depth, a small
+//!   sequential thread id and an optional FLOP payload that profile
+//!   reports join against `dlbench-simtime` estimates.
+//! - **Exporters.** [`chrome`] renders Chrome `trace_event` JSON
+//!   (chrome://tracing, Perfetto); [`profile`] aggregates spans into a
+//!   per-op table with achieved GFLOP/s.
+//!
+//! The monotonic clock behind spans is also exported standalone
+//! ([`monotonic_ns`], [`Stopwatch`]) so ad-hoc wall-clock measurements
+//! across the workspace share one source of truth.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod chrome;
+mod clock;
+mod profile;
+mod recorder;
+
+pub use chrome::{chrome_trace, ChromeTraceDoc};
+pub use clock::{monotonic_ns, Stopwatch};
+pub use profile::{OpStats, ProfileReport};
+pub use recorder::{
+    clear, configure, counter, dropped_events, enabled, is_configured_on, record_span, span,
+    span_flops, span_owned, span_owned_flops, take_events, Category, Event, EventKind, SpanGuard,
+    TraceConfig,
+};
+
+/// Opens a RAII span: `span!(Category::Kernel, "gemm")` or
+/// `span!(Category::Kernel, "gemm", flops = 2 * m * k * n)`. Bind the
+/// result (`let _span = span!(..)`) so it lives to the end of the
+/// scope being measured.
+#[macro_export]
+macro_rules! span {
+    ($cat:expr, $name:expr) => {
+        $crate::span($cat, $name)
+    };
+    ($cat:expr, $name:expr, flops = $flops:expr) => {
+        $crate::span_flops($cat, $name, $flops)
+    };
+}

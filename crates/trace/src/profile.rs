@@ -1,0 +1,257 @@
+//! Aggregated per-op profile reports.
+//!
+//! Spans carry the FLOP estimates the instrumentation sites computed
+//! from the same `LayerCost` arithmetic `dlbench-simtime` charges, so
+//! aggregating *measured nanoseconds* against *estimated FLOPs* yields
+//! achieved GFLOP/s per op — and, against a reference device rate, an
+//! efficiency percentage. This is the join the paper's runtime
+//! analysis performs by hand.
+
+use crate::recorder::{Category, Event, EventKind};
+use std::collections::BTreeMap;
+
+/// Aggregated statistics for one `(category, name)` op.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OpStats {
+    /// Subsystem category.
+    pub cat: Category,
+    /// Op (span) name.
+    pub name: String,
+    /// Number of recorded spans.
+    pub count: u64,
+    /// Summed span duration, nanoseconds.
+    pub total_ns: u64,
+    /// Longest single span, nanoseconds.
+    pub max_ns: u64,
+    /// Summed FLOP estimate across spans (0 when the op carries none).
+    pub flops: u64,
+}
+
+impl OpStats {
+    /// Total time in milliseconds.
+    pub fn total_ms(&self) -> f64 {
+        self.total_ns as f64 / 1e6
+    }
+
+    /// Mean span duration in microseconds.
+    pub fn mean_us(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.total_ns as f64 / self.count as f64 / 1e3
+        }
+    }
+
+    /// Achieved GFLOP/s over the summed span time, when the op carries
+    /// a FLOP estimate.
+    pub fn achieved_gflops(&self) -> Option<f64> {
+        if self.flops == 0 || self.total_ns == 0 {
+            None
+        } else {
+            Some(self.flops as f64 / self.total_ns as f64)
+        }
+    }
+}
+
+/// A per-op aggregation of one trace.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProfileReport {
+    /// Rows sorted by category (outermost first), then descending
+    /// total time.
+    pub rows: Vec<OpStats>,
+    /// Spans + intervals aggregated.
+    pub span_count: u64,
+    /// Wall span of the trace: earliest start to latest end, ns.
+    pub wall_ns: u64,
+}
+
+impl ProfileReport {
+    /// Aggregates spans and detached intervals by `(category, name)`;
+    /// counter samples are skipped.
+    pub fn from_events(events: &[Event]) -> Self {
+        let mut by_op: BTreeMap<(Category, String), OpStats> = BTreeMap::new();
+        let mut span_count = 0u64;
+        let mut first_ns = u64::MAX;
+        let mut last_ns = 0u64;
+        for event in events {
+            let (dur_ns, flops) = match event.kind {
+                EventKind::Span { dur_ns, flops, .. } => (dur_ns, flops),
+                EventKind::Interval { dur_ns, .. } => (dur_ns, 0),
+                EventKind::Counter { .. } => continue,
+            };
+            span_count += 1;
+            first_ns = first_ns.min(event.start_ns());
+            last_ns = last_ns.max(event.end_ns());
+            let stats = by_op.entry((event.cat, event.name.to_string())).or_insert(OpStats {
+                cat: event.cat,
+                name: event.name.to_string(),
+                count: 0,
+                total_ns: 0,
+                max_ns: 0,
+                flops: 0,
+            });
+            stats.count += 1;
+            stats.total_ns += dur_ns;
+            stats.max_ns = stats.max_ns.max(dur_ns);
+            stats.flops = stats.flops.saturating_add(flops);
+        }
+        let mut rows: Vec<OpStats> = by_op.into_values().collect();
+        rows.sort_by(|a, b| a.cat.cmp(&b.cat).then(b.total_ns.cmp(&a.total_ns)));
+        let wall_ns = if span_count == 0 { 0 } else { last_ns.saturating_sub(first_ns) };
+        Self { rows, span_count, wall_ns }
+    }
+
+    /// Renders the aggregation as an aligned text table. When a
+    /// reference rate (GFLOP/s) is given — e.g. the simtime device
+    /// model's effective throughput for the personality — ops carrying
+    /// FLOP estimates also get an efficiency column.
+    pub fn render(&self, reference_gflops: Option<f64>) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{:<8} {:<26} {:>8} {:>12} {:>12} {:>10} {:>8} {:>7}\n",
+            "category", "op", "count", "total ms", "mean us", "GFLOP", "GF/s", "eff%"
+        ));
+        for row in &self.rows {
+            let (gflop, gfs, eff) = match row.achieved_gflops() {
+                Some(rate) => (
+                    format!("{:.3}", row.flops as f64 / 1e9),
+                    format!("{rate:.2}"),
+                    match reference_gflops {
+                        Some(r) if r > 0.0 => format!("{:.1}", 100.0 * rate / r),
+                        _ => "-".to_string(),
+                    },
+                ),
+                None => ("-".to_string(), "-".to_string(), "-".to_string()),
+            };
+            out.push_str(&format!(
+                "{:<8} {:<26} {:>8} {:>12.3} {:>12.1} {:>10} {:>8} {:>7}\n",
+                row.cat.as_str(),
+                row.name,
+                row.count,
+                row.total_ms(),
+                row.mean_us(),
+                gflop,
+                gfs,
+                eff
+            ));
+        }
+        out.push_str(&format!(
+            "{} ops, {} spans, wall {:.3} ms\n",
+            self.rows.len(),
+            self.span_count,
+            self.wall_ns as f64 / 1e6
+        ));
+        out
+    }
+
+    /// Renders the aggregation as a JSON document (hand-emitted — this
+    /// crate is dependency-free).
+    pub fn to_json(&self, reference_gflops: Option<f64>) -> String {
+        let mut out = String::from("{\n");
+        out.push_str(&format!("  \"span_count\": {},\n", self.span_count));
+        out.push_str(&format!("  \"wall_ms\": {:.3},\n", self.wall_ns as f64 / 1e6));
+        if let Some(r) = reference_gflops {
+            out.push_str(&format!("  \"reference_gflops\": {r},\n"));
+        }
+        out.push_str("  \"rows\": [\n");
+        for (i, row) in self.rows.iter().enumerate() {
+            let name = row.name.replace('\\', "\\\\").replace('"', "\\\"");
+            let mut line = format!(
+                "    {{\"cat\": \"{}\", \"name\": \"{name}\", \"count\": {}, \
+                 \"total_ms\": {:.3}, \"mean_us\": {:.1}, \"max_us\": {:.1}",
+                row.cat.as_str(),
+                row.count,
+                row.total_ms(),
+                row.mean_us(),
+                row.max_ns as f64 / 1e3
+            );
+            if let Some(rate) = row.achieved_gflops() {
+                line.push_str(&format!(
+                    ", \"gflop\": {:.3}, \"achieved_gflops\": {rate:.2}",
+                    row.flops as f64 / 1e9
+                ));
+                if let Some(r) = reference_gflops {
+                    if r > 0.0 {
+                        line.push_str(&format!(", \"efficiency_pct\": {:.1}", 100.0 * rate / r));
+                    }
+                }
+            }
+            line.push('}');
+            line.push_str(if i + 1 < self.rows.len() { ",\n" } else { "\n" });
+            out.push_str(&line);
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::borrow::Cow;
+
+    fn span(
+        name: &'static str,
+        cat: Category,
+        start: u64,
+        dur: u64,
+        flops: u64,
+        seq: u64,
+    ) -> Event {
+        Event {
+            name: Cow::Borrowed(name),
+            cat,
+            tid: 1,
+            seq,
+            kind: EventKind::Span { start_ns: start, dur_ns: dur, depth: 0, flops },
+        }
+    }
+
+    #[test]
+    fn aggregates_by_cat_and_name() {
+        let events = vec![
+            span("gemm", Category::Kernel, 0, 1_000_000, 2_000_000, 0),
+            span("gemm", Category::Kernel, 2_000_000, 3_000_000, 6_000_000, 1),
+            span("epoch", Category::Train, 0, 10_000_000, 0, 2),
+        ];
+        let report = ProfileReport::from_events(&events);
+        assert_eq!(report.span_count, 3);
+        assert_eq!(report.wall_ns, 10_000_000);
+        assert_eq!(report.rows.len(), 2);
+        // Train sorts before Kernel (outermost first).
+        assert_eq!(report.rows[0].name, "epoch");
+        let gemm = &report.rows[1];
+        assert_eq!(gemm.count, 2);
+        assert_eq!(gemm.total_ns, 4_000_000);
+        assert_eq!(gemm.max_ns, 3_000_000);
+        assert_eq!(gemm.flops, 8_000_000);
+        // 8e6 FLOPs over 4e6 ns = 2 GFLOP/s.
+        assert!((gemm.achieved_gflops().unwrap() - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn render_includes_efficiency_against_reference() {
+        let events = vec![span("gemm", Category::Kernel, 0, 1_000_000, 50_000_000, 0)];
+        let report = ProfileReport::from_events(&events);
+        // 50 GFLOP/s against a 100 GFLOP/s reference = 50%.
+        let table = report.render(Some(100.0));
+        assert!(table.contains("gemm"), "{table}");
+        assert!(table.contains("50.0"), "{table}");
+        let json = report.to_json(Some(100.0));
+        assert!(json.contains("\"efficiency_pct\": 50.0"), "{json}");
+    }
+
+    #[test]
+    fn counters_are_skipped() {
+        let events = vec![Event {
+            name: Cow::Borrowed("queue_depth"),
+            cat: Category::Serve,
+            tid: 1,
+            seq: 0,
+            kind: EventKind::Counter { at_ns: 5, value: 3.0 },
+        }];
+        let report = ProfileReport::from_events(&events);
+        assert_eq!(report.span_count, 0);
+        assert!(report.rows.is_empty());
+    }
+}

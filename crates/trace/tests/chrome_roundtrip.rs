@@ -1,0 +1,103 @@
+//! Chrome trace-event JSON round-trip through `crates/json`: the
+//! exporter's hand-emitted document must parse cleanly and carry the
+//! recorded spans, intervals and counters with correct fields.
+
+use dlbench_json::JsonValue;
+use dlbench_trace::{
+    chrome_trace, clear, configure, counter, record_span, span_flops, span_owned_flops,
+    take_events, Category, ChromeTraceDoc, TraceConfig,
+};
+use std::sync::Mutex;
+
+static TRACER_GATE: Mutex<()> = Mutex::new(());
+
+fn find_events<'a>(doc: &'a JsonValue, ph: &str) -> Vec<&'a JsonValue> {
+    doc["traceEvents"]
+        .as_array()
+        .expect("traceEvents array")
+        .iter()
+        .filter(|e| e["ph"].as_str() == Some(ph))
+        .collect()
+}
+
+#[test]
+fn chrome_export_round_trips_through_dlbench_json() {
+    let _gate = TRACER_GATE.lock().unwrap_or_else(|e| e.into_inner());
+    configure(TraceConfig::on());
+    clear();
+    {
+        let _outer = span_flops(Category::Layer, "conv2d", 123_456);
+        let _inner = span_owned_flops(Category::Kernel, "gemm \"quoted\"\n".to_string(), 42);
+    }
+    counter(Category::Serve, "queue_depth", 3.0);
+    record_span(Category::Serve, "queue_wait", 1_000, 5_000);
+    let events = take_events();
+    configure(TraceConfig::Off);
+    clear();
+
+    let json = chrome_trace(&events);
+    let doc = dlbench_json::parse(&json).expect("exporter emits valid JSON");
+    assert_eq!(doc["displayTimeUnit"].as_str(), Some("ms"));
+
+    // Metadata names the process.
+    let meta = find_events(&doc, "M");
+    assert_eq!(meta.len(), 1);
+    assert_eq!(meta[0]["name"].as_str(), Some("process_name"));
+    assert_eq!(meta[0]["args"]["name"].as_str(), Some("dlbench"));
+
+    // Complete spans: inner recorded first (RAII), both contained.
+    let spans = find_events(&doc, "X");
+    assert_eq!(spans.len(), 2);
+    assert_eq!(spans[0]["name"].as_str(), Some("gemm \"quoted\"\n"));
+    assert_eq!(spans[0]["cat"].as_str(), Some("kernel"));
+    assert_eq!(spans[0]["args"]["flops"].as_f64(), Some(42.0));
+    assert_eq!(spans[0]["args"]["depth"].as_f64(), Some(1.0));
+    assert_eq!(spans[1]["name"].as_str(), Some("conv2d"));
+    assert_eq!(spans[1]["args"]["depth"].as_f64(), Some(0.0));
+    let (s0, d0) = (spans[0]["ts"].as_f64().unwrap(), spans[0]["dur"].as_f64().unwrap());
+    let (s1, d1) = (spans[1]["ts"].as_f64().unwrap(), spans[1]["dur"].as_f64().unwrap());
+    assert!(s1 <= s0 && s0 + d0 <= s1 + d1, "child span contained in parent");
+
+    // The detached interval exports as an async begin/end pair with a
+    // matching id, spanning exactly the recorded window (µs).
+    let begins = find_events(&doc, "b");
+    let ends = find_events(&doc, "e");
+    assert_eq!(begins.len(), 1);
+    assert_eq!(ends.len(), 1);
+    assert_eq!(begins[0]["name"].as_str(), Some("queue_wait"));
+    assert_eq!(begins[0]["id"].as_str(), ends[0]["id"].as_str());
+    assert_eq!(begins[0]["ts"].as_f64(), Some(1.0));
+    assert_eq!(ends[0]["ts"].as_f64(), Some(5.0));
+
+    // Counter sample.
+    let counters = find_events(&doc, "C");
+    assert_eq!(counters.len(), 1);
+    assert_eq!(counters[0]["name"].as_str(), Some("queue_depth"));
+    assert_eq!(counters[0]["args"]["value"].as_f64(), Some(3.0));
+}
+
+#[test]
+fn multi_process_doc_labels_each_pid() {
+    let _gate = TRACER_GATE.lock().unwrap_or_else(|e| e.into_inner());
+    configure(TraceConfig::on());
+    clear();
+    {
+        let _s = span_flops(Category::Kernel, "gemm", 10);
+    }
+    let events = take_events();
+    configure(TraceConfig::Off);
+    clear();
+
+    let mut doc = ChromeTraceDoc::new();
+    doc.add_process(1, "tensorflow", &events);
+    doc.add_process(2, "caffe", &events);
+    let parsed = dlbench_json::parse(&doc.render()).expect("valid JSON");
+    let all = parsed["traceEvents"].as_array().unwrap();
+    assert_eq!(all.len(), 4, "2 process_name + 2 spans");
+    let labels: Vec<_> = all
+        .iter()
+        .filter(|e| e["ph"].as_str() == Some("M"))
+        .map(|e| (e["pid"].as_f64().unwrap() as u64, e["args"]["name"].as_str().unwrap()))
+        .collect();
+    assert_eq!(labels, vec![(1, "tensorflow"), (2, "caffe")]);
+}

@@ -1,0 +1,179 @@
+//! Recorder contract tests: nesting/ordering, the Off fast path, ring
+//! overflow, and the thread-buffer merge (including buffers of threads
+//! that exited before the drain).
+//!
+//! Recording is process-global state, so every test serializes on a
+//! local mutex and leaves tracing disarmed and drained.
+
+use dlbench_trace::{
+    clear, configure, counter, dropped_events, enabled, record_span, span, span_owned_flops,
+    take_events, Category, EventKind, TraceConfig,
+};
+use std::sync::{Mutex, MutexGuard};
+
+static TRACER_GATE: Mutex<()> = Mutex::new(());
+
+/// Serializes the tests and arms a clean recorder; disarms on drop.
+struct Armed(#[allow(dead_code)] MutexGuard<'static, ()>);
+
+impl Armed {
+    fn with_capacity(cap: usize) -> Self {
+        let guard = TRACER_GATE.lock().unwrap_or_else(|e| e.into_inner());
+        configure(TraceConfig::On { per_thread_capacity: cap });
+        clear();
+        Self(guard)
+    }
+
+    fn new() -> Self {
+        Self::with_capacity(TraceConfig::DEFAULT_CAPACITY)
+    }
+}
+
+impl Drop for Armed {
+    fn drop(&mut self) {
+        configure(TraceConfig::Off);
+        clear();
+    }
+}
+
+#[test]
+fn off_records_nothing() {
+    let guard = TRACER_GATE.lock().unwrap_or_else(|e| e.into_inner());
+    configure(TraceConfig::Off);
+    clear();
+    assert!(!enabled());
+    {
+        let _outer = span(Category::Train, "outer");
+        let _inner = dlbench_trace::span!(Category::Kernel, "inner", flops = 100);
+        counter(Category::Serve, "depth", 1.0);
+        record_span(Category::Serve, "queue_wait", 0, 10);
+        assert!(!_outer.is_recording());
+        assert!(!_inner.is_recording());
+    }
+    assert!(take_events().is_empty(), "TraceConfig::Off must record nothing");
+    assert_eq!(dropped_events(), 0);
+    drop(guard);
+}
+
+#[test]
+fn spans_nest_and_order_parent_after_child() {
+    let _armed = Armed::new();
+    {
+        let _epoch = span(Category::Train, "epoch");
+        {
+            let _iter = span(Category::Train, "iteration");
+            let _kernel = span(Category::Kernel, "gemm");
+        }
+    }
+    let events = take_events();
+    let spans: Vec<_> = events.iter().filter(|e| e.is_span()).collect();
+    assert_eq!(spans.len(), 3);
+    // RAII order: children drop (and record) before parents, so the
+    // global sequence runs innermost-out.
+    assert_eq!(spans[0].name, "gemm");
+    assert_eq!(spans[1].name, "iteration");
+    assert_eq!(spans[2].name, "epoch");
+    let depth = |e: &dlbench_trace::Event| match e.kind {
+        EventKind::Span { depth, .. } => depth,
+        _ => panic!("span expected"),
+    };
+    assert_eq!(depth(spans[2]), 0);
+    assert_eq!(depth(spans[1]), 1);
+    assert_eq!(depth(spans[0]), 2);
+    // Interval containment: parent start <= child start, child end <=
+    // parent end, on the same thread.
+    for (child, parent) in [(&spans[0], &spans[1]), (&spans[1], &spans[2])] {
+        assert_eq!(child.tid, parent.tid);
+        assert!(parent.start_ns() <= child.start_ns());
+        assert!(child.end_ns() <= parent.end_ns());
+    }
+}
+
+#[test]
+fn flops_and_owned_names_are_recorded() {
+    let _armed = Armed::new();
+    {
+        let mut s = span_owned_flops(Category::Layer, format!("conv{}", 2), 10);
+        s.set_flops(1234);
+    }
+    let events = take_events();
+    assert_eq!(events.len(), 1);
+    assert_eq!(events[0].name, "conv2");
+    match events[0].kind {
+        EventKind::Span { flops, .. } => assert_eq!(flops, 1234),
+        _ => panic!("span expected"),
+    }
+}
+
+#[test]
+fn ring_overflow_drops_oldest_and_counts() {
+    let _armed = Armed::with_capacity(4);
+    for i in 0..10u64 {
+        let _s = span_owned_flops(Category::Kernel, format!("op{i}"), 0);
+    }
+    assert_eq!(dropped_events(), 6);
+    let events = take_events();
+    assert_eq!(events.len(), 4);
+    // Oldest dropped first: the last four survive.
+    let names: Vec<_> = events.iter().map(|e| e.name.to_string()).collect();
+    assert_eq!(names, ["op6", "op7", "op8", "op9"]);
+}
+
+#[test]
+fn exited_thread_buffers_are_retained_and_merged() {
+    let _armed = Armed::new();
+    {
+        let _s = span(Category::Train, "main");
+        std::thread::scope(|scope| {
+            for i in 0..4 {
+                scope.spawn(move || {
+                    let _w = span_owned_flops(Category::Kernel, format!("worker{i}"), 0);
+                });
+            }
+        });
+    }
+    let events = take_events();
+    assert_eq!(events.len(), 5, "4 exited workers + 1 main span");
+    let mut tids: Vec<u64> = events.iter().map(|e| e.tid).collect();
+    tids.sort_unstable();
+    tids.dedup();
+    assert_eq!(tids.len(), 5, "each thread gets its own tid: {tids:?}");
+    // seq is a total order across threads.
+    let seqs: Vec<u64> = events.iter().map(|e| e.seq).collect();
+    assert!(seqs.windows(2).all(|w| w[0] < w[1]), "drain must sort by seq: {seqs:?}");
+}
+
+#[test]
+fn counters_and_intervals_round_through_the_registry() {
+    let _armed = Armed::new();
+    counter(Category::Serve, "queue_depth", 7.0);
+    record_span(Category::Serve, "queue_wait", 100, 400);
+    let events = take_events();
+    assert_eq!(events.len(), 2);
+    match events[0].kind {
+        EventKind::Counter { value, .. } => assert!((value - 7.0).abs() < 1e-12),
+        _ => panic!("counter expected"),
+    }
+    match events[1].kind {
+        EventKind::Interval { start_ns, dur_ns } => {
+            assert_eq!(start_ns, 100);
+            assert_eq!(dur_ns, 300);
+        }
+        _ => panic!("interval expected"),
+    }
+}
+
+#[test]
+fn clear_discards_events_and_resets_drop_counter() {
+    let _armed = Armed::with_capacity(1);
+    {
+        let _a = span(Category::Kernel, "a");
+    }
+    {
+        let _b = span(Category::Kernel, "b");
+    }
+    assert_eq!(dropped_events(), 1);
+    clear();
+    assert_eq!(dropped_events(), 0);
+    assert!(take_events().is_empty());
+}

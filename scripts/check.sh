@@ -26,4 +26,12 @@ cargo test -p dlbench-verify --locked -q
 echo "==> serve smoke (ephemeral port, concurrent predicts, metrics, drain)"
 cargo test -p dlbench-serve --test smoke --locked -q
 
+echo "==> profile smoke (traced training, nesting validated, Chrome JSON parses)"
+cargo run -p dlbench-cli --release --locked -q -- profile --scale tiny \
+    --trace target/dlbench-reports/TRACE_profile.json > /dev/null
+test -s target/dlbench-reports/TRACE_profile.json
+
+echo "==> trace overhead bench (tracing off vs on, BENCH_trace.json)"
+cargo bench --bench trace --locked -- --quick > /dev/null
+
 echo "==> OK"

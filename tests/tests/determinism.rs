@@ -215,6 +215,34 @@ fn micro_batched_serving_matches_individual_forwards_bitwise() {
 }
 
 #[test]
+fn tracing_enabled_keeps_gemm_bit_identical_at_four_threads() {
+    let _gate = gate();
+    // Recording spans must be pure observation: enabling the tracer
+    // cannot change a single mantissa bit of a 4-thread kernel run.
+    let mut rng = SeededRng::new(0x7ACE);
+    let (m, k, n) = (128, 96, 80);
+    let a = Tensor::randn(&[m, k], 0.0, 1.0, &mut rng);
+    let b = Tensor::randn(&[k, n], 0.0, 1.0, &mut rng);
+    assert!(m * k * n >= par::PAR_MIN_WORK);
+
+    let mut quiet = vec![0.0f32; m * n];
+    at_threads(4, || gemm(m, k, n, a.data(), b.data(), &mut quiet));
+
+    dlbench_trace::configure(dlbench_trace::TraceConfig::on());
+    dlbench_trace::clear();
+    let mut traced = vec![0.0f32; m * n];
+    at_threads(4, || gemm(m, k, n, a.data(), b.data(), &mut traced));
+    let events = dlbench_trace::take_events();
+    dlbench_trace::configure(dlbench_trace::TraceConfig::Off);
+    dlbench_trace::clear();
+
+    let quiet_bits: Vec<u32> = quiet.iter().map(|v| v.to_bits()).collect();
+    let traced_bits: Vec<u32> = traced.iter().map(|v| v.to_bits()).collect();
+    assert_eq!(quiet_bits, traced_bits, "tracing perturbed kernel results");
+    assert!(events.iter().any(|e| e.name == "gemm"), "traced run recorded no gemm span");
+}
+
+#[test]
 fn fig1_report_is_identical_serial_vs_four_threads() {
     let _gate = gate();
     // Full pipeline at Tiny scale: training (conv/pool/gemm kernels,

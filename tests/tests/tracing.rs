@@ -1,0 +1,135 @@
+//! Cross-crate tracing integration: spans recorded inside the parallel
+//! execution layer's ephemeral worker threads must survive into the
+//! merged event stream, and a traced training run must produce the
+//! nested structure the profiler and Chrome exporter rely on.
+
+use dlbench_nn::{Conv2d, Initializer, Layer};
+use dlbench_tensor::{par, SeededRng, Tensor};
+use dlbench_trace::{Category, EventKind, TraceConfig};
+use std::collections::BTreeSet;
+use std::sync::Mutex;
+
+/// Serializes tests that mutate the global tracer and worker count.
+static GATE: Mutex<()> = Mutex::new(());
+
+fn gate() -> std::sync::MutexGuard<'static, ()> {
+    GATE.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Arms the tracer for one test and disarms it on every exit path.
+struct Armed;
+
+impl Armed {
+    fn new() -> Self {
+        dlbench_trace::configure(TraceConfig::on());
+        dlbench_trace::clear();
+        Armed
+    }
+}
+
+impl Drop for Armed {
+    fn drop(&mut self) {
+        dlbench_trace::configure(TraceConfig::Off);
+        dlbench_trace::clear();
+    }
+}
+
+#[test]
+fn conv_worker_thread_spans_merge_into_one_stream() {
+    let _gate = gate();
+    let _armed = Armed::new();
+    // Geometry from the determinism gate: per-sample im2col GEMMs clear
+    // par::PAR_MIN_WORK, so at 4 threads the 8 samples really land on
+    // ephemeral worker threads.
+    let (n, c, hw, oc, k) = (8, 8, 32, 16, 3);
+    assert!(oc * (c * k * k) * (hw * hw) >= par::PAR_MIN_WORK);
+    let mut rng = SeededRng::new(0x7AC3);
+    let mut conv = Conv2d::new(c, oc, k, 1, 1, Initializer::Xavier, &mut rng);
+    let x = Tensor::randn(&[n, c, hw, hw], 0.0, 1.0, &mut rng);
+    par::set_threads(4);
+    let _y = conv.forward(&x, false);
+    par::set_threads(1);
+
+    let events = dlbench_trace::take_events();
+    let kernel_tids: BTreeSet<u64> =
+        events.iter().filter(|e| e.cat == Category::Kernel && e.is_span()).map(|e| e.tid).collect();
+    // The per-sample conv kernels run on scoped worker threads that
+    // exit as soon as the forward returns; their ring buffers must have
+    // been retired into the shared registry, not lost.
+    assert!(
+        kernel_tids.len() >= 2,
+        "expected kernel spans from several worker threads, got tids {kernel_tids:?}"
+    );
+    let gemm_count = events.iter().filter(|e| e.name == "gemm" || e.name == "gemm_a_bt").count();
+    assert!(gemm_count >= n, "expected at least one gemm span per sample, got {gemm_count}");
+    // The merged stream is seq-sorted regardless of which thread
+    // recorded each event.
+    assert!(events.windows(2).all(|w| w[0].seq < w[1].seq), "merged events out of order");
+}
+
+#[test]
+fn traced_training_run_nests_train_over_layers_over_kernels() {
+    let _gate = gate();
+    let _armed = Armed::new();
+    use dlbench_data::DatasetKind;
+    use dlbench_frameworks::{trainer, DefaultSetting, FrameworkKind, Scale};
+
+    let host = FrameworkKind::Torch;
+    let _ = trainer::run_training(
+        host,
+        DefaultSetting::new(host, DatasetKind::Mnist),
+        DatasetKind::Mnist,
+        Scale::Tiny,
+        7,
+    );
+    let events = dlbench_trace::take_events();
+
+    // Each category of the instrumentation stack shows up.
+    for cat in [Category::Train, Category::Layer, Category::Kernel] {
+        assert!(
+            events.iter().any(|e| e.cat == cat && e.is_span()),
+            "no {} span in traced training run",
+            cat.as_str()
+        );
+    }
+    // Single-threaded run: every layer span must sit inside an
+    // iteration or evaluate span, every kernel span inside a layer span
+    // — checked by interval containment on the one real thread.
+    let spans: Vec<_> = events.iter().filter(|e| e.is_span()).collect();
+    let contained_in = |inner: &dlbench_trace::Event, cat: Category| {
+        spans.iter().any(|outer| {
+            outer.cat == cat
+                && outer.tid == inner.tid
+                && outer.start_ns() <= inner.start_ns()
+                && inner.end_ns() <= outer.end_ns()
+        })
+    };
+    for span in &spans {
+        match span.cat {
+            Category::Layer => assert!(
+                contained_in(span, Category::Train),
+                "layer span `{}` outside any train span",
+                span.name
+            ),
+            Category::Kernel => assert!(
+                contained_in(span, Category::Layer),
+                "kernel span `{}` outside any layer span",
+                span.name
+            ),
+            _ => {}
+        }
+    }
+    // Epoch boundaries were traced: epochs partition the iterations.
+    let epochs = spans.iter().filter(|e| e.name == "epoch").count();
+    let iterations = spans.iter().filter(|e| e.name == "iteration").count();
+    assert!(epochs >= 1, "no epoch spans");
+    assert!(iterations >= epochs, "fewer iterations ({iterations}) than epochs ({epochs})");
+    // Layer spans carry the simtime FLOP estimate the profiler joins
+    // with measured time.
+    assert!(
+        spans.iter().any(|e| {
+            e.cat == Category::Layer && matches!(e.kind, EventKind::Span { flops, .. } if flops > 0)
+        }),
+        "no layer span carries a FLOP estimate"
+    );
+}
