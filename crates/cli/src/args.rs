@@ -15,7 +15,7 @@ pub struct ParsedArgs {
 }
 
 /// Option keys that are flags (take no value).
-const FLAG_KEYS: &[&str] = &["bars", "json", "help", "quiet", "verify", "sweep"];
+const FLAG_KEYS: &[&str] = &["bars", "json", "help", "quiet", "verify", "sweep", "no-rebalance"];
 
 /// Parses raw arguments (excluding `argv[0]`).
 ///

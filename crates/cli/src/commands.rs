@@ -217,6 +217,28 @@ fn cell_from_args(
     Ok((host, DefaultSetting::new(owner, tuned_for), dataset))
 }
 
+/// Epoch-boundary checkpointing for `train --checkpoint-every N`:
+/// every Nth epoch the model is serialized to the `--save` path (a
+/// rolling checkpoint — each snapshot overwrites the last, so a crashed
+/// run can warm-start from the most recent boundary via `--load`).
+struct CheckpointGuard {
+    every: usize,
+    path: String,
+    saves: std::sync::atomic::AtomicUsize,
+}
+
+impl dlbench_frameworks::TrainGuard for CheckpointGuard {
+    fn after_epoch(&self, ctx: &mut dlbench_frameworks::GuardCtx<'_>) -> Result<(), String> {
+        if !(ctx.epoch + 1).is_multiple_of(self.every) {
+            return Ok(());
+        }
+        dlbench_nn::save_parameters_path(ctx.model, &self.path)
+            .map_err(|e| format!("checkpoint at epoch {} failed: {e}", ctx.epoch))?;
+        self.saves.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        Ok(())
+    }
+}
+
 /// `dlbench train`
 pub fn train(args: &ParsedArgs) -> Result<(), String> {
     let scale = parse_scale(args.get("scale"))?;
@@ -230,16 +252,41 @@ pub fn train(args: &ParsedArgs) -> Result<(), String> {
         setting.label(),
         dataset.name()
     );
+    let every = args.get_parsed("checkpoint-every", 0usize)?;
+    let ckpt_guard = if every > 0 {
+        let path = args
+            .get("save")
+            .ok_or("--checkpoint-every requires --save FILE (the rolling checkpoint path)")?;
+        Some(CheckpointGuard {
+            every,
+            path: path.to_string(),
+            saves: std::sync::atomic::AtomicUsize::new(0),
+        })
+    } else {
+        None
+    };
+    let guard = ckpt_guard.as_ref().map(|g| g as &dyn dlbench_frameworks::TrainGuard);
     let mut out = match args.get("load") {
         Some(path) => {
             let file = std::fs::File::open(path).map_err(|e| format!("cannot open {path}: {e}"))?;
             let mut reader = std::io::BufReader::new(file);
             println!("warm-starting from checkpoint {path}");
-            trainer::run_training_resumed(host, setting, dataset, scale, seed, None, &mut reader)
+            trainer::run_training_resumed(host, setting, dataset, scale, seed, guard, &mut reader)
                 .map_err(|e| format!("cannot warm-start from {path}: {e}"))?
         }
-        None => trainer::run_training(host, setting, dataset, scale, seed),
+        None => trainer::run_training_guarded(host, setting, dataset, scale, seed, guard),
     };
+    if !out.guard_violations.is_empty() {
+        return Err(format!("checkpointing failed: {}", out.guard_violations.join("; ")));
+    }
+    if let Some(g) = &ckpt_guard {
+        println!(
+            "checkpointing   every {} epoch(s): {} snapshot(s) rolled into {}",
+            g.every,
+            g.saves.load(std::sync::atomic::Ordering::Relaxed),
+            g.path
+        );
+    }
     trace_finish(trace)?;
     let cpu = out.simulated_times(&devices::xeon_e5_1620());
     let gpu = out.simulated_times(&devices::gtx_1080_ti());
@@ -576,6 +623,40 @@ fn check_layer_coverage(
     }
 }
 
+/// Structural checks on a distributed-training trace: the collective's
+/// spans must be present and `broadcast` must sit inside `allreduce`
+/// (same-thread nesting is already proven by [`validate_trace`]; this
+/// checks the distributed chain specifically).
+fn validate_dist_trace(events: &[dlbench_trace::Event]) -> Result<(), String> {
+    use dlbench_trace::Category;
+    let dist_span = |name: &str| {
+        events.iter().any(|e| e.cat == Category::Dist && e.is_span() && e.name.as_ref() == name)
+    };
+    for required in ["allreduce", "broadcast", "shard_wait", "shard_compute"] {
+        if !dist_span(required) {
+            return Err(format!("dist trace is missing `{required}` spans"));
+        }
+    }
+    // Every broadcast must be enclosed by an allreduce on its thread.
+    for bc in events
+        .iter()
+        .filter(|e| e.cat == Category::Dist && e.is_span() && e.name.as_ref() == "broadcast")
+    {
+        let enclosed = events.iter().any(|ar| {
+            ar.cat == Category::Dist
+                && ar.is_span()
+                && ar.name.as_ref() == "allreduce"
+                && ar.tid == bc.tid
+                && ar.start_ns() <= bc.start_ns()
+                && bc.end_ns() <= ar.end_ns()
+        });
+        if !enclosed {
+            return Err("a `broadcast` span is not nested inside an `allreduce`".into());
+        }
+    }
+    Ok(())
+}
+
 /// `dlbench profile`
 pub fn profile(args: &ParsedArgs) -> Result<(), String> {
     use dlbench_trace::{ChromeTraceDoc, ProfileReport, TraceConfig};
@@ -613,12 +694,170 @@ pub fn profile(args: &ParsedArgs) -> Result<(), String> {
         }
         doc.add_process((i + 1) as u64, &label, &events);
     }
+    // One distributed pass: ring all-reduce over 2 workers, so the
+    // trace also demonstrates the collective spans (allreduce ⊃
+    // broadcast, shard_wait, ring_exchange) alongside the per-layer
+    // kernels.
+    {
+        let host = FrameworkKind::TensorFlow;
+        let setting = DefaultSetting::new(host, dataset);
+        let label = format!("{} x2 ring on {}", host.name(), dataset.name());
+        let config = dlbench_dist::DistConfig {
+            workers: 2,
+            strategy: dlbench_dist::Strategy::Ring,
+            max_steps: Some(60),
+            ..Default::default()
+        };
+        dlbench_trace::configure(TraceConfig::on());
+        dlbench_trace::clear();
+        let outcome = dlbench_dist::run_dist_training(host, setting, dataset, scale, seed, &config)
+            .map_err(|e| format!("{label}: {e}"))?;
+        let events = dlbench_trace::take_events();
+        dlbench_trace::configure(TraceConfig::Off);
+        validate_trace(&events).map_err(|e| format!("{label}: {e}"))?;
+        validate_dist_trace(&events).map_err(|e| format!("{label}: {e}"))?;
+        let dist_spans =
+            events.iter().filter(|e| e.cat == dlbench_trace::Category::Dist && e.is_span()).count();
+        println!("== {label} ==");
+        println!(
+            "{dist_spans} collective spans over {} steps, allreduce nesting OK; \
+             {} bytes/step on the wire",
+            outcome.executed_iterations, outcome.comm.bytes_per_step
+        );
+        let report = ProfileReport::from_events(&events);
+        let reference =
+            devices::xeon_e5_1620().throughput_gflops * host.execution_profile().cpu_efficiency;
+        println!("{}", report.render(Some(reference)));
+        doc.add_process((FrameworkKind::ALL.len() + 1) as u64, &label, &events);
+    }
     let rendered = doc.render();
     // The exporter hand-emits JSON; prove the artifact parses before
     // handing it to the user.
     dlbench_json::parse(&rendered).map_err(|e| format!("exported trace is invalid JSON: {e}"))?;
     write_text_file(&out, &rendered)?;
     println!("[chrome trace written to {out}; load in Perfetto or chrome://tracing]");
+    Ok(())
+}
+
+/// Parses `--kill W:S[,W:S…]` into kill faults.
+fn parse_kills(raw: &str) -> Result<Vec<dlbench_dist::Kill>, String> {
+    raw.split(',')
+        .map(|item| {
+            let (w, s) = item
+                .split_once(':')
+                .ok_or_else(|| format!("bad --kill entry `{item}` (expected WORKER:STEP)"))?;
+            Ok(dlbench_dist::Kill {
+                worker: w.trim().parse().map_err(|_| format!("bad worker in `{item}`"))?,
+                step: s.trim().parse().map_err(|_| format!("bad step in `{item}`"))?,
+            })
+        })
+        .collect()
+}
+
+/// Parses `--straggle W:FACTOR[:FROM][,…]` into straggler faults.
+fn parse_stragglers(raw: &str) -> Result<Vec<dlbench_dist::Straggler>, String> {
+    raw.split(',')
+        .map(|item| {
+            let mut parts = item.split(':');
+            let worker = parts
+                .next()
+                .and_then(|w| w.trim().parse().ok())
+                .ok_or_else(|| format!("bad worker in `{item}` (expected WORKER:FACTOR[:FROM])"))?;
+            let factor = parts
+                .next()
+                .and_then(|f| f.trim().parse().ok())
+                .ok_or_else(|| format!("bad factor in `{item}` (expected WORKER:FACTOR[:FROM])"))?;
+            let from_step = match parts.next() {
+                None => 0,
+                Some(s) => s.trim().parse().map_err(|_| format!("bad from-step in `{item}`"))?,
+            };
+            if parts.next().is_some() {
+                return Err(format!("too many fields in `{item}` (expected WORKER:FACTOR[:FROM])"));
+            }
+            Ok(dlbench_dist::Straggler { worker, factor, from_step })
+        })
+        .collect()
+}
+
+/// Parses a comma-separated worker-count list for the scaling sweep.
+fn parse_worker_list(raw: &str) -> Result<Vec<usize>, String> {
+    raw.split(',')
+        .map(|s| s.trim().parse::<usize>().map_err(|_| format!("bad worker count `{s}`")))
+        .collect()
+}
+
+/// `dlbench dist-train`
+pub fn dist_train(args: &ParsedArgs) -> Result<(), String> {
+    use dlbench_dist::{run_dist_training, scaling_sweep, DistConfig, FaultPlan, Strategy};
+    let scale = parse_scale(args.get("scale"))?;
+    let seed = args.get_parsed("seed", 42u64)?;
+    configure_threads(args)?;
+    let max_steps = match args.get_parsed("max-steps", 0usize)? {
+        0 => None,
+        n => Some(n),
+    };
+
+    if args.flag("sweep") {
+        let workers = parse_worker_list(args.get("workers").unwrap_or("1,2,4,8"))?;
+        let strategies: Vec<Strategy> = match args.get("strategy") {
+            None => Strategy::ALL.to_vec(),
+            Some(raw) => {
+                raw.split(',').map(|s| Strategy::parse(s.trim())).collect::<Result<_, _>>()?
+            }
+        };
+        println!(
+            "dist scaling sweep: workers {workers:?}, strategies [{}], scale {scale:?}, seed {seed}",
+            strategies.iter().map(|s| s.name()).collect::<Vec<_>>().join(", ")
+        );
+        let doc = scaling_sweep(scale, seed, &workers, &strategies, max_steps);
+        let out = args.get("out").unwrap_or("target/dlbench-reports/BENCH_dist.json");
+        write_text_file(out, &doc.pretty())?;
+        println!("[dist scaling sweep written to {out}]");
+        return Ok(());
+    }
+
+    let (host, setting, dataset) = cell_from_args(args)?;
+    let workers = args.get_parsed("workers", 2usize)?;
+    let strategy = Strategy::parse(args.get("strategy").unwrap_or("ps"))?;
+    let mut faults = FaultPlan::default();
+    if let Some(raw) = args.get("kill") {
+        faults.kills = parse_kills(raw)?;
+    }
+    if let Some(raw) = args.get("straggle") {
+        faults.stragglers = parse_stragglers(raw)?;
+    }
+    let config =
+        DistConfig { workers, strategy, faults, rebalance: !args.flag("no-rebalance"), max_steps };
+    println!(
+        "distributed training: {} with setting {} on {}, {} worker(s), strategy {} \
+         (scale {scale:?}, seed {seed})",
+        host.name(),
+        setting.label(),
+        dataset.name(),
+        workers,
+        strategy.name()
+    );
+    let trace = trace_start(args);
+    let out = run_dist_training(host, setting, dataset, scale, seed, &config)?;
+    trace_finish(trace)?;
+    let report = dlbench_core::dist_report(&out);
+    println!("{}", report.render());
+    if args.flag("bars") {
+        print!("{}", report.render_bars());
+    }
+    if args.flag("json") {
+        let out_dir = args.get("out").unwrap_or("target/dlbench-reports");
+        std::fs::create_dir_all(out_dir).map_err(|e| format!("cannot create {out_dir}: {e}"))?;
+        let path = format!("{out_dir}/dist_train.json");
+        std::fs::write(&path, report.to_json()).map_err(|e| format!("cannot write {path}: {e}"))?;
+        println!("  [json written to {path}]");
+    }
+    if let Some(path) = args.get("save") {
+        // Every surviving replica holds the same bits; this is rank 0's
+        // stream, interchangeable with a single-node checkpoint.
+        std::fs::write(path, &out.checkpoint).map_err(|e| format!("cannot write {path}: {e}"))?;
+        println!("checkpoint      written to {path}");
+    }
     Ok(())
 }
 

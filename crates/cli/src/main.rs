@@ -36,6 +36,20 @@ COMMANDS:
                                   [--setting-dataset mnist|cifar10]
                                   [--scale …] [--seed N] [--save FILE]
                                   [--load FILE]  (warm-start checkpoint)
+                                  [--checkpoint-every N]  (roll a
+                                  checkpoint into --save FILE every N
+                                  epochs; resume with --load)
+    dist-train                    simulated data-parallel training
+                                  [--workers N] [--strategy ps|ring]
+                                  [--framework …] [--dataset …]
+                                  [--scale …] [--seed N] [--max-steps N]
+                                  [--kill W:STEP[,…]]
+                                  [--straggle W:FACTOR[:FROM][,…]]
+                                  [--no-rebalance] [--save FILE]
+                                  [--bars] [--json] [--trace FILE]
+                                  or: --sweep [--workers 1,2,4,8]
+                                  [--strategy ps,ring] [--out FILE]
+                                  (BENCH_dist.json scaling curves)
     attack                        attack a trained cell
                                   [--attack fgsm|pgd|jsma|noise]
                                   [--framework …] [--epsilon X] [--seed N]
@@ -103,6 +117,7 @@ fn main() -> ExitCode {
         "info" => commands::info(),
         "run" => commands::run(&parsed),
         "train" => commands::train(&parsed),
+        "dist-train" => commands::dist_train(&parsed),
         "attack" => commands::attack(&parsed),
         "stats" => commands::stats(&parsed),
         "ablate" => commands::ablate(&parsed),

@@ -32,6 +32,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod dist;
 pub mod experiments;
 pub mod extensions;
 pub mod metrics;
@@ -39,6 +40,7 @@ pub mod registry;
 pub mod report;
 pub mod runner;
 
+pub use dist::dist_report;
 pub use metrics::{CellMetrics, Histogram, HistogramSummary};
 pub use registry::ExperimentId;
 pub use report::ExperimentReport;

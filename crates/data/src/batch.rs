@@ -47,15 +47,30 @@ impl<'a> BatchIter<'a> {
     /// an epoch may be short; the next call reshuffles and starts the
     /// next epoch.
     pub fn next_batch(&mut self) -> (Tensor, Vec<usize>) {
+        let (start, end) = self.advance();
+        self.dataset.gather(&self.order[start..end])
+    }
+
+    /// Produces the next mini-batch as dataset *indices* instead of
+    /// gathered tensors. Same cursor as [`BatchIter::next_batch`]:
+    /// interleaving the two walks one shared schedule. The distributed
+    /// driver uses this to shard a batch across workers without
+    /// materializing it centrally.
+    pub fn next_indices(&mut self) -> &[usize] {
+        let (start, end) = self.advance();
+        &self.order[start..end]
+    }
+
+    fn advance(&mut self) -> (usize, usize) {
         if self.cursor >= self.order.len() {
             self.epoch += 1;
             self.cursor = 0;
             self.rng.shuffle(&mut self.order);
         }
         let end = (self.cursor + self.batch_size).min(self.order.len());
-        let indices = &self.order[self.cursor..end];
+        let start = self.cursor;
         self.cursor = end;
-        self.dataset.gather(indices)
+        (start, end)
     }
 }
 
@@ -93,6 +108,21 @@ mod tests {
             assert_eq!(ia, ib);
             assert_eq!(la, lb);
         }
+    }
+
+    #[test]
+    fn next_indices_matches_next_batch_schedule() {
+        let d = SynthMnist::generate(23, 12, 4);
+        let mut by_tensor = BatchIter::new(&d, 7, SeededRng::new(11));
+        let mut by_index = BatchIter::new(&d, 7, SeededRng::new(11));
+        for _ in 0..8 {
+            let idx = by_index.next_indices().to_vec();
+            let (imgs, labels) = by_tensor.next_batch();
+            let (gi, gl) = d.gather(&idx);
+            assert_eq!(imgs, gi);
+            assert_eq!(labels, gl);
+        }
+        assert_eq!(by_tensor.epoch(), by_index.epoch());
     }
 
     #[test]

@@ -1,0 +1,205 @@
+//! Fault and straggler injection, plus straggler detection.
+//!
+//! Failures and slowdowns are *control-plane* events: they move shards
+//! between workers and stretch simulated time, but because shards and
+//! their reduction order are canonical (see [`crate::shard`]), they can
+//! never change the trained parameters.
+
+use std::collections::{HashMap, HashSet};
+
+/// Kill a worker: it exits abruptly upon receiving its first compute
+/// command at or after `step`, dropping its channels mid-epoch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Kill {
+    /// Rank to kill.
+    pub worker: usize,
+    /// Step at which the worker dies.
+    pub step: usize,
+}
+
+/// Slow a worker down: its simulated per-shard compute time is
+/// multiplied by `factor` from `from_step` on. Real arithmetic is
+/// unaffected — stragglers are a timing phenomenon.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Straggler {
+    /// Rank to slow down.
+    pub worker: usize,
+    /// Compute-time multiplier (≥ 1 slows the worker down).
+    pub factor: f64,
+    /// First step the slowdown applies to.
+    pub from_step: usize,
+}
+
+/// A schedule of injected faults for one distributed run.
+#[derive(Debug, Clone, Default)]
+pub struct FaultPlan {
+    /// Worker kills.
+    pub kills: Vec<Kill>,
+    /// Worker slowdowns.
+    pub stragglers: Vec<Straggler>,
+}
+
+impl FaultPlan {
+    /// Whether the plan injects nothing.
+    pub fn is_empty(&self) -> bool {
+        self.kills.is_empty() && self.stragglers.is_empty()
+    }
+
+    /// The step at which `worker` is scheduled to die, if any (the
+    /// earliest when listed multiple times).
+    pub fn kill_step(&self, worker: usize) -> Option<usize> {
+        self.kills.iter().filter(|k| k.worker == worker).map(|k| k.step).min()
+    }
+
+    /// The compute-time multiplier in effect for `worker` at `step`
+    /// (product of all active slowdowns; 1.0 when none).
+    pub fn straggle_factor(&self, worker: usize, step: usize) -> f64 {
+        self.stragglers
+            .iter()
+            .filter(|s| s.worker == worker && step >= s.from_step)
+            .map(|s| s.factor)
+            .product()
+    }
+}
+
+/// A worker must exceed the median per-sample time by this ratio to
+/// count as straggling.
+const STRAGGLER_RATIO: f64 = 1.75;
+
+/// Consecutive straggling steps before the detector reacts (a one-step
+/// hiccup is not a straggler).
+const STRAGGLER_STREAK: usize = 3;
+
+/// Detects persistent stragglers from simulated per-sample compute
+/// times and proposes throughput weights for rebalancing.
+///
+/// A worker whose per-sample time exceeds [`STRAGGLER_RATIO`] times the
+/// step median for [`STRAGGLER_STREAK`] consecutive observations is
+/// flagged once, with a weight of `median / per_sample` (clamped to
+/// `[0.1, 1.0]`) — i.e. the scheduler hands it work in proportion to
+/// its observed throughput.
+#[derive(Debug, Default)]
+pub struct StragglerDetector {
+    streaks: HashMap<usize, usize>,
+    flagged: HashSet<usize>,
+}
+
+/// A straggler the detector has just flagged.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Detection {
+    /// Flagged rank.
+    pub worker: usize,
+    /// Proposed throughput weight in `[0.1, 1.0]`.
+    pub weight: f64,
+    /// Observed slowdown ratio versus the step median.
+    pub ratio: f64,
+}
+
+impl StragglerDetector {
+    /// Creates an empty detector.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Feeds one step's `(rank, per-sample seconds)` observations
+    /// (workers that computed no samples this step are simply absent).
+    /// Returns newly flagged stragglers, in rank order.
+    pub fn observe(&mut self, per_sample: &[(usize, f64)]) -> Vec<Detection> {
+        if per_sample.len() < 2 {
+            return Vec::new(); // no peer group to compare against
+        }
+        let mut times: Vec<f64> = per_sample.iter().map(|&(_, t)| t).collect();
+        times.sort_by(|a, b| a.partial_cmp(b).expect("sim times are finite"));
+        // Lower median: with an even peer group (2 workers especially)
+        // the upper middle would be the straggler itself, hiding it.
+        let median = times[(times.len() - 1) / 2];
+        if median <= 0.0 {
+            return Vec::new();
+        }
+        let mut detections = Vec::new();
+        for &(rank, t) in per_sample {
+            let ratio = t / median;
+            if ratio > STRAGGLER_RATIO && !self.flagged.contains(&rank) {
+                let streak = self.streaks.entry(rank).or_insert(0);
+                *streak += 1;
+                if *streak >= STRAGGLER_STREAK {
+                    self.flagged.insert(rank);
+                    detections.push(Detection {
+                        worker: rank,
+                        weight: (1.0 / ratio).clamp(0.1, 1.0),
+                        ratio,
+                    });
+                }
+            } else {
+                self.streaks.insert(rank, 0);
+            }
+        }
+        detections.sort_by_key(|d| d.worker);
+        detections
+    }
+
+    /// Ranks flagged so far.
+    pub fn flagged(&self) -> Vec<usize> {
+        let mut v: Vec<usize> = self.flagged.iter().copied().collect();
+        v.sort_unstable();
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn factor_composes_and_gates_on_step() {
+        let plan = FaultPlan {
+            kills: vec![],
+            stragglers: vec![
+                Straggler { worker: 1, factor: 2.0, from_step: 5 },
+                Straggler { worker: 1, factor: 3.0, from_step: 10 },
+            ],
+        };
+        assert_eq!(plan.straggle_factor(1, 0), 1.0);
+        assert_eq!(plan.straggle_factor(1, 5), 2.0);
+        assert_eq!(plan.straggle_factor(1, 10), 6.0);
+        assert_eq!(plan.straggle_factor(0, 10), 1.0);
+    }
+
+    #[test]
+    fn earliest_kill_wins() {
+        let plan = FaultPlan {
+            kills: vec![Kill { worker: 2, step: 9 }, Kill { worker: 2, step: 4 }],
+            stragglers: vec![],
+        };
+        assert_eq!(plan.kill_step(2), Some(4));
+        assert_eq!(plan.kill_step(0), None);
+    }
+
+    #[test]
+    fn detector_needs_a_persistent_streak() {
+        let mut d = StragglerDetector::new();
+        let slow = [(0usize, 1.0f64), (1, 1.0), (2, 4.0)];
+        let ok = [(0usize, 1.0f64), (1, 1.0), (2, 1.0)];
+        assert!(d.observe(&slow).is_empty());
+        assert!(d.observe(&slow).is_empty());
+        // A recovery resets the streak.
+        assert!(d.observe(&ok).is_empty());
+        assert!(d.observe(&slow).is_empty());
+        assert!(d.observe(&slow).is_empty());
+        let hits = d.observe(&slow);
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].worker, 2);
+        assert!((hits[0].weight - 0.25).abs() < 1e-9, "weight {}", hits[0].weight);
+        // Flagged once, not re-reported.
+        assert!(d.observe(&slow).is_empty());
+        assert_eq!(d.flagged(), vec![2]);
+    }
+
+    #[test]
+    fn detector_ignores_lone_workers() {
+        let mut d = StragglerDetector::new();
+        for _ in 0..10 {
+            assert!(d.observe(&[(0, 9.0)]).is_empty());
+        }
+    }
+}

@@ -1,0 +1,178 @@
+//! Canonical batch sharding.
+//!
+//! Bit-identical scaling hinges on one invariant: the decomposition of a
+//! global batch into gradient *shards* depends only on the batch — never
+//! on the world size, worker liveness or load-balancing weights. Every
+//! world size computes the same shard set and reduces it in the same
+//! fixed order; which worker happens to *execute* a shard affects only
+//! simulated time. Straggler rebalancing and failure recovery then move
+//! shards between workers without perturbing a single bit of arithmetic.
+
+use std::collections::BTreeMap;
+
+/// Number of canonical shards a full-size batch is cut into. Capped so
+/// the fixed-order reduction tree stays shallow and shard batches stay
+/// large enough for the GEMM kernels to amortize.
+pub const MAX_SHARDS: usize = 8;
+
+/// One canonical gradient shard: a contiguous slice of the global
+/// batch's sample indices, tagged with its position in the batch.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Shard {
+    /// Position of this shard within the batch's canonical decomposition
+    /// (the reduction key).
+    pub id: usize,
+    /// Dataset indices of the samples in this shard, in batch order.
+    pub indices: Vec<usize>,
+}
+
+/// Cuts one global batch into its canonical shards.
+///
+/// A batch of `n` samples yields `min(n, MAX_SHARDS)` shards; the first
+/// `n % s` shards carry one extra sample. The decomposition is a pure
+/// function of the index list, so every world size (including 1) agrees
+/// on it exactly.
+///
+/// # Panics
+///
+/// Panics on an empty batch — the batch iterator never yields one.
+pub fn shard_batch(indices: &[usize]) -> Vec<Shard> {
+    let n = indices.len();
+    assert!(n > 0, "cannot shard an empty batch");
+    let s = n.min(MAX_SHARDS);
+    let base = n / s;
+    let extra = n % s;
+    let mut shards = Vec::with_capacity(s);
+    let mut at = 0;
+    for id in 0..s {
+        let take = base + usize::from(id < extra);
+        shards.push(Shard { id, indices: indices[at..at + take].to_vec() });
+        at += take;
+    }
+    debug_assert_eq!(at, n);
+    shards
+}
+
+/// Assigns shards to live workers by weighted greedy load balancing:
+/// shards are placed in id order onto the worker whose *weighted* load
+/// (assigned samples divided by throughput weight) would stay smallest,
+/// with the lowest rank breaking ties. Deterministic for a given
+/// `(shards, live, weights)` input; the output order groups shards per
+/// rank, sorted by rank.
+///
+/// `weights[i]` is the relative throughput of `live[i]` (1.0 = nominal;
+/// a detected straggler gets less and therefore fewer samples).
+///
+/// # Panics
+///
+/// Panics if `live` is empty or `weights` is not parallel to `live`.
+pub fn assign_shards(
+    shards: Vec<Shard>,
+    live: &[usize],
+    weights: &[f64],
+) -> BTreeMap<usize, Vec<Shard>> {
+    assert!(!live.is_empty(), "cannot assign shards with no live workers");
+    assert_eq!(live.len(), weights.len(), "one weight per live worker");
+    let mut loads = vec![0.0f64; live.len()];
+    let mut out: BTreeMap<usize, Vec<Shard>> = BTreeMap::new();
+    for shard in shards {
+        let size = shard.indices.len() as f64;
+        let mut best = 0;
+        let mut best_score = f64::INFINITY;
+        for (i, &load) in loads.iter().enumerate() {
+            let w = weights[i].max(1e-6);
+            let score = (load + size) / w;
+            if score < best_score {
+                best_score = score;
+                best = i;
+            }
+        }
+        loads[best] += size;
+        out.entry(live[best]).or_default().push(shard);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sharding_is_independent_of_world_size_inputs() {
+        // shard_batch takes only the batch — this test documents that the
+        // signature admits no world-size influence and that the split is
+        // stable.
+        let idx: Vec<usize> = (100..119).collect();
+        let a = shard_batch(&idx);
+        let b = shard_batch(&idx);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), MAX_SHARDS);
+        let total: usize = a.iter().map(|s| s.indices.len()).sum();
+        assert_eq!(total, idx.len());
+        // Contiguous, order-preserving cover.
+        let flat: Vec<usize> = a.iter().flat_map(|s| s.indices.iter().copied()).collect();
+        assert_eq!(flat, idx);
+    }
+
+    #[test]
+    fn small_batches_get_one_shard_per_sample() {
+        let idx = [7usize, 9, 11];
+        let shards = shard_batch(&idx);
+        assert_eq!(shards.len(), 3);
+        for (i, s) in shards.iter().enumerate() {
+            assert_eq!(s.id, i);
+            assert_eq!(s.indices, vec![idx[i]]);
+        }
+    }
+
+    #[test]
+    fn remainder_spreads_over_leading_shards() {
+        let idx: Vec<usize> = (0..10).collect();
+        let shards = shard_batch(&idx);
+        let sizes: Vec<usize> = shards.iter().map(|s| s.indices.len()).collect();
+        assert_eq!(sizes, vec![2, 2, 1, 1, 1, 1, 1, 1]);
+    }
+
+    #[test]
+    fn assignment_balances_equal_weights() {
+        let shards = shard_batch(&(0..16).collect::<Vec<_>>());
+        let live = [0usize, 1, 2, 3];
+        let map = assign_shards(shards, &live, &[1.0; 4]);
+        for rank in live {
+            let samples: usize = map[&rank].iter().map(|s| s.indices.len()).sum();
+            assert_eq!(samples, 4, "rank {rank} should get a quarter of the batch");
+        }
+    }
+
+    #[test]
+    fn assignment_starves_a_weighted_down_straggler() {
+        let shards = shard_batch(&(0..32).collect::<Vec<_>>());
+        let live = [0usize, 1];
+        let map = assign_shards(shards, &live, &[1.0, 0.25]);
+        let fast: usize = map[&0].iter().map(|s| s.indices.len()).sum();
+        let slow: usize = map.get(&1).map_or(0, |v| v.iter().map(|s| s.indices.len()).sum());
+        assert!(fast > slow, "4x-slower worker must get less work: {fast} vs {slow}");
+    }
+
+    #[test]
+    fn assignment_is_deterministic_and_rank_sorted() {
+        let mk = || shard_batch(&(0..24).collect::<Vec<_>>());
+        let a = assign_shards(mk(), &[3, 1, 5], &[1.0, 1.0, 1.0]);
+        let b = assign_shards(mk(), &[3, 1, 5], &[1.0, 1.0, 1.0]);
+        assert_eq!(a, b);
+        let ranks: Vec<usize> = a.keys().copied().collect();
+        let mut sorted = ranks.clone();
+        sorted.sort_unstable();
+        assert_eq!(ranks, sorted);
+    }
+
+    #[test]
+    fn union_of_assignment_is_the_shard_set() {
+        let shards = shard_batch(&(0..23).collect::<Vec<_>>());
+        let expect: Vec<usize> = shards.iter().map(|s| s.id).collect();
+        let map = assign_shards(shards, &[0, 1, 2], &[1.0, 0.5, 1.0]);
+        let mut got: Vec<usize> = map.values().flatten().map(|s| s.id).collect();
+        got.sort_unstable();
+        assert_eq!(got, expect);
+    }
+}

@@ -1,0 +1,165 @@
+//! Scaling sweeps: workers × strategy × personality.
+//!
+//! Produces the data behind the distributed scaling curves: for each
+//! framework personality (its own MNIST default), each collective and
+//! each world size, one deterministic run with the simulated
+//! compute/communication breakdown and throughput. The 1-worker row of
+//! each (personality, strategy) group is the scaling baseline; speedup
+//! is reported relative to it.
+
+use crate::collective::Strategy;
+use crate::driver::{run_dist_training, DistConfig};
+use dlbench_data::DatasetKind;
+use dlbench_frameworks::{DefaultSetting, FrameworkKind, Scale};
+use dlbench_json::JsonValue;
+
+/// One cell of the scaling sweep.
+struct SweepRow {
+    framework: &'static str,
+    strategy: &'static str,
+    workers: usize,
+    row: JsonValue,
+    cpu_train_s: f64,
+}
+
+/// Runs the full scaling sweep and returns the `BENCH_dist.json`
+/// document: `rows` carries one entry per (personality, strategy,
+/// world size) with accuracy, convergence, per-device simulated
+/// compute/comm/wait splits, throughput and speedup versus the
+/// 1-worker baseline of the same personality and strategy.
+///
+/// Failed runs (which a sweep without fault injection should never
+/// produce) surface as rows with an `"error"` field rather than
+/// aborting the sweep.
+pub fn scaling_sweep(
+    scale: Scale,
+    seed: u64,
+    workers: &[usize],
+    strategies: &[Strategy],
+    max_steps: Option<usize>,
+) -> JsonValue {
+    let dataset = DatasetKind::Mnist;
+    let mut rows: Vec<SweepRow> = Vec::new();
+    for fw in FrameworkKind::ALL {
+        let setting = DefaultSetting::new(fw, dataset);
+        for &strategy in strategies {
+            for &w in workers {
+                let dcfg = DistConfig { workers: w, strategy, max_steps, ..DistConfig::default() };
+                match run_dist_training(fw, setting, dataset, scale, seed, &dcfg) {
+                    Ok(out) => {
+                        let mut fields: Vec<(String, JsonValue)> = vec![
+                            ("framework".to_string(), fw.name().into()),
+                            ("strategy".to_string(), strategy.name().into()),
+                            ("workers".to_string(), w.into()),
+                            ("steps".to_string(), out.executed_iterations.into()),
+                            ("final_loss".to_string(), out.final_loss().into()),
+                            ("accuracy_pct".to_string(), (out.accuracy * 100.0).into()),
+                            ("converged".to_string(), out.converged.into()),
+                            ("wall_s".to_string(), out.wall_seconds.into()),
+                            ("bytes_per_step".to_string(), (out.comm.bytes_per_step as f64).into()),
+                        ];
+                        let mut cpu_train_s = f64::NAN;
+                        for sim in &out.sims {
+                            let key = sim.device.to_lowercase();
+                            if sim.device == "CPU" {
+                                cpu_train_s = sim.train_seconds;
+                            }
+                            fields.push((
+                                format!("{key}_sim"),
+                                JsonValue::Object(vec![
+                                    ("compute_s".to_string(), sim.compute_seconds.into()),
+                                    ("comm_s".to_string(), sim.comm_seconds.into()),
+                                    ("wait_s".to_string(), sim.straggler_wait_seconds.into()),
+                                    ("train_s".to_string(), sim.train_seconds.into()),
+                                    ("test_s".to_string(), sim.test_seconds.into()),
+                                ]),
+                            ));
+                            // Paper-schedule throughput on this device.
+                            let samples = (out.paper_iterations * paper_batch(&setting)) as f64;
+                            fields.push((
+                                format!("{key}_samples_per_s"),
+                                (samples / sim.train_seconds.max(1e-12)).into(),
+                            ));
+                        }
+                        rows.push(SweepRow {
+                            framework: fw.name(),
+                            strategy: strategy.name(),
+                            workers: w,
+                            row: JsonValue::Object(fields),
+                            cpu_train_s,
+                        });
+                    }
+                    Err(e) => rows.push(SweepRow {
+                        framework: fw.name(),
+                        strategy: strategy.name(),
+                        workers: w,
+                        row: JsonValue::Object(vec![
+                            ("framework".to_string(), fw.name().into()),
+                            ("strategy".to_string(), strategy.name().into()),
+                            ("workers".to_string(), w.into()),
+                            ("error".to_string(), e.into()),
+                        ]),
+                        cpu_train_s: f64::NAN,
+                    }),
+                }
+            }
+        }
+    }
+
+    // Speedup versus the group's smallest world size (normally 1).
+    let mut out_rows = Vec::with_capacity(rows.len());
+    for i in 0..rows.len() {
+        let base = rows
+            .iter()
+            .filter(|r| r.framework == rows[i].framework && r.strategy == rows[i].strategy)
+            .min_by_key(|r| r.workers)
+            .map(|r| (r.workers, r.cpu_train_s));
+        let mut row = rows[i].row.clone();
+        if let (JsonValue::Object(fields), Some((bw, bt))) = (&mut row, base) {
+            if bt.is_finite() && rows[i].cpu_train_s.is_finite() {
+                fields.push((
+                    "cpu_speedup_vs_baseline".to_string(),
+                    (bt / rows[i].cpu_train_s.max(1e-12)).into(),
+                ));
+                fields.push(("baseline_workers".to_string(), bw.into()));
+            }
+        }
+        out_rows.push(row);
+    }
+
+    JsonValue::Object(vec![
+        ("benchmark".to_string(), "dist_scaling".into()),
+        ("dataset".to_string(), dataset.name().into()),
+        ("seed".to_string(), (seed as f64).into()),
+        ("rows".to_string(), JsonValue::Array(out_rows)),
+    ])
+}
+
+fn paper_batch(setting: &DefaultSetting) -> usize {
+    setting.training().batch_size
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_shape_is_complete() {
+        // Smallest possible sweep: one personality would still produce
+        // all three; limit steps hard so this stays fast.
+        let doc = scaling_sweep(Scale::Tiny, 7, &[1, 2], &[Strategy::ParameterServer], Some(2));
+        let JsonValue::Object(fields) = &doc else { panic!("sweep must be an object") };
+        let rows = fields
+            .iter()
+            .find(|(k, _)| k == "rows")
+            .and_then(|(_, v)| v.as_array())
+            .expect("rows array");
+        assert_eq!(rows.len(), FrameworkKind::ALL.len() * 2);
+        for row in rows {
+            let JsonValue::Object(cells) = row else { panic!("row must be an object") };
+            for key in ["framework", "strategy", "workers", "cpu_sim", "gpu_sim"] {
+                assert!(cells.iter().any(|(k, _)| k == key), "row missing {key}");
+            }
+        }
+    }
+}

@@ -1,0 +1,333 @@
+//! Worker protocol and the replica worker loop.
+//!
+//! The driver and its workers speak a small command/acknowledgement
+//! protocol over in-process channels (the simulation's stand-in for a
+//! cluster fabric). Each training step has two phases:
+//!
+//! 1. **Compute** — every live worker receives its shard assignment
+//!    (possibly empty), runs forward/backward per shard on its local
+//!    model replica, and acknowledges with per-shard statistics (plus
+//!    the shard gradients themselves for a centralizing collective).
+//! 2. **Reduce** — the collective's phase-2 command installs the
+//!    aggregated gradient: [`Cmd::Apply`] broadcasts a centrally reduced
+//!    gradient (parameter server), [`Cmd::Exchange`] has the workers
+//!    all-gather shard sets around a ring and reduce locally.
+//!
+//! Workers never observe the world size: their arithmetic consumes only
+//! canonical shards and the canonical fixed-order reduction, which is
+//! what makes N-worker training bit-identical to 1-worker.
+
+use crate::collective::tree_reduce;
+use dlbench_data::{Dataset, Preprocessing};
+use dlbench_frameworks::{trainer, DefaultSetting, FrameworkKind, Scale, TrainingConfig};
+use dlbench_nn::SoftmaxCrossEntropy;
+use dlbench_tensor::{par, SeededRng, Tensor};
+use dlbench_trace::{span, Category};
+use std::sync::mpsc::{Receiver, Sender};
+use std::sync::Arc;
+
+use dlbench_data::DatasetKind;
+
+/// Per-shard forward/backward statistics a worker reports to the driver.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShardStat {
+    /// Canonical shard id.
+    pub shard: usize,
+    /// Samples in the shard.
+    pub samples: usize,
+    /// Mean cross-entropy loss over the shard.
+    pub loss: f32,
+    /// Whether the shard's logits contained non-finite values.
+    pub nonfinite_logits: bool,
+}
+
+/// One shard's parameter gradients, pre-scaled by `samples / batch_len`
+/// so that summing all shards of a batch yields the batch-mean gradient.
+#[derive(Debug, Clone)]
+pub struct ShardGrad {
+    /// Canonical shard id (the fixed-order reduction key).
+    pub shard: usize,
+    /// Gradient tensors in network parameter order.
+    pub grads: Vec<Tensor>,
+}
+
+/// Driver → worker commands.
+pub enum Cmd {
+    /// Phase 1: compute gradients for the assigned shards of one step.
+    /// Sent to *every* live worker each step (an empty shard list still
+    /// requires an ack), so worker death is always detected. A worker
+    /// may receive several `Compute`s for one step when the driver
+    /// redistributes a dead peer's shards.
+    Compute {
+        /// Global step index (drives the LR schedule and dropout seeds).
+        step: usize,
+        /// Epoch the step belongs to (paces the trace epoch spans).
+        epoch: usize,
+        /// Canonical shards this worker executes.
+        shards: Vec<crate::shard::Shard>,
+        /// Total samples in the global batch (the gradient scale).
+        batch_len: usize,
+    },
+    /// Phase 2, parameter server: install a centrally reduced gradient.
+    Apply {
+        /// The reduced batch-mean gradient, shared across workers.
+        grads: Arc<Vec<Tensor>>,
+    },
+    /// Phase 2, ring: all-gather shard-gradient sets around the ring
+    /// (`hops` forwards), then reduce the full set locally in canonical
+    /// order and install it.
+    Exchange {
+        /// Channel to this worker's ring successor.
+        send: Sender<Vec<ShardGrad>>,
+        /// Channel from this worker's ring predecessor.
+        recv: Receiver<Vec<ShardGrad>>,
+        /// Number of forwarding rounds (ring size − 1).
+        hops: usize,
+    },
+    /// Phase 2, diverged step: discard pending shard gradients and apply
+    /// nothing (no acknowledgement either — the driver stops stepping).
+    Skip,
+    /// Serialize the local replica's parameters and exit.
+    Finish {
+        /// Where to send the checkpoint bytes.
+        reply: Sender<Vec<u8>>,
+    },
+}
+
+/// Worker → driver acknowledgements.
+pub enum Ack {
+    /// Phase 1 done for one `Compute` command.
+    Computed {
+        /// Responding worker rank.
+        worker: usize,
+        /// Per-shard statistics, in assignment order.
+        stats: Vec<ShardStat>,
+        /// Shard gradients when the collective centralizes (parameter
+        /// server); `None` when they stay resident for a peer exchange.
+        grads: Option<Vec<ShardGrad>>,
+    },
+    /// Phase 2 done: the update is installed.
+    Applied {
+        /// Responding worker rank.
+        worker: usize,
+        /// Whether any parameter went non-finite after the update (the
+        /// driver's post-step divergence latch).
+        params_nonfinite: bool,
+    },
+}
+
+/// Everything a worker thread needs to run its replica.
+pub struct WorkerEnv<'a> {
+    /// This worker's rank in the initial world.
+    pub rank: usize,
+    /// Host framework personality.
+    pub host: FrameworkKind,
+    /// Default setting being trained.
+    pub setting: DefaultSetting,
+    /// Dataset kind.
+    pub dataset: DatasetKind,
+    /// Benchmark scale.
+    pub scale: Scale,
+    /// Base seed (model init, dropout streams).
+    pub seed: u64,
+    /// Shared training split (workers gather their shards from it).
+    pub train: &'a Dataset,
+    /// Input pipeline in effect for the cell.
+    pub preprocessing: Preprocessing,
+    /// Training-set channel means for mean-subtract pipelines.
+    pub channel_means: Vec<f32>,
+    /// The setting's training configuration.
+    pub config: TrainingConfig,
+    /// Weight decay the host applies.
+    pub weight_decay: f32,
+    /// Executed iteration budget (resolves the LR schedule).
+    pub exec_iters: usize,
+    /// Whether shard gradients travel to the driver in the `Computed`
+    /// ack (true for the parameter server).
+    pub centralize: bool,
+    /// Fault injection: exit abruptly upon receiving the first `Compute`
+    /// at or after this step.
+    pub kill_at: Option<usize>,
+    /// Command stream from the driver.
+    pub cmds: Receiver<Cmd>,
+    /// Acknowledgement stream to the driver.
+    pub acks: Sender<Ack>,
+}
+
+/// The dropout stream for `(seed, step, shard)`: every replica derives
+/// the same stream for the same shard regardless of which worker runs
+/// it, so stochastic layers cannot couple randomness to the world size.
+fn shard_dropout_seed(seed: u64, step: usize, shard: usize) -> u64 {
+    SeededRng::new(seed).fork(3).fork(step as u64).fork(shard as u64).seed()
+}
+
+/// Runs one worker replica to completion. Kernels execute in worker
+/// context (no nested parallelism), keeping per-shard arithmetic
+/// bit-deterministic no matter which thread hosts it.
+pub fn worker_main(env: WorkerEnv<'_>) {
+    par::run_as_worker(|| worker_loop(env));
+}
+
+fn worker_loop(env: WorkerEnv<'_>) {
+    let mut model =
+        trainer::build_cell_model(env.host, &env.setting, env.dataset, env.scale, env.seed);
+    let mut optimizer = trainer::make_optimizer(&env.config, env.weight_decay, env.exec_iters);
+    let mut loss_node = SoftmaxCrossEntropy::new();
+
+    let _root = span(Category::Train, "train");
+    let mut epoch_span = None;
+    let mut iter_span = None;
+    let mut cur_epoch = usize::MAX;
+    let mut cur_step = 0usize;
+    // Shard gradients computed this step, awaiting the reduce command
+    // (drained into the ack instead when the collective centralizes).
+    let mut pending: Vec<ShardGrad> = Vec::new();
+    let mut in_flight = false;
+
+    loop {
+        let cmd = {
+            // Time between acknowledging compute and receiving the
+            // reduce command is collective synchronization wait.
+            let _wait = in_flight.then(|| span(Category::Dist, "shard_wait"));
+            match env.cmds.recv() {
+                Ok(c) => c,
+                Err(_) => return, // driver gone: orderly shutdown
+            }
+        };
+        match cmd {
+            Cmd::Compute { step, epoch, shards, batch_len } => {
+                if env.kill_at.is_some_and(|k| step >= k) {
+                    return; // injected crash: channels drop, driver notices
+                }
+                if epoch != cur_epoch {
+                    // Close children before their parents, and the old
+                    // epoch before the new one opens (no overlap).
+                    drop(iter_span.take());
+                    drop(epoch_span.take());
+                    epoch_span = Some(span(Category::Train, "epoch"));
+                    cur_epoch = epoch;
+                }
+                if step != cur_step || iter_span.is_none() {
+                    drop(iter_span.take());
+                    iter_span = Some(span(Category::Train, "iteration"));
+                    cur_step = step;
+                }
+                let mut stats = Vec::with_capacity(shards.len());
+                for shard in &shards {
+                    let (stat, grad) =
+                        compute_shard(&mut model, &mut loss_node, &env, step, shard, batch_len);
+                    stats.push(stat);
+                    pending.push(grad);
+                }
+                let grads = env.centralize.then(|| std::mem::take(&mut pending));
+                in_flight = true;
+                if env.acks.send(Ack::Computed { worker: env.rank, stats, grads }).is_err() {
+                    return;
+                }
+            }
+            Cmd::Apply { grads } => {
+                // The allreduce span must close before the enclosing
+                // iteration span does — scope it to this block.
+                let params_nonfinite = {
+                    let _ar = span(Category::Dist, "allreduce");
+                    pending.clear();
+                    let _bc = span(Category::Dist, "broadcast");
+                    apply_update(&mut model, optimizer.as_mut(), &grads, cur_step)
+                };
+                drop(iter_span.take());
+                in_flight = false;
+                if env.acks.send(Ack::Applied { worker: env.rank, params_nonfinite }).is_err() {
+                    return;
+                }
+            }
+            Cmd::Exchange { send, recv, hops } => {
+                // Scoped like Apply: close allreduce before iteration.
+                let params_nonfinite = {
+                    let _ar = span(Category::Dist, "allreduce");
+                    let mut all = std::mem::take(&mut pending);
+                    let mut outgoing = all.clone();
+                    for _ in 0..hops {
+                        let _hop = span(Category::Dist, "ring_exchange");
+                        if send.send(outgoing).is_err() {
+                            return;
+                        }
+                        let Ok(incoming) = recv.recv() else { return };
+                        all.extend(incoming.iter().cloned());
+                        outgoing = incoming;
+                    }
+                    let agg = tree_reduce(all);
+                    let _bc = span(Category::Dist, "broadcast");
+                    apply_update(&mut model, optimizer.as_mut(), &agg, cur_step)
+                };
+                drop(iter_span.take());
+                in_flight = false;
+                if env.acks.send(Ack::Applied { worker: env.rank, params_nonfinite }).is_err() {
+                    return;
+                }
+            }
+            Cmd::Skip => {
+                pending.clear();
+                drop(iter_span.take());
+                in_flight = false;
+            }
+            Cmd::Finish { reply } => {
+                let mut bytes = Vec::new();
+                if dlbench_nn::save_parameters(&mut model, &mut bytes).is_ok() {
+                    let _ = reply.send(bytes);
+                }
+                return;
+            }
+        }
+    }
+}
+
+/// Forward/backward over one canonical shard. The returned gradient is
+/// scaled by `samples / batch_len` so the canonical sum over all shards
+/// equals the global batch-mean gradient. Skips backward when the shard
+/// has already blown up (the driver will skip the whole step).
+fn compute_shard(
+    model: &mut dlbench_nn::Network,
+    loss_node: &mut SoftmaxCrossEntropy,
+    env: &WorkerEnv<'_>,
+    step: usize,
+    shard: &crate::shard::Shard,
+    batch_len: usize,
+) -> (ShardStat, ShardGrad) {
+    let _s = span(Category::Dist, "shard_compute");
+    model.reseed(shard_dropout_seed(env.seed, step, shard.id));
+    let (images, labels) = env.train.gather(&shard.indices);
+    let x = env.preprocessing.apply(&images, &env.channel_means);
+    let logits = model.forward(&x, true);
+    let (loss, _) = loss_node.forward(&logits, &labels);
+    let nonfinite_logits = !loss.is_finite() || logits.has_non_finite();
+    let mut grads = Vec::new();
+    if !nonfinite_logits {
+        let mut g = loss_node.backward();
+        g.scale_assign(shard.indices.len() as f32 / batch_len as f32);
+        model.zero_grads();
+        model.backward(&g);
+        grads = model.params().iter().map(|p| p.grad.clone()).collect();
+    }
+    (
+        ShardStat { shard: shard.id, samples: shard.indices.len(), loss, nonfinite_logits },
+        ShardGrad { shard: shard.id, grads },
+    )
+}
+
+/// Installs an aggregated gradient and takes one optimizer step.
+/// Returns whether any parameter went non-finite (the driver's
+/// post-apply divergence latch).
+fn apply_update(
+    model: &mut dlbench_nn::Network,
+    optimizer: &mut dyn dlbench_optim::Optimizer,
+    agg: &[Tensor],
+    step: usize,
+) -> bool {
+    let mut params = model.params();
+    assert_eq!(params.len(), agg.len(), "aggregate gradient matches parameter structure");
+    for (p, g) in params.iter_mut().zip(agg) {
+        *p.grad = g.clone();
+    }
+    optimizer.step(&mut params, step);
+    params.iter().any(|p| p.value.has_non_finite())
+}

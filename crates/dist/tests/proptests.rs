@@ -1,0 +1,172 @@
+//! Property tests for the distributed gradient-aggregation math.
+//!
+//! The crate's central claim, exercised over randomized models and
+//! batches: cutting a batch into canonical shards and aggregating
+//! per-shard gradients through the fixed-order tree reduction yields
+//! the same bits no matter how many workers the shards were spread
+//! over or in what order their contributions arrived — and the result
+//! matches the whole-batch gradient to floating-point tolerance (it
+//! cannot match it bitwise: summation order differs, which is exactly
+//! why the reduction must be canonicalized in the first place). The
+//! naive presentation-order fold matches only within tolerance.
+
+use dlbench_dist::{assign_shards, naive_sum, shard_batch, tree_reduce, ShardGrad};
+use dlbench_nn::{Initializer, Linear, Network, Relu, SoftmaxCrossEntropy};
+use dlbench_tensor::{SeededRng, Tensor};
+use proptest::prelude::*;
+
+const FEATURES: usize = 6;
+const CLASSES: usize = 5;
+
+fn model(seed: u64) -> Network {
+    let mut rng = SeededRng::new(seed);
+    let mut net = Network::new("prop");
+    net.push(Linear::new(FEATURES, 8, Initializer::Xavier, &mut rng));
+    net.push(Relu::new());
+    net.push(Linear::new(8, CLASSES, Initializer::Xavier, &mut rng));
+    net
+}
+
+fn batch(seed: u64, n: usize) -> (Tensor, Vec<usize>) {
+    let mut rng = SeededRng::new(seed ^ 0xB47C);
+    let x = Tensor::randn(&[n, FEATURES], 0.0, 1.0, &mut rng);
+    let labels = (0..n).map(|_| rng.index(CLASSES)).collect();
+    (x, labels)
+}
+
+/// Whole-batch gradient (the single-node reference).
+fn whole_batch_grads(net: &mut Network, x: &Tensor, labels: &[usize]) -> Vec<Tensor> {
+    let mut loss = SoftmaxCrossEntropy::new();
+    let logits = net.forward(x, false);
+    loss.forward(&logits, labels);
+    net.zero_grads();
+    net.backward(&loss.backward());
+    net.params().iter().map(|p| p.grad.clone()).collect()
+}
+
+/// Per-shard gradients scaled by `n_shard / n_batch`, exactly as the
+/// worker loop computes them.
+fn shard_grads(net: &mut Network, x: &Tensor, labels: &[usize]) -> Vec<ShardGrad> {
+    let n = labels.len();
+    let row = x.len() / n;
+    let shards = shard_batch(&(0..n).collect::<Vec<_>>());
+    shards
+        .into_iter()
+        .map(|shard| {
+            let rows: Vec<f32> = shard
+                .indices
+                .iter()
+                .flat_map(|&i| x.data()[i * row..(i + 1) * row].iter().copied())
+                .collect();
+            let sx = Tensor::from_vec(&[shard.indices.len(), row], rows).unwrap();
+            let sl: Vec<usize> = shard.indices.iter().map(|&i| labels[i]).collect();
+            let mut loss = SoftmaxCrossEntropy::new();
+            let logits = net.forward(&sx, false);
+            loss.forward(&logits, &sl);
+            let mut g = loss.backward();
+            g.scale_assign(shard.indices.len() as f32 / n as f32);
+            net.zero_grads();
+            net.backward(&g);
+            ShardGrad {
+                shard: shard.id,
+                grads: net.params().iter().map(|p| p.grad.clone()).collect(),
+            }
+        })
+        .collect()
+}
+
+fn max_rel_err(a: &[Tensor], b: &[Tensor]) -> f32 {
+    let mut worst = 0.0f32;
+    for (ta, tb) in a.iter().zip(b) {
+        for (&va, &vb) in ta.data().iter().zip(tb.data()) {
+            let scale = va.abs().max(vb.abs()).max(1.0);
+            worst = worst.max((va - vb).abs() / scale);
+        }
+    }
+    worst
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn tree_reduce_is_bitwise_invariant_to_worker_partition(
+        seed in 0u64..300,
+        n in 2usize..24,
+        k1 in 1usize..6,
+        k2 in 1usize..6,
+    ) {
+        let mut net = model(seed);
+        let (x, labels) = batch(seed, n);
+        let sets = shard_grads(&mut net, &x, &labels);
+
+        // Reference: shards reduced straight from their canonical order.
+        let reference = tree_reduce(sets.clone());
+
+        // Spread the same shards over k1 and then k2 "workers" with
+        // arbitrary weights, concatenate each worker's local sets in
+        // worker order (the order the driver would collect acks), and
+        // reduce. The partition must be invisible — bit for bit.
+        for (k, wseed) in [(k1, seed * 31 + 1), (k2, seed * 31 + 7)] {
+            let live: Vec<usize> = (0..k).collect();
+            let mut wrng = SeededRng::new(wseed);
+            let weights: Vec<f64> =
+                (0..k).map(|_| wrng.uniform(0.25, 1.0) as f64).collect();
+            let by_worker = assign_shards(
+                shard_batch(&(0..n).collect::<Vec<_>>()),
+                &live,
+                &weights,
+            );
+            let mut collected: Vec<ShardGrad> = Vec::new();
+            for (_, shards) in by_worker {
+                for s in shards {
+                    collected.push(sets[s.id].clone());
+                }
+            }
+            let reduced = tree_reduce(collected);
+            prop_assert_eq!(
+                reduced.len(), reference.len(),
+                "parameter count must not depend on partition"
+            );
+            for (a, b) in reduced.iter().zip(&reference) {
+                prop_assert_eq!(a, b, "partition over {} workers changed bits", k);
+            }
+        }
+    }
+
+    #[test]
+    fn sharded_aggregate_matches_whole_batch_gradient(
+        seed in 0u64..300,
+        n in 2usize..24,
+    ) {
+        let mut net = model(seed);
+        let (x, labels) = batch(seed, n);
+        let whole = whole_batch_grads(&mut net, &x, &labels);
+        let sharded = tree_reduce(shard_grads(&mut net, &x, &labels));
+        prop_assert_eq!(whole.len(), sharded.len());
+        let err = max_rel_err(&whole, &sharded);
+        // Tolerance, not bitwise: the whole-batch GEMM accumulates in a
+        // different order than the per-shard sums.
+        prop_assert!(err < 1e-4, "sharded vs whole-batch rel err {err}");
+    }
+
+    #[test]
+    fn naive_fold_agrees_with_tree_only_to_tolerance(
+        seed in 0u64..300,
+        n in 2usize..24,
+        rot in 0usize..8,
+    ) {
+        let mut net = model(seed);
+        let (x, labels) = batch(seed, n);
+        let sets = shard_grads(&mut net, &x, &labels);
+        let tree = tree_reduce(sets.clone());
+        // Present the sets to the naive fold in a rotated order, as a
+        // non-deterministic fabric might deliver them.
+        let mut rotated = sets;
+        let r = rot % rotated.len().max(1);
+        rotated.rotate_left(r);
+        let naive = naive_sum(&rotated);
+        let err = max_rel_err(&tree, &naive);
+        prop_assert!(err < 1e-4, "naive vs tree rel err {err}");
+    }
+}

@@ -1,7 +1,7 @@
 //! Framework identities and static metadata (paper Table I).
 
 use dlbench_nn::Initializer;
-use dlbench_simtime::{profiles, ExecutionProfile};
+use dlbench_simtime::{links, profiles, ExecutionProfile, LinkProfile};
 
 /// One of the three deep-learning frameworks the paper compares.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -89,6 +89,18 @@ impl FrameworkKind {
             FrameworkKind::TensorFlow => profiles::tensorflow(),
             FrameworkKind::Caffe => profiles::caffe(),
             FrameworkKind::Torch => profiles::torch(),
+        }
+    }
+
+    /// Interconnect profile feeding the distributed communication-cost
+    /// model: the transport stack each framework's paper-era
+    /// distribution story rides on (TensorFlow's gRPC workers, Caffe's
+    /// MPI forks, Torch's Lua-driven sockets).
+    pub fn link_profile(&self) -> LinkProfile {
+        match self {
+            FrameworkKind::TensorFlow => links::grpc_10gbe(),
+            FrameworkKind::Caffe => links::mpi_10gbe(),
+            FrameworkKind::Torch => links::socket_10gbe(),
         }
     }
 }

@@ -276,7 +276,11 @@ pub fn build_cell_model(
     arch.build((c, size, size), scale.width_mult(), host.initializer(), &mut rng)
 }
 
-fn make_optimizer(
+/// Builds the optimizer a cell trains with, exactly as [`run_training`]
+/// does: the schedule is resolved against the *executed* iteration
+/// budget (see [`planned_iterations`]). Public so distributed replicas
+/// can construct bit-identical optimizer state per worker.
+pub fn make_optimizer(
     config: &TrainingConfig,
     weight_decay: f32,
     exec_iters: usize,
@@ -288,6 +292,32 @@ fn make_optimizer(
             Box::new(Sgd::new(config.base_lr, momentum, weight_decay, policy))
         }
     }
+}
+
+/// The iteration budget [`run_training`] executes for a cell at a
+/// scale: the paper's epoch count compressed by the scale, floored for
+/// low-rate SGD configurations. Exposed so other training drivers (the
+/// distributed trainer) run the same schedule.
+pub fn planned_iterations(
+    config: &TrainingConfig,
+    tuned_for: DatasetKind,
+    dataset: DatasetKind,
+    scale: Scale,
+) -> usize {
+    let paper_epochs = config.paper_epochs(tuned_for);
+    let mut exec_iters = scale.exec_iterations(paper_epochs, config.batch_size, dataset);
+    if let OptimizerKind::Sgd { .. } = config.algorithm {
+        exec_iters = exec_iters.max(scale.sgd_step_floor(config.base_lr));
+    }
+    exec_iters
+}
+
+/// The RNG stream [`run_training`]'s batch iterator draws from. Forks
+/// are keyed on the parent stream's seed, not its advanced state, so
+/// this reproduces the trainer's batch schedule without re-running
+/// model initialization.
+pub fn batch_rng(host: FrameworkKind, setting: &DefaultSetting, seed: u64) -> SeededRng {
+    cell_model_rng(host, setting, seed).fork(2)
 }
 
 /// Evaluates top-1 accuracy of a model over a dataset with the given
@@ -392,14 +422,10 @@ fn run_training_impl(
     if let Some(mut reader) = warm_start {
         dlbench_nn::load_parameters(&mut model, &mut reader)?;
     }
-    let paper_epochs = config.paper_epochs(setting.tuned_for);
-    let mut exec_iters = scale.exec_iterations(paper_epochs, config.batch_size, dataset);
     // SGD needs a step budget inversely proportional to its learning
     // rate to reach its asymptote; epoch compression alone would starve
     // the low-rate configurations (Caffe's CIFAR-10 solver at 1e-3).
-    if let OptimizerKind::Sgd { .. } = config.algorithm {
-        exec_iters = exec_iters.max(scale.sgd_step_floor(config.base_lr));
-    }
+    let exec_iters = planned_iterations(&config, setting.tuned_for, dataset, scale);
     let mut optimizer = make_optimizer(&config, weight_decay, exec_iters);
 
     // Training loop.

@@ -84,6 +84,10 @@ impl Layer for Dropout {
             bwd_kernels: 1,
         }
     }
+
+    fn reseed(&mut self, seed: u64) {
+        self.rng = SeededRng::new(seed);
+    }
 }
 
 #[cfg(test)]
@@ -129,5 +133,20 @@ mod tests {
         let mut d = Dropout::new(0.0, SeededRng::new(4));
         let x = Tensor::arange(5);
         assert_eq!(d.forward(&x, true), x);
+    }
+
+    #[test]
+    fn reseed_replays_the_same_mask() {
+        // Two replicas that have advanced their RNGs by different
+        // amounts converge to identical masks once reseeded — the
+        // property distributed replicas rely on.
+        let mut a = Dropout::new(0.5, SeededRng::new(5));
+        let mut b = Dropout::new(0.5, SeededRng::new(777));
+        let x = Tensor::ones(&[64]);
+        a.forward(&x, true); // advance a only
+        a.forward(&x, true);
+        a.reseed(1234);
+        b.reseed(1234);
+        assert_eq!(a.forward(&x, true), b.forward(&x, true));
     }
 }

@@ -78,4 +78,11 @@ pub trait Layer: Send {
             p.grad.fill(0.0);
         }
     }
+
+    /// Re-seeds the layer's stochastic state (dropout masks). A no-op
+    /// for deterministic layers. Distributed replicas call this before
+    /// every shard forward so a layer's randomness depends only on
+    /// *(iteration, shard)* — never on which worker ran the shard or
+    /// how many forwards that worker has executed before.
+    fn reseed(&mut self, _seed: u64) {}
 }

@@ -88,6 +88,15 @@ impl Network {
         g
     }
 
+    /// Re-seeds every stochastic layer (dropout) from `seed`, offset by
+    /// layer position so stacked stochastic layers draw distinct
+    /// streams. Deterministic layers ignore it. See [`Layer::reseed`].
+    pub fn reseed(&mut self, seed: u64) {
+        for (i, layer) in self.layers.iter_mut().enumerate() {
+            layer.reseed(seed.wrapping_add(i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        }
+    }
+
     /// Zeroes all accumulated parameter gradients.
     pub fn zero_grads(&mut self) {
         for layer in &mut self.layers {

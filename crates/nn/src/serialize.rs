@@ -12,6 +12,16 @@ use std::io::{self, Read, Write};
 
 const MAGIC: &[u8; 8] = b"DLBENCH1";
 
+/// The format-family prefix shared by all checkpoint versions; the
+/// eighth magic byte is the ASCII version digit.
+const MAGIC_PREFIX: &[u8; 7] = b"DLBENCH";
+
+/// Highest tensor rank a checkpoint may declare. The header is read
+/// before shapes are validated against the network, so an adversarial
+/// or corrupt rank field must be rejected *before* it sizes an
+/// allocation.
+const MAX_RANK: usize = 8;
+
 /// Errors from checkpoint encoding/decoding.
 #[derive(Debug)]
 pub enum CheckpointError {
@@ -92,8 +102,14 @@ pub fn load_parameters_path(
 pub fn load_parameters(net: &mut Network, r: &mut impl Read) -> Result<(), CheckpointError> {
     let mut magic = [0u8; 8];
     r.read_exact(&mut magic)?;
-    if &magic != MAGIC {
+    if &magic[..7] != MAGIC_PREFIX {
         return Err(CheckpointError::BadFormat(format!("magic {:?} != {:?}", &magic, MAGIC)));
+    }
+    if magic[7] != MAGIC[7] {
+        return Err(CheckpointError::BadFormat(format!(
+            "unsupported checkpoint version {:?} (this build reads version {:?})",
+            magic[7] as char, MAGIC[7] as char
+        )));
     }
     let mut u32buf = [0u8; 4];
     r.read_exact(&mut u32buf)?;
@@ -109,6 +125,12 @@ pub fn load_parameters(net: &mut Network, r: &mut impl Read) -> Result<(), Check
     for (i, p) in params.iter_mut().enumerate() {
         r.read_exact(&mut u32buf)?;
         let rank = u32::from_le_bytes(u32buf) as usize;
+        if rank > MAX_RANK {
+            return Err(CheckpointError::BadFormat(format!(
+                "parameter {i}: rank {rank} exceeds the format maximum {MAX_RANK} \
+                 (corrupt header?)"
+            )));
+        }
         let mut shape = Vec::with_capacity(rank);
         for _ in 0..rank {
             r.read_exact(&mut u64buf)?;
@@ -208,6 +230,72 @@ mod tests {
         buf.truncate(buf.len() / 2);
         let mut b = net(2);
         let err = load_parameters(&mut b, &mut buf.as_slice()).unwrap_err();
+        assert!(matches!(err, CheckpointError::Io(_)));
+    }
+
+    #[test]
+    fn every_truncation_point_errors_never_panics() {
+        // Exhaustive negative path: cutting the stream after any byte
+        // count must produce a CheckpointError (Io for short reads,
+        // BadFormat for a mangled header) — never a panic or an Ok.
+        let mut a = net(1);
+        let mut buf = Vec::new();
+        save_parameters(&mut a, &mut buf).unwrap();
+        for cut in 0..buf.len() {
+            let mut b = net(2);
+            let err = load_parameters(&mut b, &mut buf[..cut].as_ref());
+            assert!(err.is_err(), "truncation at byte {cut} must fail");
+        }
+    }
+
+    #[test]
+    fn rejects_future_version_with_distinct_message() {
+        let mut a = net(1);
+        let mut buf = Vec::new();
+        save_parameters(&mut a, &mut buf).unwrap();
+        buf[7] = b'2'; // DLBENCH2: right family, future version
+        let mut b = net(1);
+        let err = load_parameters(&mut b, &mut buf.as_slice()).unwrap_err();
+        match err {
+            CheckpointError::BadFormat(msg) => {
+                assert!(msg.contains("version"), "version error should say so: {msg}")
+            }
+            other => panic!("expected BadFormat, got {other}"),
+        }
+    }
+
+    #[test]
+    fn rejects_rank_bomb_without_allocating() {
+        // A corrupt rank field (here u32::MAX) must be rejected by the
+        // sanity cap before it can size a shape allocation.
+        let mut buf = Vec::new();
+        buf.extend_from_slice(b"DLBENCH1");
+        buf.extend_from_slice(&4u32.to_le_bytes()); // param count matches net()
+        buf.extend_from_slice(&u32::MAX.to_le_bytes()); // rank bomb
+        let mut b = net(1);
+        let err = load_parameters(&mut b, &mut buf.as_slice()).unwrap_err();
+        assert!(matches!(err, CheckpointError::BadFormat(_)), "{err}");
+    }
+
+    #[test]
+    fn rejects_dimension_mismatch_from_corrupt_dims() {
+        // Plausible rank but absurd dimension values: caught by the
+        // shape comparison against the freshly built network.
+        let mut buf = Vec::new();
+        buf.extend_from_slice(b"DLBENCH1");
+        buf.extend_from_slice(&4u32.to_le_bytes()); // param count matches net()
+        buf.extend_from_slice(&2u32.to_le_bytes()); // rank 2
+        buf.extend_from_slice(&u64::MAX.to_le_bytes());
+        buf.extend_from_slice(&7u64.to_le_bytes());
+        let mut b = net(1);
+        let err = load_parameters(&mut b, &mut buf.as_slice()).unwrap_err();
+        assert!(matches!(err, CheckpointError::StructureMismatch(_)), "{err}");
+    }
+
+    #[test]
+    fn empty_stream_is_io_error() {
+        let mut b = net(1);
+        let err = load_parameters(&mut b, &mut [].as_ref()).unwrap_err();
         assert!(matches!(err, CheckpointError::Io(_)));
     }
 }

@@ -1,0 +1,158 @@
+//! Communication-cost model for simulated distributed training.
+//!
+//! The reproduction environment has one machine and no interconnect, so
+//! — exactly like device time in [`crate::CostModel`] — communication
+//! time is charged analytically. `dlbench-dist` moves logical gradients
+//! through in-process channels for bit-exact reproducibility; this
+//! module prices what the same exchange would cost over a real link
+//! under the classic cost shapes of the two collective strategies:
+//!
+//! * **Parameter server**: every worker uploads a full gradient and
+//!   downloads the aggregate. The server's link serializes all `2·W`
+//!   transfers, so time grows linearly with world size — the well-known
+//!   PS bottleneck.
+//! * **Ring all-reduce**: reduce-scatter plus all-gather over `1/W`
+//!   chunks; each worker moves `2·(W−1)/W` gradient volumes and the
+//!   links run in parallel, so time is nearly flat in world size at the
+//!   price of `2·(W−1)` latency-bound phases.
+//!
+//! Note the deliberate separation (after Deep500's distinction between
+//! benchmark *implementation* and benchmark *metric*): the in-process
+//! transport ships per-shard gradients so the fixed-order reduction is
+//! bitwise reproducible at any world size, while the cost model charges
+//! the bandwidth-optimal schedule each strategy stands in for.
+
+/// A point-to-point link personality: how a framework's distribution
+/// stack uses the wire.
+///
+/// Bandwidth is the *effective* payload rate a gradient transfer
+/// sustains (serialization, framing and copy overheads included), not
+/// the NIC line rate; latency is the per-message software + wire
+/// round-up. Presets assume the paper-era commodity cluster fabric —
+/// 10 GbE (1.25 GB/s line rate) — scaled by each stack's overheads.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LinkProfile {
+    /// Display name of the transport stack.
+    pub name: &'static str,
+    /// Effective payload bandwidth, GB/s.
+    pub bandwidth_gbs: f64,
+    /// Per-message latency, microseconds.
+    pub latency_us: f64,
+}
+
+/// Cost of one collective exchange.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct CommCost {
+    /// Simulated wall-clock seconds the exchange occupies the step.
+    pub seconds: f64,
+    /// Total bytes crossing the (simulated) wire, all links summed.
+    pub bytes: u64,
+}
+
+impl LinkProfile {
+    /// Parameter-server exchange for one step: `world` workers each
+    /// upload `grad_bytes` and download the aggregate, serialized on
+    /// the server's link. A world of one pays nothing.
+    pub fn parameter_server_step(&self, grad_bytes: u64, world: usize) -> CommCost {
+        if world <= 1 {
+            return CommCost::default();
+        }
+        let w = world as f64;
+        let bytes = 2 * world as u64 * grad_bytes;
+        let seconds = 2.0 * self.latency_s() + 2.0 * w * self.transfer_s(grad_bytes);
+        CommCost { seconds, bytes }
+    }
+
+    /// Ring all-reduce exchange for one step: `2·(W−1)` phases over
+    /// `1/W`-sized chunks, links in parallel. A world of one pays
+    /// nothing.
+    pub fn ring_step(&self, grad_bytes: u64, world: usize) -> CommCost {
+        if world <= 1 {
+            return CommCost::default();
+        }
+        let w = world as f64;
+        let phases = 2.0 * (w - 1.0);
+        let bytes = (2 * (world as u64 - 1)) * grad_bytes;
+        let seconds = phases * self.latency_s() + (phases / w) * self.transfer_s(grad_bytes);
+        CommCost { seconds, bytes }
+    }
+
+    fn latency_s(&self) -> f64 {
+        self.latency_us * 1e-6
+    }
+
+    fn transfer_s(&self, bytes: u64) -> f64 {
+        bytes as f64 / (self.bandwidth_gbs * 1e9)
+    }
+}
+
+/// TensorFlow's distribution stack (gRPC over 10 GbE): good payload
+/// throughput once a stream is hot, but protobuf framing and HTTP/2
+/// bookkeeping tax every message.
+pub fn grpc_10gbe() -> LinkProfile {
+    LinkProfile { name: "gRPC / 10 GbE", bandwidth_gbs: 0.95, latency_us: 60.0 }
+}
+
+/// Caffe-style MPI transport (OpenMPI over 10 GbE): thin framing,
+/// near-line-rate payloads, low per-message latency.
+pub fn mpi_10gbe() -> LinkProfile {
+    LinkProfile { name: "MPI / 10 GbE", bandwidth_gbs: 1.1, latency_us: 25.0 }
+}
+
+/// Torch7-era raw socket transport (Lua-driven TCP): the payload path
+/// is plain sockets, but every message crosses the scripting boundary.
+pub fn socket_10gbe() -> LinkProfile {
+    LinkProfile { name: "sockets / 10 GbE", bandwidth_gbs: 1.0, latency_us: 90.0 }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const MB: u64 = 1_000_000;
+
+    #[test]
+    fn world_of_one_is_free() {
+        let link = mpi_10gbe();
+        assert_eq!(link.parameter_server_step(4 * MB, 1), CommCost::default());
+        assert_eq!(link.ring_step(4 * MB, 1), CommCost::default());
+    }
+
+    #[test]
+    fn ps_grows_linearly_ring_stays_flat() {
+        let link = mpi_10gbe();
+        let ps2 = link.parameter_server_step(4 * MB, 2).seconds;
+        let ps8 = link.parameter_server_step(4 * MB, 8).seconds;
+        assert!(ps8 > 3.0 * ps2, "PS must scale ~linearly: {ps2} vs {ps8}");
+        let ring2 = link.ring_step(4 * MB, 2).seconds;
+        let ring8 = link.ring_step(4 * MB, 8).seconds;
+        // Ring bandwidth term approaches 2·grad/bw; only latency grows.
+        assert!(ring8 < 2.0 * ring2, "ring must stay near-flat: {ring2} vs {ring8}");
+    }
+
+    #[test]
+    fn ring_beats_ps_at_scale_for_large_gradients() {
+        let link = grpc_10gbe();
+        let ps = link.parameter_server_step(16 * MB, 8);
+        let ring = link.ring_step(16 * MB, 8);
+        assert!(ring.seconds < ps.seconds);
+        assert!(ring.bytes < ps.bytes);
+    }
+
+    #[test]
+    fn tiny_messages_are_latency_bound_so_ps_can_win() {
+        // With a handful of bytes, ring's 2·(W−1) phases cost more than
+        // the PS round trip — the small-model regime.
+        let link = socket_10gbe();
+        let ps = link.parameter_server_step(64, 8);
+        let ring = link.ring_step(64, 8);
+        assert!(ps.seconds < ring.seconds);
+    }
+
+    #[test]
+    fn bytes_on_wire_match_the_schedules() {
+        let link = mpi_10gbe();
+        assert_eq!(link.parameter_server_step(10, 4).bytes, 2 * 4 * 10);
+        assert_eq!(link.ring_step(10, 4).bytes, 2 * 3 * 10);
+    }
+}

@@ -47,11 +47,13 @@
 #![warn(missing_docs)]
 
 mod clock;
+mod comm;
 mod device;
 mod model;
 mod profile;
 
 pub use clock::SimClock;
+pub use comm::{CommCost, LinkProfile};
 pub use device::{Device, DeviceKind};
 pub use model::CostModel;
 pub use profile::ExecutionProfile;
@@ -65,4 +67,10 @@ pub mod devices {
 /// each constructor).
 pub mod profiles {
     pub use crate::profile::{caffe, tensorflow, torch};
+}
+
+/// Preset interconnect link profiles for the distributed communication
+/// model (assumptions documented on each constructor).
+pub mod links {
+    pub use crate::comm::{grpc_10gbe, mpi_10gbe, socket_10gbe};
 }

@@ -55,6 +55,9 @@ pub enum Category {
     Runner,
     /// Trainer epoch / iteration / evaluation boundaries.
     Train,
+    /// `dlbench-dist` collective operations (allreduce, shard_wait,
+    /// broadcast, ring hops).
+    Dist,
     /// `dlbench-nn` layer forward/backward.
     Layer,
     /// `dlbench_tensor` compute kernels (gemm, im2col, maxpool, …).
@@ -69,6 +72,7 @@ impl Category {
         match self {
             Category::Runner => "runner",
             Category::Train => "train",
+            Category::Dist => "dist",
             Category::Layer => "layer",
             Category::Kernel => "kernel",
             Category::Serve => "serve",

@@ -34,4 +34,17 @@ test -s target/dlbench-reports/TRACE_profile.json
 echo "==> trace overhead bench (tracing off vs on, BENCH_trace.json)"
 cargo bench --bench trace --locked -- --quick > /dev/null
 
+echo "==> dist smoke (2-worker Tiny run, fault injection, bit-identity vs 1 worker)"
+cargo run -p dlbench-cli --release --locked -q -- dist-train --workers 2 \
+    --strategy ring --max-steps 30 --kill 1:5 > /dev/null
+cargo test -p dlbench-integration-tests --test dist --locked -q
+
+echo "==> dist determinism gate (N workers bit-identical to 1, all personalities)"
+cargo test -p dlbench-integration-tests --test determinism --locked -q \
+    dist_training_is_bit_identical
+
+echo "==> dist scaling bench (quick, BENCH_dist.json)"
+cargo bench --bench dist --locked -- --quick > /dev/null
+test -s target/dlbench-reports/BENCH_dist.json
+
 echo "==> OK"

@@ -261,3 +261,67 @@ fn fig1_report_is_identical_serial_vs_four_threads() {
         "thread count changed experiment results"
     );
 }
+
+/// One distributed Tiny-MNIST run for the bit-identity gate.
+fn dist_tiny(
+    host: dlbench_frameworks::FrameworkKind,
+    workers: usize,
+    strategy: dlbench_dist::Strategy,
+) -> dlbench_dist::DistOutcome {
+    use dlbench_data::DatasetKind;
+    use dlbench_frameworks::DefaultSetting;
+    let setting = DefaultSetting::new(host, DatasetKind::Mnist);
+    let dcfg = dlbench_dist::DistConfig { workers, strategy, ..Default::default() };
+    dlbench_dist::run_dist_training(host, setting, DatasetKind::Mnist, Scale::Tiny, 42, &dcfg)
+        .expect("distributed run completes")
+}
+
+/// The distributed determinism contract: N-worker data-parallel
+/// training is bit-identical to 1-worker training at every world size
+/// and under either collective — same final parameter bytes, same loss
+/// curve floats, same accuracy bits. See `dlbench_dist` docs for the
+/// canonical-shard construction this rests on.
+fn dist_world_size_is_bit_transparent(host: dlbench_frameworks::FrameworkKind) {
+    use dlbench_dist::Strategy;
+    let reference = dist_tiny(host, 1, Strategy::ParameterServer);
+    assert!(!reference.checkpoint.is_empty());
+    for (workers, strategy) in [
+        (1, Strategy::Ring),
+        (2, Strategy::ParameterServer),
+        (2, Strategy::Ring),
+        (4, Strategy::ParameterServer),
+        (4, Strategy::Ring),
+    ] {
+        let run = dist_tiny(host, workers, strategy);
+        assert_eq!(
+            run.checkpoint,
+            reference.checkpoint,
+            "{host:?}: {workers}-worker {} parameters differ from 1-worker",
+            strategy.name(),
+        );
+        assert_eq!(
+            run.loss_curve,
+            reference.loss_curve,
+            "{host:?}: {workers}-worker {} loss curve differs",
+            strategy.name(),
+        );
+        assert_eq!(run.accuracy.to_bits(), reference.accuracy.to_bits());
+        assert_eq!(run.converged, reference.converged);
+        assert_eq!(run.live_workers, workers, "no worker may die without fault injection");
+    }
+}
+
+#[test]
+fn dist_training_is_bit_identical_across_world_sizes_tensorflow() {
+    dist_world_size_is_bit_transparent(dlbench_frameworks::FrameworkKind::TensorFlow);
+}
+
+#[test]
+fn dist_training_is_bit_identical_across_world_sizes_caffe() {
+    dist_world_size_is_bit_transparent(dlbench_frameworks::FrameworkKind::Caffe);
+}
+
+#[test]
+fn dist_training_is_bit_identical_across_world_sizes_torch() {
+    dist_world_size_is_bit_transparent(dlbench_frameworks::FrameworkKind::Torch);
+}

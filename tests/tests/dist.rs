@@ -1,0 +1,163 @@
+//! Distributed training integration: fault injection, straggler
+//! rebalancing, report wiring and protocol edge cases.
+//!
+//! The bit-identity gate across world sizes lives in `determinism.rs`;
+//! these tests exercise the control plane — and verify that control-
+//! plane turbulence (kills, stragglers, rebalancing) is *bit-
+//! transparent*: it changes simulated time and events, never the
+//! trained parameters.
+
+use dlbench_core::dist_report;
+use dlbench_data::DatasetKind;
+use dlbench_dist::{
+    run_dist_training, DistConfig, DistOutcome, FaultPlan, Kill, Straggler, Strategy,
+};
+use dlbench_frameworks::{DefaultSetting, FrameworkKind, Scale};
+
+const SEED: u64 = 42;
+const STEPS: usize = 40;
+
+fn run(workers: usize, strategy: Strategy, faults: FaultPlan, rebalance: bool) -> DistOutcome {
+    let host = FrameworkKind::TensorFlow;
+    let setting = DefaultSetting::new(host, DatasetKind::Mnist);
+    let dcfg = DistConfig { workers, strategy, faults, rebalance, max_steps: Some(STEPS) };
+    run_dist_training(host, setting, DatasetKind::Mnist, Scale::Tiny, SEED, &dcfg)
+        .expect("distributed run completes")
+}
+
+#[test]
+fn worker_failure_mid_epoch_recovers_and_is_bit_transparent() {
+    let clean = run(3, Strategy::ParameterServer, FaultPlan::default(), true);
+    for strategy in Strategy::ALL {
+        let faults = FaultPlan { kills: vec![Kill { worker: 1, step: 5 }], stragglers: vec![] };
+        let out = run(3, strategy, faults, true);
+        assert_eq!(out.live_workers, 2, "{strategy:?}: exactly one worker died");
+        assert!(out.final_loss().is_finite());
+        assert!(
+            out.events.iter().any(|e| e.contains("worker 1 failed")),
+            "{strategy:?}: failure must be recorded as an event: {:?}",
+            out.events
+        );
+        // The kill moved shards, not bits: parameters, curve and
+        // accuracy match the undisturbed run exactly.
+        assert_eq!(out.checkpoint, clean.checkpoint, "{strategy:?}: kill changed parameters");
+        assert_eq!(out.loss_curve, clean.loss_curve);
+        assert_eq!(out.accuracy.to_bits(), clean.accuracy.to_bits());
+    }
+}
+
+#[test]
+fn losing_every_worker_is_an_error_not_a_hang() {
+    let host = FrameworkKind::TensorFlow;
+    let setting = DefaultSetting::new(host, DatasetKind::Mnist);
+    let dcfg = DistConfig {
+        workers: 2,
+        faults: FaultPlan {
+            kills: vec![Kill { worker: 0, step: 3 }, Kill { worker: 1, step: 3 }],
+            stragglers: vec![],
+        },
+        max_steps: Some(STEPS),
+        ..Default::default()
+    };
+    let err = match run_dist_training(host, setting, DatasetKind::Mnist, Scale::Tiny, SEED, &dcfg) {
+        Err(e) => e,
+        Ok(_) => panic!("a fully dead world cannot train"),
+    };
+    assert!(err.contains("no workers remain"), "{err}");
+}
+
+#[test]
+fn zero_workers_is_rejected() {
+    let host = FrameworkKind::TensorFlow;
+    let setting = DefaultSetting::new(host, DatasetKind::Mnist);
+    let dcfg = DistConfig { workers: 0, ..Default::default() };
+    assert!(run_dist_training(host, setting, DatasetKind::Mnist, Scale::Tiny, SEED, &dcfg).is_err());
+}
+
+#[test]
+fn straggler_detection_rebalances_and_cuts_wait_time() {
+    let faults = || FaultPlan {
+        kills: vec![],
+        stragglers: vec![Straggler { worker: 1, factor: 8.0, from_step: 0 }],
+    };
+    let clean = run(2, Strategy::Ring, FaultPlan::default(), true);
+    let reacted = run(2, Strategy::Ring, faults(), true);
+    let ignored = run(2, Strategy::Ring, faults(), false);
+
+    assert!(
+        reacted.events.iter().any(|e| e.contains("straggling")),
+        "detector must flag the slow worker: {:?}",
+        reacted.events
+    );
+    assert!(ignored.events.is_empty(), "no rebalancing means no events");
+
+    // Rebalancing shifts work off the slow worker, shrinking the idle
+    // time the fast worker spends waiting on it.
+    let wait = |o: &DistOutcome| {
+        o.sims.iter().find(|s| s.device == "CPU").expect("CPU sim").straggler_wait_seconds
+    };
+    assert!(
+        wait(&reacted) < wait(&ignored) * 0.7,
+        "rebalance should cut wait substantially: {} vs {}",
+        wait(&reacted),
+        wait(&ignored)
+    );
+
+    // Stragglers and rebalancing are timing phenomena only.
+    assert_eq!(reacted.checkpoint, clean.checkpoint, "rebalancing changed parameters");
+    assert_eq!(ignored.checkpoint, clean.checkpoint, "a straggler changed parameters");
+}
+
+#[test]
+fn more_workers_than_shards_leaves_spares_idle_but_correct() {
+    // A Tiny batch yields at most 8 canonical shards; with 10 workers
+    // at least two idle every step, and the result must still match.
+    let wide = run(10, Strategy::Ring, FaultPlan::default(), true);
+    let narrow = run(1, Strategy::ParameterServer, FaultPlan::default(), true);
+    assert_eq!(wide.checkpoint, narrow.checkpoint);
+    assert_eq!(wide.live_workers, 10);
+}
+
+#[test]
+fn dist_report_carries_world_and_strategy_facts() {
+    let faults = FaultPlan { kills: vec![Kill { worker: 2, step: 4 }], stragglers: vec![] };
+    let out = run(3, Strategy::ParameterServer, faults, true);
+    let report = dist_report(&out);
+    assert_eq!(report.rows.len(), 2, "one row per simulated device");
+    let fact = |k: &str| {
+        report
+            .facts
+            .iter()
+            .find(|(key, _)| key == k)
+            .unwrap_or_else(|| panic!("missing fact {k}"))
+            .1
+            .clone()
+    };
+    assert_eq!(fact("world size"), "3");
+    assert_eq!(fact("strategy"), "ps");
+    assert_eq!(fact("live workers"), "2");
+    assert!(fact("bytes per step").parse::<u64>().unwrap() > 0);
+    assert!(
+        report.notes.iter().any(|n| n.contains("worker 2 failed")),
+        "failure event must surface as a report note: {:?}",
+        report.notes
+    );
+    // Scaling series: one per device, train seconds over world size.
+    assert!(report.series.iter().any(|s| s.name.contains("CPU")));
+}
+
+#[test]
+fn strategies_agree_bitwise_under_faults() {
+    // PS and ring must agree bit-for-bit even while a worker dies and
+    // another straggles: the collective is a transport, not arithmetic.
+    let faults = || FaultPlan {
+        kills: vec![Kill { worker: 0, step: 7 }],
+        stragglers: vec![Straggler { worker: 2, factor: 4.0, from_step: 2 }],
+    };
+    let ps = run(4, Strategy::ParameterServer, faults(), true);
+    let ring = run(4, Strategy::Ring, faults(), true);
+    assert_eq!(ps.checkpoint, ring.checkpoint);
+    assert_eq!(ps.loss_curve, ring.loss_curve);
+    // But they price communication differently.
+    assert_ne!(ps.comm.bytes_per_step, ring.comm.bytes_per_step);
+}
