@@ -15,7 +15,8 @@ pub struct ParsedArgs {
 }
 
 /// Option keys that are flags (take no value).
-const FLAG_KEYS: &[&str] = &["bars", "json", "help", "quiet", "verify", "sweep", "no-rebalance"];
+const FLAG_KEYS: &[&str] =
+    &["bars", "json", "help", "quiet", "verify", "sweep", "no-rebalance", "force", "dry-run"];
 
 /// Parses raw arguments (excluding `argv[0]`).
 ///

@@ -861,6 +861,82 @@ pub fn dist_train(args: &ParsedArgs) -> Result<(), String> {
     Ok(())
 }
 
+/// Executes a spec's serve cells against the real HTTP tier: the
+/// model serves on an ephemeral port, the open-loop generator drives
+/// it, and the load report becomes the cell result.
+struct CliServeBackend;
+
+impl dlbench_core::ServeBackend for CliServeBackend {
+    fn run_serve(
+        &self,
+        cell: &dlbench_core::spec::ServeCellSpec,
+    ) -> Result<dlbench_json::JsonValue, String> {
+        use dlbench_serve::loadgen::{self, LoadConfig, LoadMode};
+        use dlbench_serve::{BatchConfig, ModelRegistry, ModelSpec};
+        let spec =
+            ModelSpec::own_default("default", cell.host, cell.dataset, cell.scale, cell.seed);
+        let served = spec.instantiate(None).map_err(|e| e.to_string())?;
+        let config = BatchConfig {
+            max_batch: cell.max_batch,
+            max_wait: std::time::Duration::from_millis(cell.deadline_ms.round() as u64),
+            ..BatchConfig::default()
+        };
+        let mut registry = ModelRegistry::new();
+        registry.register(served, config).map_err(|e| e.to_string())?;
+        let server = dlbench_serve::serve(registry, "127.0.0.1:0")
+            .map_err(|e| format!("cannot bind an ephemeral port: {e}"))?;
+        let inputs = loadgen::sample_inputs(cell.dataset, cell.scale, cell.seed, 16);
+        let report = loadgen::run(
+            server.addr(),
+            "default",
+            &inputs,
+            &LoadConfig {
+                mode: LoadMode::Open { rate_rps: cell.rate_rps },
+                requests: cell.requests,
+            },
+        );
+        server.shutdown();
+        Ok(report.to_json())
+    }
+}
+
+/// `dlbench run-spec`
+pub fn run_spec(args: &ParsedArgs) -> Result<(), String> {
+    use dlbench_core::spec::{self, RunOptions};
+    let path =
+        args.positionals.first().ok_or("run-spec needs a spec file (see examples/specs/)")?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let experiment = spec::ExperimentSpec::parse(&text).map_err(|e| format!("{path}: {e}"))?;
+    let plan = experiment.expand().map_err(|e| format!("{path}: {e}"))?;
+    configure_threads(args)?;
+    if args.flag("dry-run") {
+        println!("{}", plan.to_json().pretty());
+        println!("[plan: {} cell(s), nothing executed]", plan.cells.len());
+        return Ok(());
+    }
+    let cache_dir = args.get("cache-dir").unwrap_or("target/dlbench-cache");
+    let opts = RunOptions { cache_dir: cache_dir.into(), force: args.flag("force") };
+    let trace = trace_start(args);
+    let run = spec::run_plan(&plan, &opts, Some(&CliServeBackend))?;
+    trace_finish(trace)?;
+    for report in spec::aggregate_reports(&run) {
+        println!("{}", report.render());
+        if args.flag("bars") {
+            print!("{}", report.render_bars());
+        }
+    }
+    let out = args.get("out").unwrap_or("target/dlbench-reports/BENCH_spec.json");
+    write_text_file(out, &(spec::document(&run).pretty() + "\n"))?;
+    println!("[spec results written to {out}]");
+    println!(
+        "[{} cells: {} executed, {} cache hits]",
+        run.cells.len(),
+        run.executed,
+        run.cache_hits
+    );
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -29,6 +29,17 @@ COMMANDS:
                                   [--threads N] [--verify]
                                   [--trace FILE]  (Chrome trace of the
                                   whole run; also on train and serve)
+    run-spec <file.json>          execute a declarative experiment spec:
+                                  the spec's axes expand into a grid of
+                                  train/dist/serve cells, each keyed by
+                                  a content hash; finished cells persist
+                                  under --cache-dir and are skipped on
+                                  re-run, so interrupted sweeps resume
+                                  [--cache-dir DIR] [--out FILE]
+                                  [--threads N] [--force] [--dry-run]
+                                  [--bars] [--trace FILE]
+                                  (spec grammar: DESIGN.md §11;
+                                  examples under examples/specs/)
     train                         train one benchmark cell
                                   [--framework tf|caffe|torch]
                                   [--dataset mnist|cifar10]
@@ -116,6 +127,7 @@ fn main() -> ExitCode {
         "list" => commands::list(),
         "info" => commands::info(),
         "run" => commands::run(&parsed),
+        "run-spec" => commands::run_spec(&parsed),
         "train" => commands::train(&parsed),
         "dist-train" => commands::dist_train(&parsed),
         "attack" => commands::attack(&parsed),

@@ -39,9 +39,11 @@ pub mod metrics;
 pub mod registry;
 pub mod report;
 pub mod runner;
+pub mod spec;
 
 pub use dist::dist_report;
 pub use metrics::{CellMetrics, Histogram, HistogramSummary};
 pub use registry::ExperimentId;
 pub use report::ExperimentReport;
 pub use runner::BenchmarkRunner;
+pub use spec::{ExperimentSpec, Plan, ServeBackend, SpecRun};

@@ -4,7 +4,7 @@ use crate::metrics::CellMetrics;
 use dlbench_data::DatasetKind;
 use dlbench_frameworks::{trainer, DefaultSetting, FrameworkKind, Scale};
 use dlbench_simtime::Device;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::sync::Arc;
 
 /// Cell-lifecycle span covering one full training run, named like the
@@ -24,7 +24,11 @@ fn cell_span(key: &TrainKey) -> Option<dlbench_trace::SpanGuard> {
 }
 
 /// Key for one device-independent training run.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+///
+/// `Ord` gives the runner's cache a stable iteration order (host, then
+/// setting, then dataset — the paper's presentation order), so every
+/// emission path walking the cache is deterministic by construction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct TrainKey {
     /// Host framework.
     pub host: FrameworkKind,
@@ -41,7 +45,11 @@ pub struct TrainKey {
 pub struct BenchmarkRunner {
     scale: Scale,
     seed: u64,
-    cache: HashMap<TrainKey, trainer::TrainOutcome>,
+    /// Ordered so that every walk over the cache (violation reports,
+    /// aggregations) emits in the same deterministic key order
+    /// regardless of training/insertion order — byte-identical output
+    /// is a prerequisite for content-hashed cell caching.
+    cache: BTreeMap<TrainKey, trainer::TrainOutcome>,
     /// Invariant guard invoked at each training epoch boundary
     /// (`--verify` installs `dlbench_verify::Verifier` here).
     guard: Option<Arc<dyn trainer::TrainGuard>>,
@@ -53,7 +61,7 @@ pub struct BenchmarkRunner {
 impl BenchmarkRunner {
     /// Creates a runner at the given scale and master seed.
     pub fn new(scale: Scale, seed: u64) -> Self {
-        Self { scale, seed, cache: HashMap::new(), guard: None, jsma_cache: None }
+        Self { scale, seed, cache: BTreeMap::new(), guard: None, jsma_cache: None }
     }
 
     /// Installs a [`trainer::TrainGuard`] checked after every epoch of
@@ -65,11 +73,11 @@ impl BenchmarkRunner {
     }
 
     /// All guard violations recorded so far, one line per violation,
-    /// prefixed with the offending cell's label and sorted for
-    /// deterministic output (the cache is a `HashMap`).
+    /// prefixed with the offending cell's label. The cache is ordered
+    /// by [`TrainKey`], so the output is deterministic without any
+    /// post-hoc sort.
     pub fn violations(&self) -> Vec<String> {
-        let mut out: Vec<String> = self
-            .cache
+        self.cache
             .iter()
             .flat_map(|(key, outcome)| {
                 outcome.guard_violations.iter().map(move |v| {
@@ -81,9 +89,7 @@ impl BenchmarkRunner {
                     )
                 })
             })
-            .collect();
-        out.sort();
-        out
+            .collect()
     }
 
     /// The runner's scale.
@@ -99,6 +105,13 @@ impl BenchmarkRunner {
     /// Number of distinct training runs performed so far.
     pub fn trained_cells(&self) -> usize {
         self.cache.len()
+    }
+
+    /// Whether a key's training is already memoized (the spec
+    /// orchestrator uses this to persist exactly the cells whose
+    /// training a prefetch chunk completed).
+    pub fn is_cached(&self, key: &TrainKey) -> bool {
+        self.cache.contains_key(key)
     }
 
     /// Trains every not-yet-cached key on worker threads, in parallel,

@@ -4,7 +4,10 @@ use crate::stats::DatasetStats;
 use dlbench_tensor::Tensor;
 
 /// Which reference dataset a generated set stands in for.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+///
+/// `Ord` follows the paper's presentation order (MNIST first) so
+/// keyed collections iterate deterministically.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum DatasetKind {
     /// MNIST stand-in (grayscale, sparse, low entropy).
     Mnist,

@@ -327,7 +327,7 @@ pub fn arch_defaults(fw: FrameworkKind, ds: DatasetKind) -> ArchSpec {
 /// ("framework-dependent defaults") and *other* datasets
 /// ("dataset-dependent defaults"); the host contributes its own weight
 /// initializer and execution profile.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct DefaultSetting {
     /// Framework whose defaults these are.
     pub owner: FrameworkKind,

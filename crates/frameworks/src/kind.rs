@@ -4,7 +4,10 @@ use dlbench_nn::Initializer;
 use dlbench_simtime::{links, profiles, ExecutionProfile, LinkProfile};
 
 /// One of the three deep-learning frameworks the paper compares.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+///
+/// `Ord` follows the declaration (paper presentation) order, so maps
+/// keyed by framework iterate deterministically in report output.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum FrameworkKind {
     /// TensorFlow 1.3 — dataflow-graph execution, Eigen/CUDA kernels.
     TensorFlow,

@@ -11,7 +11,7 @@
 use dlbench_data::DatasetKind;
 
 /// A reduction preset for accuracy-bearing training runs.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum Scale {
     /// Minimal scale for unit/integration tests (seconds per cell).
     Tiny,

@@ -263,9 +263,25 @@ impl fmt::Display for ParseError {
 
 impl std::error::Error for ParseError {}
 
+/// Maximum object/array nesting depth the parser accepts.
+///
+/// The parser is recursive-descent, so each nesting level consumes
+/// stack; without a cap a hostile document (`[[[[…`) overflows the
+/// stack and aborts the whole process instead of returning an error.
+/// Spec files are untrusted input, so the cap is a structured
+/// [`ParseError`], far below any real document's depth.
+pub const MAX_DEPTH: usize = 128;
+
 /// Parses a complete JSON document.
+///
+/// Beyond grammar errors, parsing rejects with a structured error:
+/// * nesting deeper than [`MAX_DEPTH`] (stack-overflow bomb),
+/// * non-finite number literals (`1e999` — JSON has no Inf/NaN, and a
+///   silently saturated value would poison downstream arithmetic),
+/// * duplicate object keys (previously last-key-wins, silently —
+///   ambiguous input for spec files).
 pub fn parse(input: &str) -> Result<JsonValue, ParseError> {
-    let mut p = Parser { bytes: input.as_bytes(), pos: 0 };
+    let mut p = Parser { bytes: input.as_bytes(), pos: 0, depth: 0 };
     p.skip_ws();
     let value = p.value()?;
     p.skip_ws();
@@ -278,6 +294,7 @@ pub fn parse(input: &str) -> Result<JsonValue, ParseError> {
 struct Parser<'a> {
     bytes: &'a [u8],
     pos: usize,
+    depth: usize,
 }
 
 impl Parser<'_> {
@@ -326,17 +343,30 @@ impl Parser<'_> {
         }
     }
 
+    fn enter(&mut self) -> Result<(), ParseError> {
+        self.depth += 1;
+        if self.depth > MAX_DEPTH {
+            return Err(self.err(format!("nesting exceeds {MAX_DEPTH} levels")));
+        }
+        Ok(())
+    }
+
     fn object(&mut self) -> Result<JsonValue, ParseError> {
         self.expect(b'{')?;
-        let mut members = Vec::new();
+        self.enter()?;
+        let mut members: Vec<(String, JsonValue)> = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b'}') {
             self.pos += 1;
+            self.depth -= 1;
             return Ok(JsonValue::Object(members));
         }
         loop {
             self.skip_ws();
             let key = self.string()?;
+            if members.iter().any(|(k, _)| *k == key) {
+                return Err(self.err(format!("duplicate object key `{key}`")));
+            }
             self.skip_ws();
             self.expect(b':')?;
             self.skip_ws();
@@ -347,6 +377,7 @@ impl Parser<'_> {
                 Some(b',') => self.pos += 1,
                 Some(b'}') => {
                     self.pos += 1;
+                    self.depth -= 1;
                     return Ok(JsonValue::Object(members));
                 }
                 _ => return Err(self.err("expected `,` or `}`")),
@@ -356,10 +387,12 @@ impl Parser<'_> {
 
     fn array(&mut self) -> Result<JsonValue, ParseError> {
         self.expect(b'[')?;
+        self.enter()?;
         let mut items = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b']') {
             self.pos += 1;
+            self.depth -= 1;
             return Ok(JsonValue::Array(items));
         }
         loop {
@@ -370,6 +403,7 @@ impl Parser<'_> {
                 Some(b',') => self.pos += 1,
                 Some(b']') => {
                     self.pos += 1;
+                    self.depth -= 1;
                     return Ok(JsonValue::Array(items));
                 }
                 _ => return Err(self.err("expected `,` or `]`")),
@@ -442,10 +476,106 @@ impl Parser<'_> {
         }
         let text = std::str::from_utf8(&self.bytes[start..self.pos])
             .map_err(|_| self.err("invalid number"))?;
-        text.parse::<f64>()
-            .map(JsonValue::Number)
-            .map_err(|_| self.err(format!("invalid number `{text}`")))
+        let n = text.parse::<f64>().map_err(|_| self.err(format!("invalid number `{text}`")))?;
+        if !n.is_finite() {
+            return Err(self.err(format!("non-finite number literal `{text}`")));
+        }
+        Ok(JsonValue::Number(n))
     }
+}
+
+/// Error from [`interpolate`]: an unknown variable, an unterminated
+/// `${…` reference, or an empty variable name.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InterpolateError {
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for InterpolateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "interpolation error: {}", self.message)
+    }
+}
+
+impl std::error::Error for InterpolateError {}
+
+/// Substitutes `${name}` references in a string through `lookup`.
+///
+/// `$${name}` escapes to the literal `${name}`. An unknown variable,
+/// an empty name, or an unterminated `${` is an error — experiment
+/// specs must fail loudly, not silently carry a `${typo}` into a cell
+/// label. Returns `Ok(None)` when the string contains no references
+/// (callers can keep the original allocation).
+pub fn interpolate_str(
+    s: &str,
+    lookup: &dyn Fn(&str) -> Option<String>,
+) -> Result<Option<String>, InterpolateError> {
+    if !s.contains('$') {
+        return Ok(None);
+    }
+    let mut out = String::with_capacity(s.len());
+    let mut rest = s;
+    while let Some(i) = rest.find('$') {
+        out.push_str(&rest[..i]);
+        let tail = &rest[i..];
+        if let Some(escaped) = tail.strip_prefix("$${") {
+            // `$${name}` → literal `${name}`.
+            let end = escaped.find('}').ok_or_else(|| InterpolateError {
+                message: format!("unterminated `$${{` escape in `{s}`"),
+            })?;
+            out.push_str("${");
+            out.push_str(&escaped[..=end]);
+            rest = &escaped[end + 1..];
+        } else if let Some(reference) = tail.strip_prefix("${") {
+            let end = reference.find('}').ok_or_else(|| InterpolateError {
+                message: format!("unterminated `${{` reference in `{s}`"),
+            })?;
+            let name = &reference[..end];
+            if name.is_empty() {
+                return Err(InterpolateError { message: format!("empty `${{}}` name in `{s}`") });
+            }
+            let value = lookup(name).ok_or_else(|| InterpolateError {
+                message: format!("unknown variable `{name}` in `{s}`"),
+            })?;
+            out.push_str(&value);
+            rest = &reference[end + 1..];
+        } else {
+            // A bare `$` with no brace is literal.
+            out.push('$');
+            rest = &tail[1..];
+        }
+    }
+    out.push_str(rest);
+    Ok(Some(out))
+}
+
+/// Recursively applies [`interpolate_str`] to every string in a value
+/// tree — string scalars *and* object keys. Non-string scalars pass
+/// through untouched.
+pub fn interpolate(
+    value: &JsonValue,
+    lookup: &dyn Fn(&str) -> Option<String>,
+) -> Result<JsonValue, InterpolateError> {
+    Ok(match value {
+        JsonValue::String(s) => match interpolate_str(s, lookup)? {
+            Some(replaced) => JsonValue::String(replaced),
+            None => value.clone(),
+        },
+        JsonValue::Array(items) => JsonValue::Array(
+            items.iter().map(|v| interpolate(v, lookup)).collect::<Result<_, _>>()?,
+        ),
+        JsonValue::Object(members) => JsonValue::Object(
+            members
+                .iter()
+                .map(|(k, v)| {
+                    let key = interpolate_str(k, lookup)?.unwrap_or_else(|| k.clone());
+                    Ok((key, interpolate(v, lookup)?))
+                })
+                .collect::<Result<_, _>>()?,
+        ),
+        other => other.clone(),
+    })
 }
 
 #[cfg(test)]
@@ -503,5 +633,77 @@ mod tests {
         assert!(parse("{} x").is_err());
         assert!(parse("[1,]").is_err());
         assert!(parse("").is_err());
+    }
+
+    #[test]
+    fn nesting_bomb_returns_an_error_not_a_stack_overflow() {
+        // Far beyond MAX_DEPTH: a recursive parser without a cap
+        // aborts the process here instead of returning.
+        for bomb in ["[".repeat(100_000), "{\"k\":".repeat(100_000)] {
+            let err = parse(&bomb).unwrap_err();
+            assert!(err.message.contains("nesting exceeds"), "{err}");
+        }
+        // Mixed nesting trips the same cap.
+        let mixed: String = "[{\"k\":".repeat(50_000);
+        assert!(parse(&mixed).unwrap_err().message.contains("nesting exceeds"));
+    }
+
+    #[test]
+    fn nesting_inside_the_cap_parses() {
+        let depth = MAX_DEPTH - 1;
+        let doc = format!("{}1{}", "[".repeat(depth), "]".repeat(depth));
+        assert!(parse(&doc).is_ok());
+        let over = format!("{}1{}", "[".repeat(MAX_DEPTH + 1), "]".repeat(MAX_DEPTH + 1));
+        assert!(parse(&over).is_err());
+        // Depth is nesting, not sibling count: a wide flat array is fine.
+        let wide = format!("[{}]", vec!["0"; 10_000].join(","));
+        assert!(parse(&wide).is_ok());
+    }
+
+    #[test]
+    fn rejects_non_finite_number_literals() {
+        let err = parse("1e999").unwrap_err();
+        assert!(err.message.contains("non-finite"), "{err}");
+        assert!(parse("[-1e999]").is_err());
+        // Large-but-finite still parses.
+        assert_eq!(parse("1e308").unwrap().as_f64(), Some(1e308));
+    }
+
+    #[test]
+    fn rejects_duplicate_object_keys() {
+        let err = parse("{\"a\": 1, \"a\": 2}").unwrap_err();
+        assert!(err.message.contains("duplicate object key `a`"), "{err}");
+        // Same key at different depths is fine.
+        assert!(parse("{\"a\": {\"a\": 1}}").is_ok());
+    }
+
+    #[test]
+    fn interpolates_variables_and_escapes() {
+        let lookup = |name: &str| match name {
+            "fw" => Some("caffe".to_string()),
+            "ds" => Some("mnist".to_string()),
+            _ => None,
+        };
+        assert_eq!(interpolate_str("no refs", &lookup).unwrap(), None);
+        assert_eq!(
+            interpolate_str("${fw} on ${ds}", &lookup).unwrap().as_deref(),
+            Some("caffe on mnist")
+        );
+        assert_eq!(
+            interpolate_str("$${fw} costs $5", &lookup).unwrap().as_deref(),
+            Some("${fw} costs $5")
+        );
+        assert!(interpolate_str("${missing}", &lookup).unwrap_err().message.contains("missing"));
+        assert!(interpolate_str("${", &lookup).is_err());
+        assert!(interpolate_str("${}", &lookup).is_err());
+    }
+
+    #[test]
+    fn interpolates_value_trees_including_keys() {
+        let lookup = |name: &str| (name == "fw").then(|| "torch".to_string());
+        let doc = parse("{\"${fw}_row\": [\"${fw}\", 1, true]}").unwrap();
+        let out = interpolate(&doc, &lookup).unwrap();
+        assert_eq!(out["torch_row"].as_array().unwrap()[0], "torch");
+        assert!(interpolate(&parse("[\"${nope}\"]").unwrap(), &lookup).is_err());
     }
 }

@@ -47,4 +47,14 @@ echo "==> dist scaling bench (quick, BENCH_dist.json)"
 cargo bench --bench dist --locked -- --quick > /dev/null
 test -s target/dlbench-reports/BENCH_dist.json
 
+echo "==> spec smoke (2-cell grid, resume re-run must be all cache hits)"
+rm -rf target/dlbench-check-cache
+cargo run -p dlbench-cli --release --locked -q -- run-spec examples/specs/smoke.json \
+    --cache-dir target/dlbench-check-cache > /dev/null
+cargo run -p dlbench-cli --release --locked -q -- run-spec examples/specs/smoke.json \
+    --cache-dir target/dlbench-check-cache | grep -q "0 executed, 2 cache hits"
+test -s target/dlbench-reports/BENCH_spec.json
+cargo test -p dlbench-integration-tests --test spec --locked -q
+rm -rf target/dlbench-check-cache
+
 echo "==> OK"

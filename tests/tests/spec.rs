@@ -1,0 +1,176 @@
+//! End-to-end tests for the declarative experiment orchestrator:
+//! spec → plan determinism against a committed golden, cache-driven
+//! resume, corrupt-entry tolerance, and bit-for-bit equivalence with
+//! the direct `BenchmarkRunner` path.
+
+use dlbench_core::spec::{self, ExperimentSpec, RunOptions};
+use dlbench_core::BenchmarkRunner;
+use dlbench_integration_tests::TEST_SEED;
+use std::path::{Path, PathBuf};
+
+fn repo_path(rel: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join(rel)
+}
+
+/// A per-test scratch cache directory, removed on drop so reruns
+/// always start cold.
+struct ScratchCache(PathBuf);
+
+impl ScratchCache {
+    fn new(tag: &str) -> Self {
+        let dir =
+            std::env::temp_dir().join(format!("dlbench-spec-it-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        ScratchCache(dir)
+    }
+
+    fn path(&self) -> &Path {
+        &self.0
+    }
+}
+
+impl Drop for ScratchCache {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+/// A tiny 2×2 grid (framework × device on MNIST) that needs exactly
+/// two trainings.
+fn small_grid() -> ExperimentSpec {
+    let text = format!(
+        r#"{{
+            "name": "it-grid",
+            "defaults": {{"scale": "tiny", "seed": {TEST_SEED}, "dataset": "mnist"}},
+            "grids": [{{
+                "kind": "train",
+                "axes": {{"framework": ["tf", "caffe"], "device": ["cpu", "gpu"]}}
+            }}]
+        }}"#
+    );
+    ExperimentSpec::parse(&text).expect("inline spec parses")
+}
+
+#[test]
+fn shipped_spec_expands_to_golden_plan() {
+    let text = std::fs::read_to_string(repo_path("../examples/specs/paper_tables.json"))
+        .expect("shipped spec readable");
+    let spec = ExperimentSpec::parse(&text).expect("shipped spec parses");
+    let plan = spec.expand().expect("shipped spec expands");
+    assert!(
+        plan.cells.len() >= 12,
+        "paper tables spec must cover the full cross: {}",
+        plan.cells.len()
+    );
+    let rendered = plan.to_json().pretty() + "\n";
+    // Expansion is a pure function of the spec text.
+    let again = ExperimentSpec::parse(&text).unwrap().expand().unwrap();
+    assert_eq!(rendered, again.to_json().pretty() + "\n");
+    // And matches the committed golden byte-for-byte.
+    let golden =
+        std::fs::read_to_string(repo_path("goldens/spec_plan.json")).expect("golden plan readable");
+    assert_eq!(rendered, golden, "plan drifted from tests/goldens/spec_plan.json");
+}
+
+#[test]
+fn resume_retrains_only_missing_cells() {
+    let cache = ScratchCache::new("resume");
+    let plan = small_grid().expand().unwrap();
+    assert_eq!(plan.cells.len(), 4);
+    let opts = RunOptions { cache_dir: cache.path().to_path_buf(), force: false };
+    let first = spec::run_plan(&plan, &opts, None).unwrap();
+    assert_eq!((first.executed, first.cache_hits), (4, 0));
+
+    // Simulate a killed sweep by deleting one finished cell.
+    let victim = cache.path().join(format!("{}.json", first.cells[2].hash));
+    std::fs::remove_file(&victim).unwrap();
+    let second = spec::run_plan(&plan, &opts, None).unwrap();
+    assert_eq!((second.executed, second.cache_hits), (1, 3), "exactly the deleted cell re-runs");
+
+    // The resumed run reproduces the original results bit-for-bit.
+    assert_eq!(
+        spec::document(&first).pretty(),
+        spec::document(&second).pretty(),
+        "resume changed results"
+    );
+}
+
+#[test]
+fn truncated_cache_entry_is_a_miss_not_an_error() {
+    let cache = ScratchCache::new("truncated");
+    let text = format!(
+        r#"{{
+            "name": "it-truncated",
+            "defaults": {{"scale": "tiny", "seed": {TEST_SEED},
+                         "framework": "caffe", "dataset": "mnist"}},
+            "grids": [{{"kind": "train", "axes": {{"device": ["cpu", "gpu"]}}}}]
+        }}"#
+    );
+    let plan = ExperimentSpec::parse(&text).unwrap().expand().unwrap();
+    let opts = RunOptions { cache_dir: cache.path().to_path_buf(), force: false };
+    let first = spec::run_plan(&plan, &opts, None).unwrap();
+    assert_eq!(first.executed, 2);
+
+    // A crash mid-write never leaves a half entry (temp + rename), but
+    // disk corruption could; either way a mangled entry must re-run.
+    let path = cache.path().join(format!("{}.json", first.cells[0].hash));
+    let full = std::fs::read_to_string(&path).unwrap();
+    std::fs::write(&path, &full[..full.len() / 3]).unwrap();
+    let second = spec::run_plan(&plan, &opts, None).unwrap();
+    assert_eq!((second.executed, second.cache_hits), (1, 1));
+    assert_eq!(spec::document(&first).pretty(), spec::document(&second).pretty());
+}
+
+#[test]
+fn spec_cell_matches_direct_runner_bitwise() {
+    let cache = ScratchCache::new("equivalence");
+    let text = format!(
+        r#"{{
+            "name": "it-equivalence",
+            "defaults": {{"scale": "tiny", "seed": {TEST_SEED},
+                         "framework": "caffe", "dataset": "mnist"}},
+            "grids": [{{"kind": "train", "axes": {{"device": ["gpu"]}}}}]
+        }}"#
+    );
+    let plan = ExperimentSpec::parse(&text).unwrap().expand().unwrap();
+    let opts = RunOptions { cache_dir: cache.path().to_path_buf(), force: false };
+    let run = spec::run_plan(&plan, &opts, None).unwrap();
+    let result = &run.cells[0].result;
+
+    // The same cell through the `run`/`train` path: identical key,
+    // device and seed must yield identical bits, or the orchestrator
+    // is not measuring what the rest of the suite measures.
+    let mut runner = BenchmarkRunner::new(dlbench_frameworks::Scale::Tiny, TEST_SEED);
+    let key = BenchmarkRunner::own_default_key(
+        dlbench_frameworks::FrameworkKind::Caffe,
+        dlbench_data::DatasetKind::Mnist,
+    );
+    let direct = runner.metrics(key, &dlbench_simtime::devices::gtx_1080_ti(), "direct");
+    let field = |k: &str| result.get(k).and_then(|v| v.as_f64()).unwrap();
+    assert_eq!(field("train_time_s"), direct.train_time_s);
+    assert_eq!(field("test_time_s"), direct.test_time_s);
+    assert_eq!(field("accuracy_pct"), direct.accuracy_pct as f64);
+    assert_eq!(result.get("converged"), Some(&dlbench_json::JsonValue::Bool(direct.converged)));
+}
+
+#[test]
+fn forced_rerun_is_byte_identical() {
+    let cache = ScratchCache::new("force");
+    let text = format!(
+        r#"{{
+            "name": "it-force",
+            "defaults": {{"scale": "tiny", "seed": {TEST_SEED},
+                         "framework": "caffe", "dataset": "mnist"}},
+            "grids": [{{"kind": "train", "axes": {{"device": ["cpu"]}}}}]
+        }}"#
+    );
+    let plan = ExperimentSpec::parse(&text).unwrap().expand().unwrap();
+    let cached = RunOptions { cache_dir: cache.path().to_path_buf(), force: false };
+    let forced = RunOptions { cache_dir: cache.path().to_path_buf(), force: true };
+    let first = spec::run_plan(&plan, &cached, None).unwrap();
+    // `--force` re-executes everything; a deterministic engine must
+    // still reproduce the document byte-for-byte.
+    let second = spec::run_plan(&plan, &forced, None).unwrap();
+    assert_eq!(second.executed, 1);
+    assert_eq!(spec::document(&first).pretty(), spec::document(&second).pretty());
+}
