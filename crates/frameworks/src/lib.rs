@@ -51,7 +51,7 @@ mod scale;
 mod spec;
 pub mod trainer;
 
-pub use defaults::{training_defaults, DefaultSetting, Regularizer, TrainingConfig};
+pub use defaults::{arch_defaults, training_defaults, DefaultSetting, Regularizer, TrainingConfig};
 pub use kind::{FrameworkKind, FrameworkMeta};
 pub use scale::Scale;
 pub use spec::{ArchSpec, LayerSpecEntry};

@@ -4,7 +4,7 @@ use dlbench_nn::{
     AvgPool2d, Conv2d, Dropout, Flatten, Initializer, LayerCost, Linear, LocalResponseNorm,
     MaxPool2d, Network, Relu, Tanh,
 };
-use dlbench_tensor::SeededRng;
+use dlbench_tensor::{Conv2dGeometry, SeededRng};
 
 /// One entry of an architecture specification.
 ///
@@ -193,6 +193,46 @@ impl ArchSpec {
         panic!("spec {} has no Fc entry", self.name)
     }
 
+    /// Convolution shapes of the paper-scale architecture at the given
+    /// input geometry, in forward order, each paired with its output
+    /// channel count. This is the ground truth the kernel bench harness
+    /// and the fused-conv transparency tests iterate over, so they
+    /// exercise exactly the shapes the personalities run.
+    pub fn conv_geometries(&self, input: (usize, usize, usize)) -> Vec<(Conv2dGeometry, usize)> {
+        let (mut c, mut h, mut w) = input;
+        let mut geos = Vec::new();
+        for entry in &self.entries {
+            match *entry {
+                LayerSpecEntry::Conv { out, kernel, stride, pad } => {
+                    geos.push((
+                        Conv2dGeometry {
+                            in_channels: c,
+                            in_h: h,
+                            in_w: w,
+                            kernel_h: kernel,
+                            kernel_w: kernel,
+                            stride,
+                            pad,
+                        },
+                        out,
+                    ));
+                    h = (h + 2 * pad).saturating_sub(kernel) / stride + 1;
+                    w = (w + 2 * pad).saturating_sub(kernel) / stride + 1;
+                    c = out;
+                }
+                LayerSpecEntry::MaxPool { kernel, stride, ceil }
+                | LayerSpecEntry::AvgPool { kernel, stride, ceil } => {
+                    (h, w) = (
+                        pool_extent(h, kernel, stride, ceil),
+                        pool_extent(w, kernel, stride, ceil),
+                    );
+                }
+                _ => {}
+            }
+        }
+        geos
+    }
+
     /// Paper-style per-layer description lines (for Table IV/V output).
     pub fn describe(&self, input: (usize, usize, usize)) -> Vec<String> {
         let mut rng = SeededRng::new(0);
@@ -277,6 +317,18 @@ mod tests {
         let mut net = spec.build((3, 16, 16), 0.25, Initializer::Xavier, &mut rng);
         let x = dlbench_tensor::Tensor::zeros(&[1, 3, 16, 16]);
         assert_eq!(net.forward(&x, false).shape(), &[1, 10]);
+    }
+
+    #[test]
+    fn conv_geometries_chain_spatial_dims() {
+        let caffe = arch_defaults(FrameworkKind::Caffe, DatasetKind::Mnist);
+        let geos = caffe.conv_geometries((1, 28, 28));
+        assert_eq!(geos.len(), 2);
+        let (g1, oc1) = &geos[0];
+        assert_eq!((g1.in_channels, g1.in_h, g1.kernel_h, *oc1), (1, 28, 5, 20));
+        // conv1 -> 24x24, ceil-mode 2/2 pool -> 12x12 feeding conv2.
+        let (g2, oc2) = &geos[1];
+        assert_eq!((g2.in_channels, g2.in_h, g2.in_w, *oc2), (20, 12, 12, 50));
     }
 
     #[test]

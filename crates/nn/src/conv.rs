@@ -1,16 +1,23 @@
-//! 2-D convolution layer (im2col + GEMM lowering).
+//! 2-D convolution layer (fused im2col + GEMM lowering).
 
 use crate::init::Initializer;
 use crate::layer::{Layer, ParamKind, ParamSet};
 use crate::profile::LayerCost;
-use dlbench_tensor::{col2im, gemm, gemm_a_bt, gemm_at_b, im2col, par, Conv2dGeometry, Tensor};
+use dlbench_tensor::{
+    arena, col2im, conv_forward_fused, gemm, gemm_a_bt, gemm_at_b, im2col, par, Conv2dGeometry,
+    PackedConvWeight, Tensor,
+};
 
 /// A 2-D convolution over `[N, C, H, W]` inputs with square kernels,
 /// uniform stride and symmetric zero padding.
 ///
-/// Forward lowers each sample to a patch matrix (`im2col`) and multiplies
-/// by the `[out_channels, C*kh*kw]` weight matrix; backward uses the
-/// transposed GEMMs plus `col2im`. Weight layout matches Caffe:
+/// Forward runs the fused im2col+GEMM kernel
+/// ([`dlbench_tensor::conv_forward_fused`]): weights are packed once
+/// per call and patch tiles are formed on the fly, never materializing
+/// the column matrix. The result is bitwise identical to the
+/// materialized lowering (kept as [`Conv2d::forward_materialized`] and
+/// pinned by the transparency tests). Backward uses the transposed
+/// GEMMs plus `col2im`. Weight layout matches Caffe:
 /// `[out_c, in_c, kh, kw]`.
 pub struct Conv2d {
     in_channels: usize,
@@ -82,6 +89,45 @@ impl Conv2d {
             pad: self.pad,
         }
     }
+
+    /// Reference forward through the materialized im2col + GEMM
+    /// lowering. Kept as the transparency oracle for the fused kernel:
+    /// `forward` must produce bitwise-identical output (see
+    /// `tests/tests/kernels.rs`). Does not cache the input.
+    pub fn forward_materialized(&self, input: &Tensor) -> Tensor {
+        assert_eq!(input.rank(), 4, "Conv2d expects [N, C, H, W]");
+        let (n, c, h, w) = (input.shape()[0], input.shape()[1], input.shape()[2], input.shape()[3]);
+        assert_eq!(c, self.in_channels, "channel mismatch");
+        let geo = self.geometry(h, w);
+        let (oh, ow) = (geo.out_h(), geo.out_w());
+        let plane = oh * ow;
+        let patch = geo.patch_len();
+        let sample_in = c * h * w;
+        let sample_out = self.out_channels * plane;
+
+        let mut out = Tensor::zeros(&[n, self.out_channels, oh, ow]);
+        let out_channels = self.out_channels;
+        let weight = self.weight.data();
+        let bias = self.bias.data();
+        let in_data = input.data();
+        let per_sample = |first: usize, out_chunk: &mut [f32]| {
+            let mut cols = arena::take(patch * plane);
+            for (si, out_s) in out_chunk.chunks_mut(sample_out).enumerate() {
+                let s = first + si;
+                im2col(&geo, &in_data[s * sample_in..(s + 1) * sample_in], &mut cols);
+                for oc in 0..out_channels {
+                    out_s[oc * plane..(oc + 1) * plane].fill(bias[oc]);
+                }
+                gemm(out_channels, patch, plane, weight, &cols, out_s);
+            }
+        };
+        if n * out_channels * patch * plane < par::PAR_MIN_WORK {
+            per_sample(0, out.data_mut());
+        } else {
+            par::par_row_chunks_mut(out.data_mut(), sample_out, per_sample);
+        }
+        out
+    }
 }
 
 impl Layer for Conv2d {
@@ -113,26 +159,33 @@ impl Layer for Conv2d {
 
         let mut out = Tensor::zeros(&[n, self.out_channels, oh, ow]);
         let out_channels = self.out_channels;
-        let weight = self.weight.data();
+        // One Kernel span on the caller thread for the whole fused
+        // batch, carrying the joined FLOP count so `dlbench profile`
+        // reports achieved GFLOP/s for the fused kernel.
+        let flops = 2 * (n * out_channels * patch * plane) as u64;
+        let _span = dlbench_trace::span_flops(dlbench_trace::Category::Kernel, "conv_fused", flops);
+        // Weights pack once per call into the GEMM panel layout and are
+        // shared read-only across samples and workers; each sample then
+        // runs the fused kernel, which forms its patch tiles on the fly.
+        // Samples are independent, so the batch parallelizes over
+        // disjoint per-sample output rows, and the per-sample math is
+        // exactly the serial kernel — bitwise, at any thread count.
+        let packed = PackedConvWeight::pack(out_channels, patch, self.weight.data());
         let bias = self.bias.data();
         let in_data = input.data();
-        // Samples are independent, so the batch parallelizes over
-        // disjoint per-sample output rows; each worker stages its own
-        // im2col buffer and the per-sample math (and its GEMM, forced
-        // serial inside a worker) is exactly the serial kernel.
         let per_sample = |first: usize, out_chunk: &mut [f32]| {
-            let mut cols = vec![0.0f32; patch * plane];
             for (si, out_s) in out_chunk.chunks_mut(sample_out).enumerate() {
                 let s = first + si;
-                im2col(&geo, &in_data[s * sample_in..(s + 1) * sample_in], &mut cols);
                 // out[oc, plane] = W[oc, patch] @ cols[patch, plane] + bias
                 for oc in 0..out_channels {
-                    let b = bias[oc];
-                    for v in &mut out_s[oc * plane..(oc + 1) * plane] {
-                        *v = b;
-                    }
+                    out_s[oc * plane..(oc + 1) * plane].fill(bias[oc]);
                 }
-                gemm(out_channels, patch, plane, weight, &cols, out_s);
+                conv_forward_fused(
+                    &geo,
+                    &packed,
+                    &in_data[s * sample_in..(s + 1) * sample_in],
+                    out_s,
+                );
             }
         };
         if n * out_channels * patch * plane < par::PAR_MIN_WORK {
@@ -165,7 +218,7 @@ impl Layer for Conv2d {
         // Input gradient: per-sample scatter targets are disjoint, so
         // the batch parallelizes directly over grad_in's sample rows.
         let input_grad = |first: usize, gin_chunk: &mut [f32]| {
-            let mut cols_grad = vec![0.0f32; patch * plane];
+            let mut cols_grad = arena::take(patch * plane);
             for (si, gin_s) in gin_chunk.chunks_mut(sample_in).enumerate() {
                 let s = first + si;
                 let gout_s = &gout[s * sample_out..(s + 1) * sample_out];
@@ -181,29 +234,42 @@ impl Layer for Conv2d {
             par::par_row_chunks_mut(grad_in.data_mut(), sample_in, input_grad);
         }
 
-        // Weight/bias gradients accumulate *across* samples, so the
-        // parallel path stages each sample's contribution in its own
-        // zeroed scratch row and reduces serially in ascending sample
-        // order — the same additions, in the same order, as the serial
-        // loop, hence bit-identical at any thread count.
+        // Weight/bias gradients accumulate *across* samples. Both paths
+        // stage each sample's contribution in a zeroed scratch row and
+        // reduce in ascending sample order — the same additions, in the
+        // same order, regardless of thread count, hence bit-identical.
+        // (The serial path must stage too: the GEMM chains its terms
+        // directly into the destination, so folding sample s straight
+        // into `grad_weight` would interleave its terms with the
+        // running total instead of adding one per-sample partial.)
         let wb = out_channels * patch + out_channels;
         if work < par::PAR_MIN_WORK || par::is_worker() || par::threads() == 1 {
-            let mut cols = vec![0.0f32; patch * plane];
+            let mut cols = arena::take(patch * plane);
+            let mut row = arena::take(wb);
             for s in 0..n {
                 let gout_s = &gout[s * sample_out..(s + 1) * sample_out];
                 // Weight gradient: gW[oc, patch] += gOut[oc, plane] @ cols^T.
                 im2col(&geo, &in_data[s * sample_in..(s + 1) * sample_in], &mut cols);
-                gemm_a_bt(out_channels, plane, patch, gout_s, &cols, self.grad_weight.data_mut());
+                row.fill(0.0);
+                let (w_part, b_part) = row.split_at_mut(out_channels * patch);
+                gemm_a_bt(out_channels, plane, patch, gout_s, &cols, w_part);
                 // Bias gradient: sum over the output plane.
-                for oc in 0..out_channels {
-                    self.grad_bias.data_mut()[oc] +=
-                        gout_s[oc * plane..(oc + 1) * plane].iter().sum::<f32>();
+                for (oc, b) in b_part.iter_mut().enumerate() {
+                    *b = gout_s[oc * plane..(oc + 1) * plane].iter().sum::<f32>();
+                }
+                let gw = self.grad_weight.data_mut();
+                for (dst, src) in gw.iter_mut().zip(w_part.iter()) {
+                    *dst += src;
+                }
+                let gb = self.grad_bias.data_mut();
+                for (dst, src) in gb.iter_mut().zip(b_part.iter()) {
+                    *dst += src;
                 }
             }
         } else {
-            let mut scratch = vec![0.0f32; n * wb];
+            let mut scratch = arena::take_zeroed(n * wb);
             par::par_row_chunks_mut(&mut scratch, wb, |first, rows_chunk| {
-                let mut cols = vec![0.0f32; patch * plane];
+                let mut cols = arena::take(patch * plane);
                 for (si, row) in rows_chunk.chunks_mut(wb).enumerate() {
                     let s = first + si;
                     let gout_s = &gout[s * sample_out..(s + 1) * sample_out];

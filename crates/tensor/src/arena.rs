@@ -1,0 +1,229 @@
+//! Reusable `f32` buffer arena backing tensor storage and kernel
+//! scratch space.
+//!
+//! Training and serving hot paths allocate the *same* buffer shapes
+//! every iteration: layer activations, gradients, im2col patch tiles,
+//! GEMM packing panels. Paying a heap allocation (and the kernel page
+//! faults behind it) for each one dominates small-scale iteration time
+//! and adds allocator jitter to every benchmark number. The arena turns
+//! those into recycled buffers: dropping a [`Tensor`](crate::Tensor) or
+//! an [`ArenaBuf`] returns its storage to a global pool keyed by exact
+//! length, and the next request of that length reuses it.
+//!
+//! Recycling is *transparent to numerics*: a pooled buffer is either
+//! fully overwritten or explicitly zeroed before use, so results are
+//! bit-identical with the arena enabled, disabled (`DLBENCH_ARENA=0`),
+//! hot or cold.
+//!
+//! The pool is shared across threads (parallel workers are short-lived
+//! scoped threads, so a thread-local pool would leak every worker's
+//! buffers); contention is a single uncontended mutex acquisition per
+//! take/give, far below the cost of the kernels the buffers feed.
+//!
+//! [`stats`] exposes hit/miss counters so tests can prove steady-state
+//! training iterations stop allocating: after one warm-up iteration
+//! every buffer request is served from the pool and the miss counter
+//! stays flat (see `tests/tests/arena.rs`).
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
+
+/// Dead buffers retained per distinct length. Bounds pool growth when a
+/// workload churns many buffers of one size (e.g. per-worker packing
+/// panels); steady-state training needs well under this.
+const MAX_PER_LEN: usize = 32;
+
+/// Total bytes the pool may retain across all lengths. Beyond this,
+/// returned buffers are freed instead of pooled.
+const MAX_TOTAL_BYTES: usize = 512 << 20;
+
+struct Pool {
+    buckets: BTreeMap<usize, Vec<Vec<f32>>>,
+    total_bytes: usize,
+}
+
+static POOL: Mutex<Pool> = Mutex::new(Pool { buckets: BTreeMap::new(), total_bytes: 0 });
+static HITS: AtomicU64 = AtomicU64::new(0);
+static MISSES: AtomicU64 = AtomicU64::new(0);
+static RECYCLED: AtomicU64 = AtomicU64::new(0);
+
+/// Whether pooling is enabled (`DLBENCH_ARENA=0` disables it; every
+/// take then allocates fresh and every give frees — useful to bisect
+/// arena interactions and to prove numeric transparency).
+fn enabled() -> bool {
+    static ENABLED: OnceLock<bool> = OnceLock::new();
+    *ENABLED.get_or_init(|| std::env::var("DLBENCH_ARENA").map_or(true, |v| v.trim() != "0"))
+}
+
+/// Takes a buffer of exactly `len` elements with *unspecified contents*
+/// (fresh allocations are zeroed, recycled ones carry stale values).
+/// Crate-internal: callers must fully overwrite before reading.
+pub(crate) fn take_vec(len: usize) -> Vec<f32> {
+    if len == 0 {
+        return Vec::new();
+    }
+    if enabled() {
+        let mut pool = POOL.lock().unwrap_or_else(|e| e.into_inner());
+        if let Some(bucket) = pool.buckets.get_mut(&len) {
+            if let Some(v) = bucket.pop() {
+                pool.total_bytes -= len * 4;
+                drop(pool);
+                HITS.fetch_add(1, Ordering::Relaxed);
+                debug_assert_eq!(v.len(), len);
+                return v;
+            }
+        }
+    }
+    MISSES.fetch_add(1, Ordering::Relaxed);
+    vec![0.0; len]
+}
+
+/// Takes a zero-filled buffer of exactly `len` elements.
+pub(crate) fn take_vec_zeroed(len: usize) -> Vec<f32> {
+    let mut v = take_vec(len);
+    v.fill(0.0);
+    v
+}
+
+/// Returns a buffer to the pool (or frees it when pooling is disabled,
+/// the buffer carries spare capacity, or the pool caps are reached).
+pub(crate) fn give_vec(v: Vec<f32>) {
+    let len = v.len();
+    if len == 0 || v.capacity() != len || !enabled() {
+        return;
+    }
+    let mut pool = POOL.lock().unwrap_or_else(|e| e.into_inner());
+    if pool.total_bytes + len * 4 > MAX_TOTAL_BYTES {
+        return;
+    }
+    let bucket = pool.buckets.entry(len).or_default();
+    if bucket.len() < MAX_PER_LEN {
+        bucket.push(v);
+        pool.total_bytes += len * 4;
+        drop(pool);
+        RECYCLED.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// A pooled scratch buffer; returns its storage to the arena on drop.
+///
+/// Used by kernel internals (GEMM packing panels, fused-conv patch
+/// tiles) and by layer code staging per-sample scratch. Dereferences to
+/// `[f32]`.
+pub struct ArenaBuf {
+    data: Vec<f32>,
+}
+
+impl ArenaBuf {
+    /// Consumes the buffer, keeping its storage out of the pool.
+    pub fn into_vec(mut self) -> Vec<f32> {
+        std::mem::take(&mut self.data)
+    }
+}
+
+impl std::ops::Deref for ArenaBuf {
+    type Target = [f32];
+    fn deref(&self) -> &[f32] {
+        &self.data
+    }
+}
+
+impl std::ops::DerefMut for ArenaBuf {
+    fn deref_mut(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+}
+
+impl Drop for ArenaBuf {
+    fn drop(&mut self) {
+        give_vec(std::mem::take(&mut self.data));
+    }
+}
+
+/// Takes a buffer of `len` elements with **unspecified contents**; the
+/// caller must overwrite every element it later reads.
+pub fn take(len: usize) -> ArenaBuf {
+    ArenaBuf { data: take_vec(len) }
+}
+
+/// Takes a zero-filled buffer of `len` elements.
+pub fn take_zeroed(len: usize) -> ArenaBuf {
+    ArenaBuf { data: take_vec_zeroed(len) }
+}
+
+/// Arena traffic counters since process start.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ArenaStats {
+    /// Requests served by recycling a pooled buffer.
+    pub hits: u64,
+    /// Requests that fell through to a fresh heap allocation.
+    pub misses: u64,
+    /// Buffers accepted back into the pool.
+    pub recycled: u64,
+}
+
+/// Snapshot of the global arena counters.
+pub fn stats() -> ArenaStats {
+    ArenaStats {
+        hits: HITS.load(Ordering::Relaxed),
+        misses: MISSES.load(Ordering::Relaxed),
+        recycled: RECYCLED.load(Ordering::Relaxed),
+    }
+}
+
+/// Frees every pooled buffer (counters are left running).
+pub fn clear() {
+    let mut pool = POOL.lock().unwrap_or_else(|e| e.into_inner());
+    pool.buckets.clear();
+    pool.total_bytes = 0;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_recycles_exact_length() {
+        let before = stats();
+        let a = take(4096);
+        assert_eq!(a.len(), 4096);
+        drop(a);
+        let b = take(4096);
+        let after = stats();
+        assert_eq!(b.len(), 4096);
+        // The second take of this length must be a hit (the pool is
+        // global, so other tests can only add hits, never remove the
+        // buffer we just returned within this sequential scope).
+        assert!(after.hits > before.hits || after.misses >= before.misses + 2);
+    }
+
+    #[test]
+    fn zeroed_take_is_actually_zeroed() {
+        {
+            let mut a = take(513);
+            a.fill(7.0);
+        }
+        let b = take_zeroed(513);
+        assert!(b.iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn zero_length_is_free() {
+        let before = stats();
+        let a = take(0);
+        assert!(a.is_empty());
+        drop(a);
+        let after = stats();
+        assert_eq!(before.misses, after.misses);
+    }
+
+    #[test]
+    fn into_vec_escapes_the_pool() {
+        let a = take(257);
+        let v = a.into_vec();
+        assert_eq!(v.len(), 257);
+        // Dropping the escaped vec must not panic or double-return.
+        drop(v);
+    }
+}

@@ -29,7 +29,9 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod arena;
 mod error;
+mod fused;
 mod im2col;
 mod linalg;
 mod ops;
@@ -39,6 +41,7 @@ mod shape;
 mod tensor;
 
 pub use error::{Result, TensorError};
+pub use fused::{conv_forward_fused, PackedConvWeight};
 pub use im2col::{col2im, im2col, Conv2dGeometry};
 pub use linalg::{gemm, gemm_a_bt, gemm_at_b, gemm_bias};
 pub use ops::accuracy;

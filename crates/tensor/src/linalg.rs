@@ -1,19 +1,46 @@
 //! Dense linear algebra kernels.
 //!
-//! A register-blocked, cache-aware GEMM is the workhorse behind both
-//! fully-connected layers and (via `im2col`) convolutions. The kernel
-//! iterates `i, k, j` so the innermost loop streams rows of `b` and
-//! `c`, which LLVM auto-vectorizes well for `f32`.
+//! The workhorse is a blocked, *packed* GEMM: operand panels are copied
+//! into contiguous, zero-padded tiles (`MR`-row panels of the left
+//! operand, `NR`-column panels of the right) and a single fixed
+//! `MR×NR` register micro-kernel computes every destination tile,
+//! including the ragged edges — padding lanes are computed and
+//! discarded rather than special-cased. Packing puts both streams in
+//! unit stride for the innermost loop, which LLVM turns into clean SIMD
+//! without any unsafe code.
+//!
+//! **The determinism contract.** Every destination element evolves as
+//! one fixed chain `c = (((c₀ + t₀) + t₁) + …)` with `t_kk = a_ik·b_kj`
+//! added in ascending `kk` order — the micro-kernel *loads* its
+//! accumulator tile from `c` and stores it back, so blocking factors,
+//! packing layout, the packed-vs-small-path choice and the thread count
+//! can change only *which tile is computed when*, never the per-element
+//! operation sequence. Rust never contracts `a*b + c` into an FMA, so
+//! results are bit-identical across all of those axes and equal to the
+//! textbook triple loop (see `tests/tests/kernels.rs`).
 //!
 //! Large kernels are parallelized by partitioning the *rows of the
-//! destination* across workers (see [`crate::par`]). Every output
-//! element depends on exactly one row of `a` (or, for `a^T`, one column
-//! read in the same `kk` order), so each worker reproduces the serial
-//! kernel's accumulation order exactly and results are bit-identical at
-//! any thread count.
+//! destination* across workers (see [`crate::par`]); each worker runs
+//! the identical per-element chains on its disjoint band.
 
+use crate::arena;
 use crate::par;
 use dlbench_trace::{span_flops, Category};
+
+/// Micro-kernel tile height (rows of `c` per register tile).
+pub(crate) const MR: usize = 4;
+/// Micro-kernel tile width (columns of `c` per register tile).
+pub(crate) const NR: usize = 8;
+/// k-blocking depth: one packed slab of `b` covers `KC` accumulation
+/// steps, sized so an `NR`-column panel (`KC·NR·4` = 8 KiB) lives in L1
+/// while it is reused across every row tile.
+pub(crate) const KC: usize = 256;
+
+/// Below this many MACs the packing overhead outweighs the micro-kernel
+/// win and the plain loop nest runs instead. Both paths produce the
+/// same bits (see module docs), so this threshold is a pure performance
+/// choice.
+const PACK_MIN_WORK: usize = 1 << 13;
 
 /// FLOPs charged for an `m×k @ k×n` product (one multiply + one add
 /// per MAC) — the same count `dlbench-simtime` layer costs are built
@@ -21,6 +48,165 @@ use dlbench_trace::{span_flops, Category};
 fn gemm_flops(m: usize, k: usize, n: usize) -> u64 {
     2 * (m as u64) * (k as u64) * (n as u64)
 }
+
+// ---------------------------------------------------------------------
+// Packing
+// ---------------------------------------------------------------------
+
+/// Packs a `rows×k` row-major matrix into `MR`-row panels: panel `it`
+/// occupies `ap[it·k·MR ..]` with layout `[kk][ii]`, rows beyond `rows`
+/// zero-padded. Tile stride is `k·MR`, so a `[k0, k0+kc)` sub-slab of
+/// any panel is contiguous.
+pub(crate) fn pack_a(rows: usize, k: usize, a: &[f32], ap: &mut [f32]) {
+    for it in 0..rows.div_ceil(MR) {
+        let tile = &mut ap[it * k * MR..(it + 1) * k * MR];
+        for ii in 0..MR {
+            let i = it * MR + ii;
+            if i < rows {
+                let a_row = &a[i * k..(i + 1) * k];
+                for (kk, &v) in a_row.iter().enumerate() {
+                    tile[kk * MR + ii] = v;
+                }
+            } else {
+                for kk in 0..k {
+                    tile[kk * MR + ii] = 0.0;
+                }
+            }
+        }
+    }
+}
+
+/// Packs the transpose of a `k×m` row-major matrix, columns
+/// `[first, first+rows)`, into the same `MR`-panel layout as
+/// [`pack_a`] (used by `gemm_at_b`, whose left operand is stored
+/// transposed).
+fn pack_a_t(first: usize, rows: usize, k: usize, m: usize, a: &[f32], ap: &mut [f32]) {
+    for it in 0..rows.div_ceil(MR) {
+        let tile = &mut ap[it * k * MR..(it + 1) * k * MR];
+        for kk in 0..k {
+            let a_row = &a[kk * m..(kk + 1) * m];
+            for ii in 0..MR {
+                let i = it * MR + ii;
+                tile[kk * MR + ii] = if i < rows { a_row[first + i] } else { 0.0 };
+            }
+        }
+    }
+}
+
+/// Packs rows `[k0, k0+kc)` of a `k×n` row-major matrix into `NR`-column
+/// panels: panel `jt` occupies `bp[jt·kc·NR ..]` with layout
+/// `[kk][jj]`, columns beyond `n` zero-padded.
+fn pack_b_block(k0: usize, kc: usize, n: usize, b: &[f32], bp: &mut [f32]) {
+    let n_tiles = n.div_ceil(NR);
+    for jt in 0..n_tiles {
+        let j0 = jt * NR;
+        let width = (n - j0).min(NR);
+        let tile = &mut bp[jt * kc * NR..(jt + 1) * kc * NR];
+        for kk in 0..kc {
+            let b_row = &b[(k0 + kk) * n + j0..];
+            let dst = &mut tile[kk * NR..(kk + 1) * NR];
+            dst[..width].copy_from_slice(&b_row[..width]);
+            dst[width..].fill(0.0);
+        }
+    }
+}
+
+/// Packs columns `[k0, k0+kc)` of the transpose of an `n×k` row-major
+/// matrix into the same `NR`-panel layout as [`pack_b_block`] (used by
+/// `gemm_a_bt`, whose right operand is stored transposed).
+fn pack_bt_block(k0: usize, kc: usize, k: usize, n: usize, b: &[f32], bp: &mut [f32]) {
+    let n_tiles = n.div_ceil(NR);
+    for jt in 0..n_tiles {
+        let tile = &mut bp[jt * kc * NR..(jt + 1) * kc * NR];
+        for jj in 0..NR {
+            let j = jt * NR + jj;
+            if j < n {
+                let b_row = &b[j * k + k0..j * k + k0 + kc];
+                for (kk, &v) in b_row.iter().enumerate() {
+                    tile[kk * NR + jj] = v;
+                }
+            } else {
+                for kk in 0..kc {
+                    tile[kk * NR + jj] = 0.0;
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Micro-kernel and tile driver
+// ---------------------------------------------------------------------
+
+/// The one micro-kernel: an `MR×NR` accumulator tile, loaded from the
+/// live `mr×nr` corner of `c` (row stride `n`), receives `kc`
+/// rank-1 updates from packed panels `ap` (`[kk][ii]`) and `bp`
+/// (`[kk][jj]`) in ascending `kk`, and is stored back. The 32
+/// accumulator lanes are independent chains, so the loop vectorizes;
+/// padding lanes start at zero, multiply zero-padded panel entries and
+/// are never stored.
+pub(crate) fn micro_kernel(
+    kc: usize,
+    ap: &[f32],
+    bp: &[f32],
+    c: &mut [f32],
+    n: usize,
+    mr: usize,
+    nr: usize,
+) {
+    let mut acc = [[0.0f32; NR]; MR];
+    for (ii, acc_row) in acc.iter_mut().enumerate().take(mr) {
+        acc_row[..nr].copy_from_slice(&c[ii * n..ii * n + nr]);
+    }
+    for (a_col, b_row) in ap[..kc * MR].chunks_exact(MR).zip(bp[..kc * NR].chunks_exact(NR)) {
+        for (ii, acc_row) in acc.iter_mut().enumerate() {
+            let av = a_col[ii];
+            for (jj, lane) in acc_row.iter_mut().enumerate() {
+                *lane += av * b_row[jj];
+            }
+        }
+    }
+    for (ii, acc_row) in acc.iter().enumerate().take(mr) {
+        c[ii * n..ii * n + nr].copy_from_slice(&acc_row[..nr]);
+    }
+}
+
+/// Drives the micro-kernel over a pre-packed left operand (`ap`, the
+/// [`pack_a`] layout for `rows×k`) and a right operand packed one
+/// `KC`-deep slab at a time by `pack_b`, accumulating into the
+/// `rows×n` destination `c`. `pack_b(k0, kc, bp)` must fill `bp` with
+/// the `[k0, k0+kc)` slab in [`pack_b_block`] layout.
+pub(crate) fn gemm_tiles<PB: FnMut(usize, usize, &mut [f32])>(
+    rows: usize,
+    k: usize,
+    n: usize,
+    ap: &[f32],
+    c: &mut [f32],
+    mut pack_b: PB,
+) {
+    let m_tiles = rows.div_ceil(MR);
+    let n_tiles = n.div_ceil(NR);
+    let mut bp = arena::take(n_tiles * NR * k.min(KC));
+    let mut k0 = 0;
+    while k0 < k {
+        let kc = (k - k0).min(KC);
+        pack_b(k0, kc, &mut bp[..n_tiles * NR * kc]);
+        for it in 0..m_tiles {
+            let mr = (rows - it * MR).min(MR);
+            let a_tile = &ap[it * k * MR + k0 * MR..it * k * MR + (k0 + kc) * MR];
+            for jt in 0..n_tiles {
+                let nr = (n - jt * NR).min(NR);
+                let b_tile = &bp[jt * kc * NR..(jt + 1) * kc * NR];
+                micro_kernel(kc, a_tile, b_tile, &mut c[it * MR * n + jt * NR..], n, mr, nr);
+            }
+        }
+        k0 += kc;
+    }
+}
+
+// ---------------------------------------------------------------------
+// Public kernels
+// ---------------------------------------------------------------------
 
 /// `c += a @ b` for row-major matrices: `a` is `m×k`, `b` is `k×n`, `c`
 /// is `m×n`.
@@ -50,26 +236,23 @@ pub fn gemm(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], c: &mut [f32]) {
 /// Serial `gemm` over a contiguous band of `rows` destination rows;
 /// `a` holds the matching rows of the left operand.
 fn gemm_rows(rows: usize, k: usize, n: usize, a: &[f32], b: &[f32], c: &mut [f32]) {
-    // Block over k to keep the streamed panel of `b` in L1/L2.
-    const KB: usize = 256;
-    let mut k0 = 0;
-    while k0 < k {
-        let k1 = (k0 + KB).min(k);
-        for i in 0..rows {
-            let a_row = &a[i * k..(i + 1) * k];
-            let c_row = &mut c[i * n..(i + 1) * n];
-            for kk in k0..k1 {
-                let aik = a_row[kk];
-                if aik == 0.0 {
-                    continue;
-                }
-                let b_row = &b[kk * n..(kk + 1) * n];
-                for (cj, bj) in c_row.iter_mut().zip(b_row) {
-                    *cj += aik * bj;
-                }
+    if rows * k * n >= PACK_MIN_WORK {
+        let mut ap = arena::take(rows.div_ceil(MR) * MR * k);
+        pack_a(rows, k, a, &mut ap);
+        gemm_tiles(rows, k, n, &ap, c, |k0, kc, bp| pack_b_block(k0, kc, n, b, bp));
+        return;
+    }
+    // Small path: plain loop nest, same per-element chain (`kk`
+    // ascending into the live `c` value).
+    for i in 0..rows {
+        let a_row = &a[i * k..(i + 1) * k];
+        let c_row = &mut c[i * n..(i + 1) * n];
+        for (kk, &aik) in a_row.iter().enumerate() {
+            let b_row = &b[kk * n..(kk + 1) * n];
+            for (cj, bj) in c_row.iter_mut().zip(b_row) {
+                *cj += aik * bj;
             }
         }
-        k0 = k1;
     }
 }
 
@@ -108,18 +291,23 @@ pub fn gemm_at_b(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], c: &mut [f3
 /// Serial `gemm_at_b` over the destination rows held in `c` (a band
 /// starting at row `first` of the full output); `a` is the full `k×m`
 /// left operand (its columns are strided, so it cannot be sub-sliced
-/// per chunk). Accumulation per destination row is `kk` ascending —
-/// identical to the whole-matrix kernel.
+/// per chunk).
 fn gemm_at_b_rows(first: usize, m: usize, k: usize, n: usize, a: &[f32], b: &[f32], c: &mut [f32]) {
+    if n == 0 {
+        return;
+    }
     let rows = c.len() / n;
+    if rows * k * n >= PACK_MIN_WORK {
+        let mut ap = arena::take(rows.div_ceil(MR) * MR * k);
+        pack_a_t(first, rows, k, m, a, &mut ap);
+        gemm_tiles(rows, k, n, &ap, c, |k0, kc, bp| pack_b_block(k0, kc, n, b, bp));
+        return;
+    }
     for kk in 0..k {
         let a_row = &a[kk * m..(kk + 1) * m];
         let b_row = &b[kk * n..(kk + 1) * n];
         for i in 0..rows {
             let aki = a_row[first + i];
-            if aki == 0.0 {
-                continue;
-            }
             let c_row = &mut c[i * n..(i + 1) * n];
             for (cj, bj) in c_row.iter_mut().zip(b_row) {
                 *cj += aki * bj;
@@ -148,16 +336,23 @@ pub fn gemm_a_bt(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], c: &mut [f3
 /// Serial `gemm_a_bt` over a contiguous band of `rows` destination
 /// rows; `a` holds the matching rows of the left operand.
 fn gemm_a_bt_rows(rows: usize, k: usize, n: usize, a: &[f32], b: &[f32], c: &mut [f32]) {
+    if rows * k * n >= PACK_MIN_WORK {
+        let mut ap = arena::take(rows.div_ceil(MR) * MR * k);
+        pack_a(rows, k, a, &mut ap);
+        gemm_tiles(rows, k, n, &ap, c, |k0, kc, bp| pack_bt_block(k0, kc, k, n, b, bp));
+        return;
+    }
+    // Small path: per-element dot, accumulated directly into the live
+    // `c` value so the chain matches the packed path and the other
+    // kernels (`c` first, then `kk` ascending).
     for i in 0..rows {
         let a_row = &a[i * k..(i + 1) * k];
         let c_row = &mut c[i * n..(i + 1) * n];
         for (j, cj) in c_row.iter_mut().enumerate() {
             let b_row = &b[j * k..(j + 1) * k];
-            let mut acc = 0.0f32;
             for (av, bv) in a_row.iter().zip(b_row) {
-                acc += av * bv;
+                *cj += av * bv;
             }
-            *cj += acc;
         }
     }
 }
@@ -180,16 +375,17 @@ mod tests {
     }
 
     #[test]
-    fn gemm_matches_naive() {
+    fn gemm_matches_naive_bitwise() {
         let mut rng = SeededRng::new(1);
-        for &(m, k, n) in &[(1, 1, 1), (3, 4, 5), (7, 300, 9), (16, 16, 16)] {
+        // Ragged shapes straddling PACK_MIN_WORK and the tile sizes.
+        for &(m, k, n) in &[(1, 1, 1), (3, 4, 5), (7, 300, 9), (16, 16, 16), (37, 41, 29)] {
             let a = Tensor::randn(&[m, k], 0.0, 1.0, &mut rng);
             let b = Tensor::randn(&[k, n], 0.0, 1.0, &mut rng);
             let mut c = vec![0.0f32; m * n];
             gemm(m, k, n, a.data(), b.data(), &mut c);
             let expect = naive(m, k, n, a.data(), b.data());
             for (x, y) in c.iter().zip(&expect) {
-                assert!((x - y).abs() < 1e-3, "{x} vs {y}");
+                assert_eq!(x.to_bits(), y.to_bits(), "{x} vs {y}");
             }
         }
     }
@@ -213,6 +409,21 @@ mod tests {
         assert_eq!(c, [11.0, 22.0]);
     }
 
+    /// Regression for the old `aik == 0.0` fast path: skipping the
+    /// multiplication drops `0·NaN = NaN` and `0·∞ = NaN`, silently
+    /// un-poisoning outputs the TrainGuard divergence check relies on
+    /// seeing. Zero rows of `a` must still propagate non-finite `b`.
+    #[test]
+    fn zero_times_non_finite_propagates() {
+        let a = [0.0f32, 0.0];
+        // Column 0 carries a NaN, column 1 an infinity.
+        let b = [f32::NAN, f32::INFINITY, 1.0, 2.0];
+        let mut c = [0.0f32; 2];
+        gemm(1, 2, 2, &a, &b, &mut c);
+        assert!(c[0].is_nan(), "0 * NaN row must poison the output");
+        assert!(c[1].is_nan(), "0 * inf must poison the output (0*inf = NaN)");
+    }
+
     #[test]
     fn transposed_variants_match_explicit_transpose() {
         let mut rng = SeededRng::new(2);
@@ -234,6 +445,36 @@ mod tests {
         for (x, y) in c2.iter().zip(expect2.data()) {
             assert!((x - y).abs() < 1e-4);
         }
+    }
+
+    /// The packed path must honor the module-level contract: identical
+    /// bits to the naive chain (and hence to the small path) even at
+    /// shapes ragged against every blocking factor.
+    #[test]
+    fn packed_paths_match_naive_bitwise() {
+        let mut rng = SeededRng::new(4);
+        // 47·52·43 ≈ 105k MACs: above PACK_MIN_WORK, below PAR_MIN_WORK,
+        // with m ragged against MR=4 and n ragged against NR=8.
+        let (m, k, n) = (47, 52, 43);
+        let a = Tensor::randn(&[m, k], 0.0, 1.0, &mut rng);
+        let b = Tensor::randn(&[k, n], 0.0, 1.0, &mut rng);
+        let expect = naive(m, k, n, a.data(), b.data());
+
+        let mut c = vec![0.0f32; m * n];
+        gemm(m, k, n, a.data(), b.data(), &mut c);
+        assert!(c.iter().zip(&expect).all(|(x, y)| x.to_bits() == y.to_bits()));
+
+        // a^T stored variant against the same naive result.
+        let a_t = a.transpose2();
+        let mut c = vec![0.0f32; m * n];
+        gemm_at_b(m, k, n, a_t.data(), b.data(), &mut c);
+        assert!(c.iter().zip(&expect).all(|(x, y)| x.to_bits() == y.to_bits()));
+
+        // b^T stored variant.
+        let b_t = b.transpose2();
+        let mut c = vec![0.0f32; m * n];
+        gemm_a_bt(m, k, n, a.data(), b_t.data(), &mut c);
+        assert!(c.iter().zip(&expect).all(|(x, y)| x.to_bits() == y.to_bits()));
     }
 
     /// Each kernel must produce bit-identical output at any thread

@@ -1,5 +1,6 @@
 //! The dense row-major `f32` tensor type.
 
+use crate::arena;
 use crate::error::{Result, TensorError};
 use crate::rng::SeededRng;
 use crate::shape::Shape;
@@ -11,11 +12,28 @@ use crate::shape::Shape;
 /// `[out, in]`, convolution kernels are `[out_c, in_c, kh, kw]`.
 ///
 /// All arithmetic is eager and allocates its result; in-place variants
-/// (`*_assign`) exist for the optimizer hot paths.
-#[derive(Debug, Clone, PartialEq)]
+/// (`*_assign`) exist for the optimizer hot paths. Backing storage is
+/// recycled through the global [`crate::arena`], so steady-state
+/// training and serving loops — which produce the same tensor shapes
+/// every iteration — stop touching the system allocator after warm-up.
+#[derive(Debug, PartialEq)]
 pub struct Tensor {
     dims: Vec<usize>,
     data: Vec<f32>,
+}
+
+impl Clone for Tensor {
+    fn clone(&self) -> Self {
+        let mut data = arena::take_vec(self.data.len());
+        data.copy_from_slice(&self.data);
+        Self { dims: self.dims.clone(), data }
+    }
+}
+
+impl Drop for Tensor {
+    fn drop(&mut self) {
+        arena::give_vec(std::mem::take(&mut self.data));
+    }
 }
 
 impl Tensor {
@@ -39,7 +57,7 @@ impl Tensor {
 
     /// All-zeros tensor of the given shape.
     pub fn zeros(dims: &[usize]) -> Self {
-        Self { dims: dims.to_vec(), data: vec![0.0; dims.iter().product()] }
+        Self { dims: dims.to_vec(), data: arena::take_vec_zeroed(dims.iter().product()) }
     }
 
     /// All-ones tensor of the given shape.
@@ -49,26 +67,36 @@ impl Tensor {
 
     /// Constant-filled tensor of the given shape.
     pub fn full(dims: &[usize], value: f32) -> Self {
-        Self { dims: dims.to_vec(), data: vec![value; dims.iter().product()] }
+        let mut data = arena::take_vec(dims.iter().product());
+        data.fill(value);
+        Self { dims: dims.to_vec(), data }
     }
 
     /// Tensor of i.i.d. Gaussian samples.
     pub fn randn(dims: &[usize], mean: f32, std: f32, rng: &mut SeededRng) -> Self {
-        let n: usize = dims.iter().product();
-        let data = (0..n).map(|_| rng.normal(mean, std)).collect();
+        let mut data = arena::take_vec(dims.iter().product());
+        for v in &mut data {
+            *v = rng.normal(mean, std);
+        }
         Self { dims: dims.to_vec(), data }
     }
 
     /// Tensor of i.i.d. uniform samples in `[lo, hi)`.
     pub fn rand_uniform(dims: &[usize], lo: f32, hi: f32, rng: &mut SeededRng) -> Self {
-        let n: usize = dims.iter().product();
-        let data = (0..n).map(|_| rng.uniform(lo, hi)).collect();
+        let mut data = arena::take_vec(dims.iter().product());
+        for v in &mut data {
+            *v = rng.uniform(lo, hi);
+        }
         Self { dims: dims.to_vec(), data }
     }
 
     /// Rank-1 tensor holding `0, 1, …, n-1`.
     pub fn arange(n: usize) -> Self {
-        Self { dims: vec![n], data: (0..n).map(|i| i as f32).collect() }
+        let mut data = arena::take_vec(n);
+        for (i, v) in data.iter_mut().enumerate() {
+            *v = i as f32;
+        }
+        Self { dims: vec![n], data }
     }
 
     // ---------------------------------------------------------------
@@ -110,9 +138,10 @@ impl Tensor {
         &mut self.data
     }
 
-    /// Consumes the tensor, returning its backing vector.
-    pub fn into_vec(self) -> Vec<f32> {
-        self.data
+    /// Consumes the tensor, returning its backing vector (the storage
+    /// escapes the arena and is owned by the caller).
+    pub fn into_vec(mut self) -> Vec<f32> {
+        std::mem::take(&mut self.data)
     }
 
     /// Element at a multi-dimensional index.
@@ -140,12 +169,16 @@ impl Tensor {
         if expect != self.data.len() {
             return Err(TensorError::InvalidReshape { from: self.dims.clone(), to: dims.to_vec() });
         }
-        Ok(Self { dims: dims.to_vec(), data: self.data.clone() })
+        let mut data = arena::take_vec(self.data.len());
+        data.copy_from_slice(&self.data);
+        Ok(Self { dims: dims.to_vec(), data })
     }
 
     /// Flattens to rank 1.
     pub fn flatten(&self) -> Self {
-        Self { dims: vec![self.data.len()], data: self.data.clone() }
+        let mut data = arena::take_vec(self.data.len());
+        data.copy_from_slice(&self.data);
+        Self { dims: vec![self.data.len()], data }
     }
 
     /// Transposes a rank-2 tensor.
@@ -156,7 +189,7 @@ impl Tensor {
     pub fn transpose2(&self) -> Self {
         assert_eq!(self.rank(), 2, "transpose2 requires a matrix");
         let (r, c) = (self.dims[0], self.dims[1]);
-        let mut out = vec![0.0f32; r * c];
+        let mut out = arena::take_vec(r * c);
         for i in 0..r {
             for j in 0..c {
                 out[j * r + i] = self.data[i * c + j];
@@ -173,7 +206,9 @@ impl Tensor {
     pub fn row(&self, i: usize) -> Self {
         assert_eq!(self.rank(), 2, "row() requires a matrix");
         let c = self.dims[1];
-        Self { dims: vec![c], data: self.data[i * c..(i + 1) * c].to_vec() }
+        let mut data = arena::take_vec(c);
+        data.copy_from_slice(&self.data[i * c..(i + 1) * c]);
+        Self { dims: vec![c], data }
     }
 
     /// Extracts sample `i` of a batched tensor (`[N, …]`) keeping the
@@ -188,7 +223,9 @@ impl Tensor {
         let stride: usize = self.dims[1..].iter().product();
         let mut dims = self.dims.clone();
         dims[0] = 1;
-        Self { dims, data: self.data[i * stride..(i + 1) * stride].to_vec() }
+        let mut data = arena::take_vec(stride);
+        data.copy_from_slice(&self.data[i * stride..(i + 1) * stride]);
+        Self { dims, data }
     }
 
     /// Concatenates tensors along axis 0. All trailing dims must agree.
@@ -213,9 +250,11 @@ impl Tensor {
         }
         let mut dims = parts[0].dims.clone();
         dims[0] = n0;
-        let mut data = Vec::with_capacity(dims.iter().product());
+        let mut data = arena::take_vec(dims.iter().product());
+        let mut off = 0usize;
         for p in parts {
-            data.extend_from_slice(&p.data);
+            data[off..off + p.data.len()].copy_from_slice(&p.data);
+            off += p.data.len();
         }
         Ok(Self { dims, data })
     }
@@ -242,7 +281,10 @@ impl Tensor {
     /// Returns [`TensorError::ShapeMismatch`] if shapes differ.
     pub fn add(&self, other: &Tensor) -> Result<Self> {
         self.check_same_shape(other, "add")?;
-        let data = self.data.iter().zip(&other.data).map(|(a, b)| a + b).collect();
+        let mut data = arena::take_vec(self.data.len());
+        for (d, (a, b)) in data.iter_mut().zip(self.data.iter().zip(&other.data)) {
+            *d = a + b;
+        }
         Ok(Self { dims: self.dims.clone(), data })
     }
 
@@ -253,7 +295,10 @@ impl Tensor {
     /// Returns [`TensorError::ShapeMismatch`] if shapes differ.
     pub fn sub(&self, other: &Tensor) -> Result<Self> {
         self.check_same_shape(other, "sub")?;
-        let data = self.data.iter().zip(&other.data).map(|(a, b)| a - b).collect();
+        let mut data = arena::take_vec(self.data.len());
+        for (d, (a, b)) in data.iter_mut().zip(self.data.iter().zip(&other.data)) {
+            *d = a - b;
+        }
         Ok(Self { dims: self.dims.clone(), data })
     }
 
@@ -264,7 +309,10 @@ impl Tensor {
     /// Returns [`TensorError::ShapeMismatch`] if shapes differ.
     pub fn mul(&self, other: &Tensor) -> Result<Self> {
         self.check_same_shape(other, "mul")?;
-        let data = self.data.iter().zip(&other.data).map(|(a, b)| a * b).collect();
+        let mut data = arena::take_vec(self.data.len());
+        for (d, (a, b)) in data.iter_mut().zip(self.data.iter().zip(&other.data)) {
+            *d = a * b;
+        }
         Ok(Self { dims: self.dims.clone(), data })
     }
 
@@ -296,7 +344,10 @@ impl Tensor {
 
     /// Returns `self * scalar`.
     pub fn scale(&self, scalar: f32) -> Self {
-        let data = self.data.iter().map(|a| a * scalar).collect();
+        let mut data = arena::take_vec(self.data.len());
+        for (d, a) in data.iter_mut().zip(&self.data) {
+            *d = a * scalar;
+        }
         Self { dims: self.dims.clone(), data }
     }
 
@@ -309,7 +360,10 @@ impl Tensor {
 
     /// Applies `f` to every element, producing a new tensor.
     pub fn map(&self, f: impl Fn(f32) -> f32) -> Self {
-        let data = self.data.iter().map(|&a| f(a)).collect();
+        let mut data = arena::take_vec(self.data.len());
+        for (d, &a) in data.iter_mut().zip(&self.data) {
+            *d = f(a);
+        }
         Self { dims: self.dims.clone(), data }
     }
 

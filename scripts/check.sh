@@ -34,6 +34,11 @@ test -s target/dlbench-reports/TRACE_profile.json
 echo "==> trace overhead bench (tracing off vs on, BENCH_trace.json)"
 cargo bench --bench trace --locked -- --quick > /dev/null
 
+echo "==> kernel perf gate (full timings vs committed baseline, >15% fails)"
+DLBENCH_PERF_BASELINE="$PWD/crates/bench/baselines/kernels.json" \
+    cargo bench --bench kernels --locked
+test -s target/dlbench-reports/BENCH_kernels.json
+
 echo "==> dist smoke (2-worker Tiny run, fault injection, bit-identity vs 1 worker)"
 cargo run -p dlbench-cli --release --locked -q -- dist-train --workers 2 \
     --strategy ring --max-steps 30 --kill 1:5 > /dev/null

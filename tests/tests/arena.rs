@@ -1,0 +1,65 @@
+//! Arena gate: after a warm-up iteration, steady-state training must be
+//! allocation-free — every tensor and kernel scratch buffer comes from
+//! the recycled pool, never the system allocator.
+//!
+//! Proven via the arena's own counters: one full forward/backward/Adam
+//! iteration populates the pool; subsequent identical iterations must
+//! record *zero* pool misses (a miss is exactly "the arena had no
+//! buffer of this length, so it allocated"). Lives in its own test
+//! binary so no unrelated test churns the process-global counters.
+
+use dlbench_nn::{
+    Conv2d, Flatten, Initializer, Linear, MaxPool2d, Network, Relu, SoftmaxCrossEntropy,
+};
+use dlbench_optim::{Adam, LrPolicy, Optimizer};
+use dlbench_tensor::{arena, SeededRng, Tensor};
+
+#[test]
+fn steady_state_training_iterations_are_allocation_free() {
+    if std::env::var("DLBENCH_ARENA").as_deref() == Ok("0") {
+        // Kill switch engaged: every take is a deliberate miss.
+        return;
+    }
+    let mut rng = SeededRng::new(0xA11C);
+    let mut net = Network::new("arena-steady-state");
+    net.push(Conv2d::new(3, 8, 3, 1, 1, Initializer::Xavier, &mut rng));
+    net.push(Relu::new());
+    net.push(MaxPool2d::new(2, 2, false));
+    net.push(Flatten::new());
+    net.push(Linear::new(8 * 8 * 8, 10, Initializer::Xavier, &mut rng));
+
+    let x = Tensor::randn(&[4, 3, 16, 16], 0.0, 1.0, &mut rng);
+    let labels: Vec<usize> = (0..4).map(|i| i % 10).collect();
+    let mut loss = SoftmaxCrossEntropy::new();
+    let mut adam = Adam::new(1e-3, 0.9, 0.999, 1e-8, LrPolicy::Fixed);
+
+    let mut step = |it: usize, net: &mut Network, loss: &mut SoftmaxCrossEntropy| {
+        let logits = net.forward(&x, true);
+        loss.forward(&logits, &labels);
+        net.zero_grads();
+        net.backward(&loss.backward());
+        adam.step(&mut net.params(), it);
+    };
+
+    // Warm-up: the first iteration of each buffer length is allowed to
+    // allocate (the pool starts empty).
+    for it in 0..2 {
+        step(it, &mut net, &mut loss);
+    }
+
+    let before = arena::stats();
+    for it in 2..6 {
+        step(it, &mut net, &mut loss);
+    }
+    let after = arena::stats();
+
+    assert_eq!(
+        after.misses - before.misses,
+        0,
+        "steady-state training hit the allocator {} times (hits {} -> {})",
+        after.misses - before.misses,
+        before.hits,
+        after.hits
+    );
+    assert!(after.hits > before.hits, "arena was never consulted — is it on the hot path?");
+}

@@ -1,0 +1,221 @@
+//! Kernel equivalence gate: the packed, blocked GEMM kernels and the
+//! fused im2col+GEMM convolution must be *bitwise* equal to their
+//! textbook references.
+//!
+//! The determinism contract (see `dlbench_tensor::linalg`) says every
+//! destination element evolves as the fixed chain
+//! `c = (((c₀ + t₀) + t₁) + …)` with `t_kk = a_ik · b_kj` in ascending
+//! `kk`. Blocking, packing, path choice (small vs packed) and thread
+//! count may only change *which element is computed when*, never the
+//! per-element operation sequence — so the optimized kernels must
+//! reproduce the naive triple loop bit for bit, on every shape
+//! including ragged tails, empty dims and 1×1, at any thread count.
+
+use dlbench_data::DatasetKind;
+use dlbench_frameworks::{arch_defaults, FrameworkKind};
+use dlbench_nn::{Conv2d, Initializer, Layer};
+use dlbench_tensor::{gemm, gemm_a_bt, gemm_at_b, gemm_bias, par, SeededRng, Tensor};
+use std::sync::Mutex;
+
+/// Serializes tests that mutate the global worker count.
+static THREADS_GATE: Mutex<()> = Mutex::new(());
+
+fn gate() -> std::sync::MutexGuard<'static, ()> {
+    THREADS_GATE.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Runs `f` at the given thread count, restoring single-threaded
+/// execution afterwards so unrelated tests see a fixed configuration.
+fn at_threads<R>(n: usize, f: impl FnOnce() -> R) -> R {
+    par::set_threads(n);
+    let out = f();
+    par::set_threads(1);
+    out
+}
+
+/// The reference semantics, spelled out: a naive triple loop that
+/// accumulates `a[i,kk] * b[kk,j]` directly into `c[i,j]` in ascending
+/// `kk`. No skips, no reassociation, no FMA.
+fn naive_gemm(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], c: &mut [f32]) {
+    for i in 0..m {
+        for j in 0..n {
+            for kk in 0..k {
+                c[i * n + j] += a[i * k + kk] * b[kk * n + j];
+            }
+        }
+    }
+}
+
+/// `c += aᵀ @ b` with `a` stored `[k, m]`.
+fn naive_gemm_at_b(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], c: &mut [f32]) {
+    for i in 0..m {
+        for j in 0..n {
+            for kk in 0..k {
+                c[i * n + j] += a[kk * m + i] * b[kk * n + j];
+            }
+        }
+    }
+}
+
+/// `c += a @ bᵀ` with `b` stored `[n, k]`.
+fn naive_gemm_a_bt(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], c: &mut [f32]) {
+    for i in 0..m {
+        for j in 0..n {
+            for kk in 0..k {
+                c[i * n + j] += a[i * k + kk] * b[j * k + kk];
+            }
+        }
+    }
+}
+
+fn bits(v: &[f32]) -> Vec<u32> {
+    v.iter().map(|x| x.to_bits()).collect()
+}
+
+/// Shapes that exercise every dispatch path: the small loop (below
+/// `PACK_MIN_WORK`), the packed path, ragged tails against the 4×8
+/// micro-tile and the 256-deep k-block, empty dims, 1×1, and sizes big
+/// enough to clear `par::PAR_MIN_WORK` so 4 threads genuinely fan out.
+const SHAPES: &[(usize, usize, usize)] = &[
+    (1, 1, 1),
+    (4, 8, 8),
+    (3, 5, 7),
+    (0, 4, 4),
+    (4, 0, 4),
+    (4, 4, 0),
+    (37, 41, 29),
+    (64, 300, 48),
+    (128, 96, 80),
+    (65, 257, 9),
+];
+
+#[test]
+fn packed_gemm_kernels_match_naive_reference_bitwise() {
+    let _gate = gate();
+    let mut rng = SeededRng::new(0x4E44);
+    for &(m, k, n) in SHAPES {
+        let a = Tensor::randn(&[m.max(1), k.max(1)], 0.0, 1.0, &mut rng);
+        let b = Tensor::randn(&[k.max(1), n.max(1)], 0.0, 1.0, &mut rng);
+        let bias = Tensor::randn(&[n.max(1)], 0.0, 1.0, &mut rng);
+        // Nonzero destination: accumulation order into existing values
+        // is part of the contract, not just the product itself.
+        let c_init = Tensor::randn(&[m.max(1), n.max(1)], 0.0, 1.0, &mut rng);
+        let c_init = &c_init.data()[..m * n];
+        let (ad, bd) = (&a.data()[..m * k], &b.data()[..k * n]);
+
+        let mut want = c_init.to_vec();
+        naive_gemm(m, k, n, ad, bd, &mut want);
+        for threads in [1, 4] {
+            let mut got = c_init.to_vec();
+            at_threads(threads, || gemm(m, k, n, ad, bd, &mut got));
+            assert_eq!(bits(&got), bits(&want), "gemm {m}x{k}x{n} @ {threads} threads");
+        }
+
+        let mut want_bias = vec![0.0f32; m * n];
+        for row in want_bias.chunks_exact_mut(n.max(1)) {
+            row.copy_from_slice(&bias.data()[..n]);
+        }
+        naive_gemm(m, k, n, ad, bd, &mut want_bias);
+        for threads in [1, 4] {
+            let mut got = vec![0.0f32; m * n];
+            at_threads(threads, || gemm_bias(m, k, n, ad, bd, &bias.data()[..n], &mut got));
+            assert_eq!(bits(&got), bits(&want_bias), "gemm_bias {m}x{k}x{n} @ {threads} threads");
+        }
+
+        // Transposed-operand variants, same shapes: `a` as [k, m] for
+        // aᵀb, `b` as [n, k] for abᵀ.
+        let at_full = Tensor::randn(&[k.max(1), m.max(1)], 0.0, 1.0, &mut rng).into_vec();
+        let at = &at_full[..k * m];
+        let mut want = c_init.to_vec();
+        naive_gemm_at_b(m, k, n, at, bd, &mut want);
+        for threads in [1, 4] {
+            let mut got = c_init.to_vec();
+            at_threads(threads, || gemm_at_b(m, k, n, at, bd, &mut got));
+            assert_eq!(bits(&got), bits(&want), "gemm_at_b {m}x{k}x{n} @ {threads} threads");
+        }
+
+        let bt_full = Tensor::randn(&[n.max(1), k.max(1)], 0.0, 1.0, &mut rng).into_vec();
+        let bt = &bt_full[..n * k];
+        let mut want = c_init.to_vec();
+        naive_gemm_a_bt(m, k, n, ad, bt, &mut want);
+        for threads in [1, 4] {
+            let mut got = c_init.to_vec();
+            at_threads(threads, || gemm_a_bt(m, k, n, ad, bt, &mut got));
+            assert_eq!(bits(&got), bits(&want), "gemm_a_bt {m}x{k}x{n} @ {threads} threads");
+        }
+    }
+}
+
+/// Regression for the old `aik == 0.0` fast-skip in the serial GEMM: a
+/// zero left operand must still multiply the right operand, because
+/// `0 · NaN = NaN` and `0 · ∞ = NaN` — TrainGuard's divergence
+/// detection relies on non-finite values propagating through every
+/// kernel instead of being silently filtered.
+#[test]
+fn zero_rows_do_not_mask_poisoned_operands() {
+    let _gate = gate();
+    // Big enough for the packed path, with k past one k-block, and a
+    // small-path shape too — the skip must exist on neither.
+    for (m, k, n) in [(2usize, 3usize, 4usize), (48, 300, 40)] {
+        let a = vec![0.0f32; m * k];
+        let mut rng = SeededRng::new(0xBAD);
+        let mut b = Tensor::randn(&[k, n], 0.0, 1.0, &mut rng).into_vec();
+        // Poison one full b row: every output column sees a NaN term.
+        for v in &mut b[n..2 * n] {
+            *v = f32::NAN;
+        }
+        for threads in [1, 4] {
+            let mut c = vec![0.0f32; m * n];
+            at_threads(threads, || gemm(m, k, n, &a, &b, &mut c));
+            assert!(
+                c.iter().all(|v| v.is_nan()),
+                "0·NaN was dropped ({m}x{k}x{n} @ {threads} threads)"
+            );
+        }
+    }
+}
+
+/// The fused im2col+GEMM forward must be bitwise-transparent: for every
+/// conv geometry in the three personality networks (both datasets), the
+/// fused `Conv2d::forward` equals the materialized im2col+GEMM oracle,
+/// serial and at 4 threads.
+#[test]
+fn fused_conv_forward_is_bitwise_transparent_for_all_personalities() {
+    let _gate = gate();
+    let mut rng = SeededRng::new(0xF5ED);
+    const BATCH: usize = 3;
+    for fw in FrameworkKind::ALL {
+        for ds in [DatasetKind::Mnist, DatasetKind::Cifar10] {
+            let spec = arch_defaults(fw, ds);
+            let input = (ds.channels(), ds.native_size(), ds.native_size());
+            for (i, (geo, oc)) in spec.conv_geometries(input).iter().enumerate() {
+                let mut conv = Conv2d::new(
+                    geo.in_channels,
+                    *oc,
+                    geo.kernel_h,
+                    geo.stride,
+                    geo.pad,
+                    Initializer::Xavier,
+                    &mut rng,
+                );
+                let x = Tensor::randn(
+                    &[BATCH, geo.in_channels, geo.in_h, geo.in_w],
+                    0.0,
+                    1.0,
+                    &mut rng,
+                );
+                let want = bits(conv.forward_materialized(&x).data());
+                for threads in [1, 4] {
+                    let got = at_threads(threads, || conv.forward(&x, false));
+                    assert_eq!(
+                        bits(got.data()),
+                        want,
+                        "{}/conv{} fused != materialized @ {threads} threads",
+                        spec.name,
+                        i + 1
+                    );
+                }
+            }
+        }
+    }
+}

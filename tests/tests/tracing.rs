@@ -38,29 +38,34 @@ impl Drop for Armed {
 fn conv_worker_thread_spans_merge_into_one_stream() {
     let _gate = gate();
     let _armed = Armed::new();
-    // Geometry from the determinism gate: per-sample im2col GEMMs clear
-    // par::PAR_MIN_WORK, so at 4 threads the 8 samples really land on
-    // ephemeral worker threads.
+    // Geometry from the determinism gate: per-sample backward GEMMs
+    // clear par::PAR_MIN_WORK, so at 4 threads the 8 samples really
+    // land on ephemeral worker threads. (The fused forward records one
+    // caller-thread span; the backward pass still runs per-sample
+    // gemm_at_b/gemm_a_bt kernels inside the workers.)
     let (n, c, hw, oc, k) = (8, 8, 32, 16, 3);
     assert!(oc * (c * k * k) * (hw * hw) >= par::PAR_MIN_WORK);
     let mut rng = SeededRng::new(0x7AC3);
     let mut conv = Conv2d::new(c, oc, k, 1, 1, Initializer::Xavier, &mut rng);
     let x = Tensor::randn(&[n, c, hw, hw], 0.0, 1.0, &mut rng);
     par::set_threads(4);
-    let _y = conv.forward(&x, false);
+    let y = conv.forward(&x, true);
+    let g = Tensor::randn(y.shape(), 0.0, 1.0, &mut rng);
+    let _gx = conv.backward(&g);
     par::set_threads(1);
 
     let events = dlbench_trace::take_events();
     let kernel_tids: BTreeSet<u64> =
         events.iter().filter(|e| e.cat == Category::Kernel && e.is_span()).map(|e| e.tid).collect();
     // The per-sample conv kernels run on scoped worker threads that
-    // exit as soon as the forward returns; their ring buffers must have
-    // been retired into the shared registry, not lost.
+    // exit as soon as the backward returns; their ring buffers must
+    // have been retired into the shared registry, not lost.
     assert!(
         kernel_tids.len() >= 2,
         "expected kernel spans from several worker threads, got tids {kernel_tids:?}"
     );
-    let gemm_count = events.iter().filter(|e| e.name == "gemm" || e.name == "gemm_a_bt").count();
+    let gemm_count =
+        events.iter().filter(|e| e.name == "gemm_at_b" || e.name == "gemm_a_bt").count();
     assert!(gemm_count >= n, "expected at least one gemm span per sample, got {gemm_count}");
     // The merged stream is seq-sorted regardless of which thread
     // recorded each event.
