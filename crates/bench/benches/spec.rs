@@ -40,7 +40,7 @@ fn main() {
 
     let opts = RunOptions { cache_dir: root.join("target/dlbench-cache"), force: false };
     let watch = Stopwatch::start();
-    let run = match spec::run_plan(&plan, &opts, None) {
+    let run = match spec::run_plan(&plan, &opts, None, None) {
         Ok(run) => run,
         Err(e) => {
             eprintln!("{path}: {e}");

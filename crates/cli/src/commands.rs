@@ -539,6 +539,153 @@ pub fn loadgen(args: &ParsedArgs) -> Result<(), String> {
     Ok(())
 }
 
+fn parse_routing(raw: &str) -> Result<dlbench_fleet::RoutingPolicy, String> {
+    dlbench_fleet::RoutingPolicy::parse(raw)
+        .ok_or_else(|| format!("unknown routing policy `{raw}` (rr|least-queue|batch-aware)"))
+}
+
+/// `dlbench fleet --sweep`: arrival rates × routing policies ×
+/// autoscaling through the simtime fleet simulator, written as
+/// `BENCH_fleet.json`. Pure sim-time, so the document is byte-identical
+/// across runs (check.sh enforces this).
+fn fleet_sweep(args: &ParsedArgs) -> Result<(), String> {
+    use dlbench_fleet::{fleet_sweep_doc, RoutingPolicy, SimFleetConfig};
+    let rates: Vec<f64> = args
+        .get("rates")
+        .unwrap_or("1000,50000,1000000")
+        .split(',')
+        .map(|s| s.trim().parse::<f64>().map_err(|_| format!("bad rate `{s}`")))
+        .collect::<Result<_, _>>()?;
+    let policies: Vec<RoutingPolicy> = match args.get("routing") {
+        None => RoutingPolicy::ALL.to_vec(),
+        Some(raw) => raw.split(',').map(|s| parse_routing(s.trim())).collect::<Result<_, _>>()?,
+    };
+    let autoscale_modes: &[bool] = match args.get("autoscale").unwrap_or("both") {
+        "both" => &[false, true],
+        "on" => &[true],
+        "off" => &[false],
+        other => return Err(format!("unknown --autoscale `{other}` (both|on|off)")),
+    };
+    let mut base = SimFleetConfig::new(0.0, args.get_parsed("requests", 2_000usize)?);
+    base.host = parse_framework(args.get("framework").unwrap_or("tf"))?;
+    base.dataset = parse_dataset(args.get("dataset").unwrap_or("mnist"))?;
+    base.scale = parse_scale(args.get("scale"))?;
+    base.seed = args.get_parsed("seed", 42u64)?;
+    base.replicas = args.get_parsed("replicas", 2usize)?.max(1);
+    base.max_batch = args.get_parsed("max-batch", 8usize)?.max(1);
+    base.target_p99_ms = args.get_parsed("target-p99-ms", 20.0f64)?;
+    let doc = fleet_sweep_doc(&base, &rates, &policies, autoscale_modes);
+    let out = args.get("out").unwrap_or("target/dlbench-reports/BENCH_fleet.json");
+    write_text_file(out, &(doc.pretty() + "\n"))?;
+    let cells = rates.len() * policies.len() * autoscale_modes.len();
+    println!("[fleet sweep: {cells} cells written to {out}]");
+    Ok(())
+}
+
+/// `dlbench fleet`: a live fleet demo — N replicas serve under
+/// concurrent load while a real `dist-train` run streams epoch-boundary
+/// checkpoints through the health gate and hot-swaps the fleet.
+pub fn fleet(args: &ParsedArgs) -> Result<(), String> {
+    use dlbench_fleet::{
+        dist_training_stream, Fleet, FleetConfig, HealthGateConfig, Promoter, PromotionOutcome,
+    };
+    use dlbench_serve::{loadgen, ModelSpec};
+    if args.flag("sweep") {
+        return fleet_sweep(args);
+    }
+    let scale = parse_scale(args.get("scale"))?;
+    let seed = args.get_parsed("seed", 42u64)?;
+    configure_threads(args)?;
+    let trace = trace_start(args);
+    let (host, setting, dataset) = cell_from_args(args)?;
+    let config = FleetConfig {
+        replicas: args.get_parsed("replicas", 2usize)?.max(1),
+        policy: parse_routing(args.get("routing").unwrap_or("least-queue"))?,
+        batch: batch_config_from_args(args)?,
+        target_p99_ms: args.get_parsed("target-p99-ms", 50.0f64)?,
+    };
+    let spec = ModelSpec { name: "default".into(), host, setting, dataset, scale, seed };
+    let concurrency = args.get_parsed("concurrency", 4usize)?.max(1);
+    let every = args.get_parsed("promote-every", 1usize)?.max(1);
+    let workers = args.get_parsed("workers", 2usize)?.max(1);
+
+    println!(
+        "fleet: {} replica(s), {} routing, target p99 {}ms",
+        config.replicas, config.policy, config.target_p99_ms
+    );
+    let fleet = std::sync::Arc::new(
+        Fleet::new(spec, config, None).map_err(|e| format!("starting the fleet: {e}"))?,
+    );
+    let promoter = Promoter::new(std::sync::Arc::clone(&fleet), HealthGateConfig::default());
+    let max_steps = match args.get_parsed("max-steps", 0usize)? {
+        0 => None,
+        n => Some(n),
+    };
+    let dcfg = dlbench_dist::DistConfig { workers, max_steps, ..Default::default() };
+    println!("training: {workers} worker(s), promoting every {every} epoch(s)");
+    let (train_handle, candidates) =
+        dist_training_stream(host, setting, dataset, scale, seed, every, dcfg);
+
+    // Load hammers the fleet on a background thread for the whole
+    // promotion window, so every swap happens under traffic.
+    let inputs = loadgen::sample_inputs(dataset, scale, seed, 16);
+    let stop = std::sync::atomic::AtomicBool::new(false);
+    let report = std::thread::scope(|scope| {
+        let fleet_ref = &fleet;
+        let inputs = &inputs;
+        let stop_ref = &stop;
+        let load = scope
+            .spawn(move || dlbench_fleet::drive_until(fleet_ref, inputs, concurrency, stop_ref));
+        for c in candidates {
+            let kind = if c.is_final { "final" } else { "rolling" };
+            match promoter.offer(c.epoch, &c.bytes) {
+                PromotionOutcome::Promoted { version, epoch, accuracy, requeued } => println!(
+                    "  promoted {kind} checkpoint @ epoch {epoch} -> v{version} \
+                     (holdout acc {accuracy:.3}, {requeued} request(s) carried across)"
+                ),
+                PromotionOutcome::Rejected { epoch, reason } => {
+                    println!("  rejected {kind} checkpoint @ epoch {epoch}: {reason}")
+                }
+            }
+        }
+        stop.store(true, std::sync::atomic::Ordering::Relaxed);
+        load.join().expect("load driver panicked")
+    });
+    let outcome = train_handle.join().map_err(|_| "training thread panicked".to_string())??;
+
+    println!(
+        "training done: {} iteration(s), final loss {:.4}, accuracy {:.2}%",
+        outcome.executed_iterations,
+        outcome.final_loss(),
+        outcome.accuracy * 100.0
+    );
+    println!(
+        "load: {} sent, {} ok, {} shed, {} error(s)",
+        report.sent, report.ok, report.shed, report.errors
+    );
+    if let Some(s) = &report.latency_ms {
+        println!(
+            "latency (ms)    p50 {:.2}   p95 {:.2}   p99 {:.2}   max {:.2}",
+            s.p50, s.p95, s.p99, s.max
+        );
+    }
+    for (version, n) in &report.by_version {
+        println!("  v{version}: {n} request(s)");
+    }
+    println!(
+        "SLO burn        {:.3}  (target p99 {}ms)",
+        fleet.slo_burn(),
+        fleet.config().target_p99_ms
+    );
+    println!("fleet version   v{}", fleet.version());
+    if report.errors > 0 {
+        return Err(format!("{} request(s) errored during promotion", report.errors));
+    }
+    fleet.drain();
+    trace_finish(trace)?;
+    Ok(())
+}
+
 /// Per-thread structural validation of a training trace: spans must
 /// nest properly (no partial overlap) and at least one thread must
 /// carry the full epoch ⊃ iteration ⊃ layer ⊃ kernel chain.
@@ -900,6 +1047,29 @@ impl dlbench_core::ServeBackend for CliServeBackend {
     }
 }
 
+/// Executes a spec's fleet cells through the simtime fleet simulator:
+/// pure sim-time, so cached and fresh results agree byte-for-byte.
+struct CliFleetBackend;
+
+impl dlbench_core::FleetBackend for CliFleetBackend {
+    fn run_fleet(
+        &self,
+        cell: &dlbench_core::spec::FleetCellSpec,
+    ) -> Result<dlbench_json::JsonValue, String> {
+        use dlbench_json::ToJson;
+        let mut cfg = dlbench_fleet::SimFleetConfig::new(cell.rate_rps, cell.requests);
+        cfg.host = cell.host;
+        cfg.dataset = cell.dataset;
+        cfg.scale = cell.scale;
+        cfg.seed = cell.seed;
+        cfg.policy = parse_routing(&cell.routing)?;
+        cfg.replicas = cell.replicas;
+        cfg.max_batch = cell.max_batch;
+        cfg.target_p99_ms = cell.target_p99_ms;
+        Ok(dlbench_fleet::simulate_fleet(&cfg).to_json())
+    }
+}
+
 /// `dlbench run-spec`
 pub fn run_spec(args: &ParsedArgs) -> Result<(), String> {
     use dlbench_core::spec::{self, RunOptions};
@@ -917,7 +1087,7 @@ pub fn run_spec(args: &ParsedArgs) -> Result<(), String> {
     let cache_dir = args.get("cache-dir").unwrap_or("target/dlbench-cache");
     let opts = RunOptions { cache_dir: cache_dir.into(), force: args.flag("force") };
     let trace = trace_start(args);
-    let run = spec::run_plan(&plan, &opts, Some(&CliServeBackend))?;
+    let run = spec::run_plan(&plan, &opts, Some(&CliServeBackend), Some(&CliFleetBackend))?;
     trace_finish(trace)?;
     for report in spec::aggregate_reports(&run) {
         println!("{}", report.render());

@@ -31,7 +31,7 @@ COMMANDS:
                                   whole run; also on train and serve)
     run-spec <file.json>          execute a declarative experiment spec:
                                   the spec's axes expand into a grid of
-                                  train/dist/serve cells, each keyed by
+                                  train/dist/serve/fleet cells, keyed by
                                   a content hash; finished cells persist
                                   under --cache-dir and are skipped on
                                   re-run, so interrupted sweeps resume
@@ -81,6 +81,28 @@ COMMANDS:
                                   [--dataset …] [--scale …] [--seed N]
                                   or: --sweep [--deadlines-ms 0,1,2,5]
                                   [--out FILE] (BENCH_serve.json rows)
+    fleet                         multi-replica serving fleet with live
+                                  train->serve checkpoint promotion:
+                                  replicas serve under concurrent load
+                                  while dist-train streams epoch
+                                  checkpoints through the health gate
+                                  and hot-swaps them in (zero drops)
+                                  [--replicas N] [--routing rr|
+                                  least-queue|batch-aware]
+                                  [--target-p99-ms X]
+                                  [--concurrency N] [--promote-every N]
+                                  [--workers N] [--max-steps N]
+                                  [--framework …] [--dataset …]
+                                  [--scale …] [--seed N]
+                                  [--max-batch N] [--batch-wait-ms N]
+                                  [--queue N] [--trace FILE]
+                                  or: --sweep through the simtime fleet
+                                  simulator (open-loop heavy-tailed
+                                  arrivals at planet-scale rates)
+                                  [--rates RPS,…] [--requests N]
+                                  [--autoscale both|on|off] [--out FILE]
+                                  (BENCH_fleet.json; byte-identical
+                                  across runs)
     profile                       trace one training run per framework
                                   personality and report per-op time,
                                   achieved GFLOP/s and efficiency
@@ -135,6 +157,7 @@ fn main() -> ExitCode {
         "ablate" => commands::ablate(&parsed),
         "serve" => commands::serve(&parsed),
         "loadgen" => commands::loadgen(&parsed),
+        "fleet" => commands::fleet(&parsed),
         "profile" => commands::profile(&parsed),
         other => Err(format!("unknown command `{other}`\n\n{USAGE}")),
     };

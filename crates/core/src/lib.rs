@@ -46,4 +46,4 @@ pub use metrics::{CellMetrics, Histogram, HistogramSummary};
 pub use registry::ExperimentId;
 pub use report::ExperimentReport;
 pub use runner::BenchmarkRunner;
-pub use spec::{ExperimentSpec, Plan, ServeBackend, SpecRun};
+pub use spec::{ExperimentSpec, FleetBackend, Plan, ServeBackend, SpecRun};

@@ -39,6 +39,8 @@ pub enum CellKindTag {
     Dist,
     /// Online-serving cell (load generator against the HTTP tier).
     Serve,
+    /// Multi-replica fleet cell (simulated routing/autoscaling sweep).
+    Fleet,
 }
 
 impl CellKindTag {
@@ -48,6 +50,7 @@ impl CellKindTag {
             CellKindTag::Train => "train",
             CellKindTag::Dist => "dist",
             CellKindTag::Serve => "serve",
+            CellKindTag::Fleet => "fleet",
         }
     }
 
@@ -56,7 +59,8 @@ impl CellKindTag {
             "train" => Ok(CellKindTag::Train),
             "dist" => Ok(CellKindTag::Dist),
             "serve" => Ok(CellKindTag::Serve),
-            other => Err(format!("unknown grid kind `{other}` (expected train|dist|serve)")),
+            "fleet" => Ok(CellKindTag::Fleet),
+            other => Err(format!("unknown grid kind `{other}` (expected train|dist|serve|fleet)")),
         }
     }
 }
@@ -72,14 +76,25 @@ const KNOWN_KEYS: &[&str] = &[
     "max_batch",
     "max_steps",
     "rate_rps",
+    "replicas",
     "requests",
+    "routing",
     "scale",
     "seed",
     "setting_dataset",
     "setting_owner",
     "strategy",
+    "target_p99_ms",
     "workers",
 ];
+
+/// Keys that only make sense on a fleet grid. Writing one on another
+/// grid's axes/overrides is a structured error (see
+/// [`ExperimentSpec::parse`]) instead of the usual silent per-kind
+/// filtering, because a sweep author who varies `routing` on a serve
+/// grid would otherwise get N identical cells and a duplicate-cell
+/// error that names the wrong problem.
+const FLEET_ONLY_KEYS: &[&str] = &["replicas", "routing", "target_p99_ms"];
 
 /// Parameter keys meaningful for each kind. Cells only keep (and
 /// hash) the keys their kind understands, so a shared default like
@@ -109,6 +124,18 @@ fn keys_for(kind: CellKindTag) -> &'static [&'static str] {
             "requests",
             "scale",
             "seed",
+        ],
+        CellKindTag::Fleet => &[
+            "dataset",
+            "framework",
+            "max_batch",
+            "rate_rps",
+            "replicas",
+            "requests",
+            "routing",
+            "scale",
+            "seed",
+            "target_p99_ms",
         ],
     }
 }
@@ -269,6 +296,19 @@ impl ExperimentSpec {
         }
         check_known_keys(&context, axes.iter().map(|(k, _)| k.as_str()))?;
         check_known_keys(&context, overrides.keys())?;
+        if kind != CellKindTag::Fleet {
+            let written =
+                axes.iter().map(|(k, _)| k.as_str()).chain(overrides.keys().map(String::as_str));
+            for k in written {
+                if FLEET_ONLY_KEYS.contains(&k) {
+                    return Err(format!(
+                        "{context}: parameter `{k}` only applies to fleet grids, but this \
+                         grid is kind `{}`; move it to a fleet grid or drop it",
+                        kind.name()
+                    ));
+                }
+            }
+        }
         axes.sort_by(|a, b| a.0.cmp(&b.0));
         Ok(GridSpec { kind, axes, overrides })
     }
@@ -479,6 +519,49 @@ pub struct ServeCellSpec {
     pub rate_rps: f64,
 }
 
+/// A fully-resolved fleet cell, executed by a [`FleetBackend`]
+/// (simulated routing/autoscaling sweep at one arrival rate).
+#[derive(Debug, Clone)]
+pub struct FleetCellSpec {
+    /// Host personality of the served model.
+    pub host: FrameworkKind,
+    /// Dataset the model was trained on.
+    pub dataset: DatasetKind,
+    /// Training scale for the backing model.
+    pub scale: Scale,
+    /// Master seed.
+    pub seed: u64,
+    /// Fixed replica count (autoscaling off in spec cells, so the cell
+    /// hash fully determines the fleet shape).
+    pub replicas: usize,
+    /// Routing policy, canonical spelling (`rr`, `least-queue`,
+    /// `batch-aware`). Kept as a string because `dlbench-core` cannot
+    /// depend on `dlbench-fleet`; the backend re-parses it.
+    pub routing: String,
+    /// Latency SLO the fleet holds (milliseconds).
+    pub target_p99_ms: f64,
+    /// Micro-batching cap per replica.
+    pub max_batch: usize,
+    /// Number of simulated requests.
+    pub requests: usize,
+    /// Open-loop arrival rate (requests/second).
+    pub rate_rps: f64,
+}
+
+/// Canonicalizes a routing-policy spelling. Mirrors
+/// `dlbench_fleet::RoutingPolicy::parse` (core cannot call it);
+/// `tests/tests/spec.rs` pins the two lists together.
+fn canonical_routing(s: &str) -> Result<&'static str, String> {
+    match s.to_ascii_lowercase().as_str() {
+        "rr" | "round-robin" | "roundrobin" => Ok("rr"),
+        "least-queue" | "leastqueue" | "lq" => Ok("least-queue"),
+        "batch-aware" | "batchaware" | "ba" => Ok("batch-aware"),
+        other => {
+            Err(format!("unknown routing policy `{other}` (expected rr|least-queue|batch-aware)"))
+        }
+    }
+}
+
 /// The typed payload a plan cell dispatches on.
 #[derive(Debug, Clone)]
 pub enum CellPayload {
@@ -488,6 +571,8 @@ pub enum CellPayload {
     Dist(DistCellSpec),
     /// Online serving.
     Serve(ServeCellSpec),
+    /// Multi-replica fleet simulation.
+    Fleet(FleetCellSpec),
 }
 
 fn parse_framework(s: &str) -> Result<FrameworkKind, String> {
@@ -670,6 +755,47 @@ fn typed_cell(kind: CellKindTag, params: BTreeMap<String, String>) -> Result<Pla
             };
             (CellPayload::Serve(cell), label)
         }
+        CellKindTag::Fleet => {
+            let replicas = p.usize("replicas")?.unwrap_or(2).max(1);
+            let routing = canonical_routing(p.get("routing").unwrap_or("least-queue"))?;
+            let target_p99_ms = p.f64("target_p99_ms")?.unwrap_or(50.0);
+            if target_p99_ms <= 0.0 {
+                return Err("`target_p99_ms` must be positive".into());
+            }
+            let max_batch = p.usize("max_batch")?.unwrap_or(8).max(1);
+            let requests = p.usize("requests")?.unwrap_or(256).max(1);
+            let rate_rps = p.f64("rate_rps")?.unwrap_or(1000.0);
+            if rate_rps <= 0.0 {
+                return Err("`rate_rps` must be positive".into());
+            }
+            canonical.insert("replicas".to_string(), replicas.to_string());
+            canonical.insert("routing".to_string(), routing.to_string());
+            canonical.insert("target_p99_ms".to_string(), fmt_num(target_p99_ms));
+            canonical.insert("max_batch".to_string(), max_batch.to_string());
+            canonical.insert("requests".to_string(), requests.to_string());
+            canonical.insert("rate_rps".to_string(), fmt_num(rate_rps));
+            let label = format!(
+                "{} on {} x{} {} @ {}rps",
+                host.name(),
+                dataset.name(),
+                replicas,
+                routing,
+                fmt_num(rate_rps)
+            );
+            let cell = FleetCellSpec {
+                host,
+                dataset,
+                scale,
+                seed,
+                replicas,
+                routing: routing.to_string(),
+                target_p99_ms,
+                max_batch,
+                requests,
+                rate_rps,
+            };
+            (CellPayload::Fleet(cell), label)
+        }
     };
     let hash = cell_hash(kind, &canonical);
     Ok(PlanCell { kind, label, params: canonical, hash, payload })
@@ -813,6 +939,16 @@ pub trait ServeBackend {
     fn run_serve(&self, cell: &ServeCellSpec) -> Result<JsonValue, String>;
 }
 
+/// Executes fleet cells. Same injection pattern as [`ServeBackend`]:
+/// `dlbench-core` cannot depend on `dlbench-fleet`, so the CLI
+/// provides an implementation backed by the simtime fleet simulator.
+pub trait FleetBackend {
+    /// Runs one fleet cell and returns its result document. The result
+    /// must exclude wall-clock fields so cached and fresh runs agree
+    /// byte-for-byte.
+    fn run_fleet(&self, cell: &FleetCellSpec) -> Result<JsonValue, String>;
+}
+
 /// Options for [`run_plan`].
 pub struct RunOptions {
     /// Directory holding `<hash>.json` cell entries.
@@ -860,6 +996,7 @@ pub fn run_plan(
     plan: &Plan,
     opts: &RunOptions,
     serve: Option<&dyn ServeBackend>,
+    fleet: Option<&dyn FleetBackend>,
 ) -> Result<SpecRun, String> {
     std::fs::create_dir_all(&opts.cache_dir)
         .map_err(|e| format!("creating cache dir {}: {e}", opts.cache_dir.display()))?;
@@ -902,8 +1039,8 @@ pub fn run_plan(
         }
     }
 
-    // Dist and serve misses run sequentially in plan order, each
-    // persisting as soon as it finishes.
+    // Dist, serve and fleet misses run sequentially in plan order,
+    // each persisting as soon as it finishes.
     for (i, cell) in plan.cells.iter().enumerate() {
         if results[i].is_some() {
             continue;
@@ -916,6 +1053,12 @@ pub fn run_plan(
                     "spec contains serve cells but no serve backend is available".to_string()
                 })?;
                 backend.run_serve(s)?
+            }
+            CellPayload::Fleet(f) => {
+                let backend = fleet.ok_or_else(|| {
+                    "spec contains fleet cells but no fleet backend is available".to_string()
+                })?;
+                backend.run_fleet(f)?
             }
         };
         store_cell(&opts.cache_dir, cell, &result)?;
@@ -1042,6 +1185,7 @@ pub fn aggregate_reports(run: &SpecRun) -> Vec<ExperimentReport> {
     let mut train_by_ds: BTreeMap<&str, Vec<&CellRun>> = BTreeMap::new();
     let mut dist_cells: Vec<&CellRun> = Vec::new();
     let mut serve_cells: Vec<&CellRun> = Vec::new();
+    let mut fleet_cells: Vec<&CellRun> = Vec::new();
     for cell in &run.cells {
         match cell.kind {
             CellKindTag::Train => {
@@ -1050,6 +1194,7 @@ pub fn aggregate_reports(run: &SpecRun) -> Vec<ExperimentReport> {
             }
             CellKindTag::Dist => dist_cells.push(cell),
             CellKindTag::Serve => serve_cells.push(cell),
+            CellKindTag::Fleet => fleet_cells.push(cell),
         }
     }
 
@@ -1115,6 +1260,26 @@ pub fn aggregate_reports(run: &SpecRun) -> Vec<ExperimentReport> {
                     p99,
                 ),
                 _ => "completed".to_string(),
+            };
+            r.facts.push((cell.label.clone(), summary));
+        }
+        reports.push(r);
+    }
+
+    if !fleet_cells.is_empty() {
+        let mut r = ExperimentReport::new("spec_fleet", format!("{} — fleet cells", run.name));
+        for cell in fleet_cells {
+            let v = &cell.result;
+            let p99 = v.get("latency_ms").and_then(|l| l.get("p99")).and_then(JsonValue::as_f64);
+            let summary = match p99 {
+                Some(p99) => format!(
+                    "completed {}, shed rate {:.3}, SLO burn {:.3}, p99 {:.2}ms",
+                    fmt_num(f64_field(v, "completed")),
+                    f64_field(v, "shed_rate"),
+                    f64_field(v, "slo_burn"),
+                    p99,
+                ),
+                None => "completed".to_string(),
             };
             r.facts.push((cell.label.clone(), summary));
         }
@@ -1240,6 +1405,63 @@ mod tests {
         assert_eq!((s.requests, s.max_batch), (16, 8));
         // Serve cells ignore inapplicable defaults and fill their own.
         assert_eq!(plan.cells[2].params["rate_rps"], "200");
+    }
+
+    #[test]
+    fn fleet_cells_validate_and_canonicalize() {
+        let spec = r#"{
+            "name": "fleet",
+            "defaults": {"framework": "tf", "dataset": "mnist"},
+            "grids": [
+                {"kind": "fleet",
+                 "axes": {"routing": ["round-robin", "lq", "batch-aware"],
+                          "replicas": [2, 4]},
+                 "overrides": {"target_p99_ms": 25, "requests": 128}}
+            ]
+        }"#;
+        let plan = ExperimentSpec::parse(spec).unwrap().expand().unwrap();
+        assert_eq!(plan.cells.len(), 6);
+        // Aliases canonicalize, so the hash never depends on spelling.
+        let routings: Vec<&str> = plan.cells.iter().map(|c| c.params["routing"].as_str()).collect();
+        assert_eq!(routings, ["rr", "least-queue", "batch-aware"].repeat(2));
+        let CellPayload::Fleet(f) = &plan.cells[0].payload else { panic!("fleet cell") };
+        assert_eq!((f.replicas, f.requests), (2, 128));
+        assert_eq!(f.target_p99_ms, 25.0);
+        // Defaults materialize in the canonical params.
+        assert_eq!(plan.cells[0].params["rate_rps"], "1000");
+        let bad = spec.replace("\"batch-aware\"", "\"fastest\"");
+        let err = ExperimentSpec::parse(&bad).unwrap().expand().unwrap_err();
+        assert!(err.contains("unknown routing policy"), "{err}");
+    }
+
+    #[test]
+    fn fleet_only_keys_error_on_other_grids() {
+        let on_serve = r#"{
+            "name": "bad",
+            "defaults": {"framework": "tf", "dataset": "mnist"},
+            "grids": [{"kind": "serve", "axes": {"routing": ["rr"]},
+                       "overrides": {"deadline_ms": 50}}]
+        }"#;
+        let err = ExperimentSpec::parse(on_serve).unwrap_err();
+        assert!(err.contains("only applies to fleet grids"), "{err}");
+        assert!(err.contains("`routing`") && err.contains("`serve`"), "{err}");
+        let on_train = r#"{
+            "name": "bad2",
+            "grids": [{"kind": "train", "axes": {"device": ["cpu"]},
+                       "overrides": {"framework": "tf", "dataset": "mnist",
+                                     "replicas": 4}}]
+        }"#;
+        let err = ExperimentSpec::parse(on_train).unwrap_err();
+        assert!(err.contains("`replicas`") && err.contains("`train`"), "{err}");
+        // As a shared *default* the key stays silently filtered — only
+        // grid-local axes/overrides are a structured error.
+        let as_default = r#"{
+            "name": "ok",
+            "defaults": {"framework": "tf", "dataset": "mnist", "replicas": 4},
+            "grids": [{"kind": "serve", "axes": {"deadline_ms": [50]}}]
+        }"#;
+        let plan = ExperimentSpec::parse(as_default).unwrap().expand().unwrap();
+        assert!(!plan.cells[0].params.contains_key("replicas"));
     }
 
     #[test]

@@ -121,6 +121,31 @@ pub fn run_dist_training(
     seed: u64,
     dcfg: &DistConfig,
 ) -> Result<DistOutcome, String> {
+    run_dist_training_observed(host, setting, dataset, scale, seed, dcfg, None, |_, _| {})
+}
+
+/// [`run_dist_training`] with a live rolling-checkpoint observer.
+///
+/// When `checkpoint_every` is `Some(n)`, the driver pauses at every
+/// n-th epoch boundary (while the workers idle between steps), pulls a
+/// parameter snapshot from the lowest live rank via [`Cmd::Snapshot`],
+/// and hands `(completed_epochs, bytes)` to `on_checkpoint` — the hook
+/// `dlbench-fleet` uses to promote checkpoints from a run *while it is
+/// still training*. Replicas are bit-identical at every step, so the
+/// snapshot does not depend on which worker serves it. The observer
+/// runs on the driving thread; a slow observer stalls training, not
+/// correctness. No snapshots are taken after divergence.
+#[allow(clippy::too_many_arguments)]
+pub fn run_dist_training_observed(
+    host: FrameworkKind,
+    setting: DefaultSetting,
+    dataset: DatasetKind,
+    scale: Scale,
+    seed: u64,
+    dcfg: &DistConfig,
+    checkpoint_every: Option<usize>,
+    mut on_checkpoint: impl FnMut(usize, Vec<u8>),
+) -> Result<DistOutcome, String> {
     if dcfg.workers == 0 {
         return Err("world size must be at least 1".to_string());
     }
@@ -192,6 +217,19 @@ pub fn run_dist_training(
                 continue;
             }
             let epoch = it / iters_per_epoch;
+            // Epoch boundary: `epoch` epochs are fully trained and the
+            // workers idle between steps — the safe point to pull a
+            // rolling checkpoint without perturbing the schedule.
+            if let Some(every) = checkpoint_every {
+                if it > 0 && it % iters_per_epoch == 0 && epoch.is_multiple_of(every.max(1)) {
+                    let (reply_tx, reply_rx) = channel();
+                    if cmd_txs[live[0]].send(Cmd::Snapshot { reply: reply_tx }).is_ok() {
+                        if let Ok(bytes) = reply_rx.recv() {
+                            on_checkpoint(epoch, bytes);
+                        }
+                    }
+                }
+            }
             let idx = batches.next_indices().to_vec();
             let batch_len = idx.len();
             let mut assignment = assign_shards(shard_batch(&idx), &live, &weights);

@@ -44,7 +44,7 @@ pub mod world;
 pub use collective::{
     naive_sum, tree_reduce, Collective, ParameterServer, RingAllReduce, Strategy,
 };
-pub use driver::{run_dist_training, DistConfig, DistOutcome};
+pub use driver::{run_dist_training, run_dist_training_observed, DistConfig, DistOutcome};
 pub use fault::{FaultPlan, Kill, Straggler, StragglerDetector};
 pub use shard::{assign_shards, shard_batch, Shard, MAX_SHARDS};
 pub use sim::{CommTotals, DistSim};

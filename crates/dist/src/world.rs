@@ -87,6 +87,14 @@ pub enum Cmd {
     /// Phase 2, diverged step: discard pending shard gradients and apply
     /// nothing (no acknowledgement either — the driver stops stepping).
     Skip,
+    /// Serialize the local replica's parameters and keep training —
+    /// the driver's epoch-boundary rolling-checkpoint hook, consumed
+    /// live by `dlbench-fleet`'s promotion pipeline. Replicas are
+    /// bit-identical, so any live worker's snapshot is *the* snapshot.
+    Snapshot {
+        /// Where to send the checkpoint bytes.
+        reply: Sender<Vec<u8>>,
+    },
     /// Serialize the local replica's parameters and exit.
     Finish {
         /// Where to send the checkpoint bytes.
@@ -269,6 +277,12 @@ fn worker_loop(env: WorkerEnv<'_>) {
                 pending.clear();
                 drop(iter_span.take());
                 in_flight = false;
+            }
+            Cmd::Snapshot { reply } => {
+                let mut bytes = Vec::new();
+                if dlbench_nn::save_parameters(&mut model, &mut bytes).is_ok() {
+                    let _ = reply.send(bytes);
+                }
             }
             Cmd::Finish { reply } => {
                 let mut bytes = Vec::new();

@@ -13,7 +13,7 @@ use crate::model::ServedModel;
 use crate::ServeError;
 use dlbench_tensor::Tensor;
 use dlbench_trace::{monotonic_ns, Category, Stopwatch};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::Duration;
@@ -48,6 +48,11 @@ pub struct Prediction {
     pub batch_size: usize,
     /// Queue-to-reply latency.
     pub latency: Duration,
+    /// Model version that computed this prediction. The worker thread
+    /// stamps it from the batcher's own immutable version, so a single
+    /// response can never mix versions even while a fleet hot-swap is
+    /// in flight.
+    pub version: u64,
 }
 
 struct Job {
@@ -66,19 +71,44 @@ pub struct MicroBatcher {
     depth: Arc<AtomicUsize>,
     metrics: Arc<ServeMetrics>,
     input_len: usize,
+    version: u64,
+    /// Set by [`MicroBatcher::handoff_to`]: the worker stops serving and
+    /// instead parks every job it receives in `orphans` for requeueing
+    /// on the successor batcher.
+    handoff: Arc<AtomicBool>,
+    orphans: Arc<Mutex<Vec<Job>>>,
 }
 
 impl MicroBatcher {
-    /// Spawns the worker thread and returns the batcher handle.
+    /// Spawns the worker thread and returns the batcher handle,
+    /// serving model version 0.
     pub fn spawn(served: ServedModel, config: BatchConfig, metrics: Arc<ServeMetrics>) -> Self {
+        Self::spawn_versioned(served, config, metrics, 0)
+    }
+
+    /// Spawns a batcher whose predictions are stamped with `version` —
+    /// the hook the fleet layer uses to hot-swap promoted checkpoints
+    /// without ever mixing model versions inside one response.
+    pub fn spawn_versioned(
+        served: ServedModel,
+        config: BatchConfig,
+        metrics: Arc<ServeMetrics>,
+        version: u64,
+    ) -> Self {
         let (tx, rx) = mpsc::sync_channel::<Job>(config.queue_capacity.max(1));
         let depth = Arc::new(AtomicUsize::new(0));
+        let handoff = Arc::new(AtomicBool::new(false));
+        let orphans = Arc::new(Mutex::new(Vec::new()));
         let (c, h, w) = served.spec.input_dims();
         let input_len = c * h * w;
         let worker = {
             let depth = Arc::clone(&depth);
             let metrics = Arc::clone(&metrics);
-            std::thread::spawn(move || worker_loop(served, config, rx, depth, metrics))
+            let handoff = Arc::clone(&handoff);
+            let orphans = Arc::clone(&orphans);
+            std::thread::spawn(move || {
+                worker_loop(served, config, rx, depth, metrics, version, handoff, orphans)
+            })
         };
         Self {
             queue: Mutex::new(Some(tx)),
@@ -86,7 +116,15 @@ impl MicroBatcher {
             depth,
             metrics,
             input_len,
+            version,
+            handoff,
+            orphans,
         }
+    }
+
+    /// Model version this batcher serves.
+    pub fn version(&self) -> u64 {
+        self.version
     }
 
     /// Enqueues one request and blocks until its batch is served.
@@ -128,7 +166,13 @@ impl MicroBatcher {
         reply_rx.recv().unwrap_or(Err(ServeError::Draining))
     }
 
-    /// Requests currently queued or being batched.
+    /// Outstanding requests: queued plus riding an in-flight batch.
+    ///
+    /// The worker decrements the gauge only after a batch's replies are
+    /// sent (flush time), not when the batch is assembled, so routing
+    /// policies comparing replica depths see the work a replica has
+    /// actually committed to — a replica mid-forward no longer looks
+    /// idle.
     pub fn queue_depth(&self) -> usize {
         self.depth.load(Ordering::SeqCst)
     }
@@ -140,6 +184,44 @@ impl MicroBatcher {
         if let Some(handle) = lock(&self.worker).take() {
             let _ = handle.join();
         }
+    }
+
+    /// Hot-swap handoff: stop this batcher and requeue everything it
+    /// had queued (with original enqueue timestamps and reply channels
+    /// intact) onto `next`, so an in-progress swap drops zero requests.
+    ///
+    /// Any batch already being forwarded completes on this batcher's
+    /// version before the worker exits; jobs still queued are parked by
+    /// the worker and re-enqueued here with a blocking send — `next`'s
+    /// worker is live, so capacity frees up as it drains. Returns the
+    /// number of requeued jobs.
+    pub fn handoff_to(&self, next: &MicroBatcher) -> usize {
+        self.handoff.store(true, Ordering::SeqCst);
+        drop(lock(&self.queue).take());
+        if let Some(handle) = lock(&self.worker).take() {
+            let _ = handle.join();
+        }
+        let jobs: Vec<Job> = std::mem::take(&mut *lock(&self.orphans));
+        let mut moved = 0;
+        for job in jobs {
+            let sender = lock(&next.queue).as_ref().cloned();
+            match sender {
+                Some(sender) => {
+                    next.depth.fetch_add(1, Ordering::SeqCst);
+                    match sender.send(job) {
+                        Ok(()) => moved += 1,
+                        Err(mpsc::SendError(job)) => {
+                            next.depth.fetch_sub(1, Ordering::SeqCst);
+                            let _ = job.reply.send(Err(ServeError::Draining));
+                        }
+                    }
+                }
+                None => {
+                    let _ = job.reply.send(Err(ServeError::Draining));
+                }
+            }
+        }
+        moved
     }
 }
 
@@ -153,12 +235,16 @@ fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
     m.lock().unwrap_or_else(|e| e.into_inner())
 }
 
+#[allow(clippy::too_many_arguments)]
 fn worker_loop(
     mut served: ServedModel,
     config: BatchConfig,
     rx: mpsc::Receiver<Job>,
     depth: Arc<AtomicUsize>,
     metrics: Arc<ServeMetrics>,
+    version: u64,
+    handoff: Arc<AtomicBool>,
+    orphans: Arc<Mutex<Vec<Job>>>,
 ) {
     let (c, h, w) = served.spec.input_dims();
     let max_batch = config.max_batch.max(1);
@@ -169,6 +255,13 @@ fn worker_loop(
             Ok(job) => job,
             Err(_) => break,
         };
+        if handoff.load(Ordering::SeqCst) {
+            // Mid-swap: park the job (timestamp and reply channel
+            // intact) for `handoff_to` to requeue on the successor.
+            depth.fetch_sub(1, Ordering::SeqCst);
+            lock(&orphans).push(first);
+            continue;
+        }
         let assembly_span = dlbench_trace::span(Category::Serve, "batch_assembly");
         let mut batch = vec![first];
         let waited = Stopwatch::start();
@@ -186,10 +279,10 @@ fn worker_loop(
             }
         }
         let n = batch.len();
-        depth.fetch_sub(n, Ordering::SeqCst);
-        dlbench_trace::counter(Category::Serve, "queue_depth", depth.load(Ordering::SeqCst) as f64);
         // Queue wait ends here: the batch's membership is final and the
-        // forward pass it rides is next.
+        // forward pass it rides is next. The depth gauge is NOT
+        // decremented yet — these requests stay "outstanding" until
+        // their replies go out at flush time.
         let dequeued_ns = monotonic_ns();
         for job in &batch {
             let wait = Duration::from_nanos(dequeued_ns.saturating_sub(job.enqueued_ns));
@@ -224,7 +317,16 @@ fn worker_loop(
                 logits: row,
                 batch_size: n,
                 latency,
+                version,
             }));
         }
+        // Flush complete: the batch is no longer outstanding. Sample
+        // the gauge here — flush time — so consumers (trace counter,
+        // metrics histogram, least-queue routing) all see the same
+        // queued-plus-in-flight semantics.
+        depth.fetch_sub(n, Ordering::SeqCst);
+        let remaining = depth.load(Ordering::SeqCst);
+        metrics.observe_flush_depth(remaining);
+        dlbench_trace::counter(Category::Serve, "queue_depth", remaining as f64);
     }
 }

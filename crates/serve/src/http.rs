@@ -194,6 +194,7 @@ fn route(req: &Request, inner: &Inner) -> (u16, Vec<(String, String)>, JsonValue
                         ("logits".into(), JsonValue::Array(logits)),
                         ("batch_size".into(), p.batch_size.into()),
                         ("latency_ms".into(), (p.latency.as_secs_f64() * 1e3).into()),
+                        ("version".into(), (p.version as usize).into()),
                     ]);
                     (200, Vec::new(), body)
                 }

@@ -26,6 +26,9 @@ pub struct ServeMetrics {
     /// Time spent in preprocessing + the batched forward pass.
     forward_ms: Mutex<Histogram>,
     batch_sizes: Mutex<BTreeMap<usize, u64>>,
+    /// Queue-depth gauge sampled by the worker at flush time (after a
+    /// batch's replies go out), i.e. outstanding = queued + in-flight.
+    flush_depth: Mutex<Histogram>,
 }
 
 fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
@@ -51,6 +54,7 @@ impl ServeMetrics {
             queue_wait_ms: Mutex::new(Histogram::new()),
             forward_ms: Mutex::new(Histogram::new()),
             batch_sizes: Mutex::new(BTreeMap::new()),
+            flush_depth: Mutex::new(Histogram::new()),
         }
     }
 
@@ -74,6 +78,14 @@ impl ServeMetrics {
     /// Records one flushed batch of `n` requests.
     pub fn observe_batch(&self, n: usize) {
         *lock(&self.batch_sizes).entry(n).or_insert(0) += 1;
+    }
+
+    /// Records the queue-depth gauge as sampled by the worker at flush
+    /// time, after a batch's replies were sent. This is the consistent
+    /// depth signal least-queue routing keys on: it counts every
+    /// request a batcher has committed to but not yet answered.
+    pub fn observe_flush_depth(&self, depth: usize) {
+        lock(&self.flush_depth).record(depth as f64);
     }
 
     /// Records one request shed because the queue was full.
@@ -131,6 +143,7 @@ impl ServeMetrics {
             ("latency_ms".into(), latency),
             ("queue_wait_ms".into(), hist_json(&self.queue_wait_ms)),
             ("forward_ms".into(), hist_json(&self.forward_ms)),
+            ("queue_depth_at_flush".into(), hist_json(&self.flush_depth)),
             ("batch_size_counts".into(), JsonValue::Array(batches)),
         ])
     }
@@ -148,6 +161,7 @@ mod tests {
         m.observe_queue_wait(Duration::from_millis(4));
         m.observe_forward(Duration::from_millis(6));
         m.observe_batch(2);
+        m.observe_flush_depth(5);
         m.count_shed();
         m.count_error();
         let snap = m.snapshot(3);
@@ -162,6 +176,8 @@ mod tests {
         assert!((3.5..=4.5).contains(&wait_p50), "queue wait p50 {wait_p50}");
         let fwd_p50 = snap["forward_ms"]["p50"].as_f64().unwrap();
         assert!((5.5..=6.5).contains(&fwd_p50), "forward p50 {fwd_p50}");
+        let flush_p50 = snap["queue_depth_at_flush"]["p50"].as_f64().unwrap();
+        assert!((4.5..=5.5).contains(&flush_p50), "flush depth p50 {flush_p50}");
         let batches = snap["batch_size_counts"].as_array().unwrap();
         assert_eq!(batches.len(), 1);
         assert_eq!(batches[0]["batch_size"], 2.0);

@@ -64,6 +64,8 @@ pub enum Category {
     Kernel,
     /// `dlbench-serve` request path.
     Serve,
+    /// `dlbench-fleet` replica fleet: routing, scaling, promotion.
+    Fleet,
 }
 
 impl Category {
@@ -76,6 +78,7 @@ impl Category {
             Category::Layer => "layer",
             Category::Kernel => "kernel",
             Category::Serve => "serve",
+            Category::Fleet => "fleet",
         }
     }
 }

@@ -62,4 +62,20 @@ test -s target/dlbench-reports/BENCH_spec.json
 cargo test -p dlbench-integration-tests --test spec --locked -q
 rm -rf target/dlbench-check-cache
 
+echo "==> fleet smoke (2 replicas, live promotion under load, zero errored requests)"
+cargo run -p dlbench-cli --release --locked -q -- fleet --replicas 2 \
+    --workers 2 --max-steps 20 > /dev/null
+cargo test -p dlbench-integration-tests --test fleet --locked -q
+
+echo "==> fleet determinism gate (bit-transparent across routing x replicas x scaling)"
+cargo test -p dlbench-integration-tests --test determinism --locked -q \
+    fleet_serving_is_bit_transparent
+
+echo "==> fleet sweep bench (quick, BENCH_fleet.json, byte-identical across runs)"
+cargo bench --bench fleet --locked -- --quick > /dev/null
+cp target/dlbench-reports/BENCH_fleet.json target/dlbench-reports/BENCH_fleet.first.json
+cargo bench --bench fleet --locked -- --quick > /dev/null
+cmp target/dlbench-reports/BENCH_fleet.first.json target/dlbench-reports/BENCH_fleet.json
+rm -f target/dlbench-reports/BENCH_fleet.first.json
+
 echo "==> OK"

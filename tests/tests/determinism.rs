@@ -215,6 +215,79 @@ fn micro_batched_serving_matches_individual_forwards_bitwise() {
 }
 
 #[test]
+fn fleet_serving_is_bit_transparent_across_routing_replicas_and_scaling() {
+    let _gate = gate();
+    use dlbench_data::DatasetKind;
+    use dlbench_fleet::{Fleet, FleetConfig, RoutingPolicy};
+    use dlbench_frameworks::FrameworkKind;
+    use dlbench_serve::{loadgen, BatchConfig, ModelSpec};
+    use std::time::Duration;
+
+    // The fleet determinism contract: for a fixed model version, a
+    // prediction is the same bits no matter which routing policy picked
+    // the replica, how many replicas exist, or whether the fleet
+    // scaled mid-stream — every replica is rebuilt from the same
+    // checkpoint bytes and batching is bit-transparent.
+    let spec =
+        ModelSpec::own_default("m", FrameworkKind::TensorFlow, DatasetKind::Mnist, Scale::Tiny, 42);
+    let mut served = spec.instantiate(None).unwrap();
+    let mut checkpoint = Vec::new();
+    dlbench_nn::save_parameters(&mut served.model, &mut checkpoint).unwrap();
+    let inputs = loadgen::sample_inputs(DatasetKind::Mnist, Scale::Tiny, 42, 12);
+
+    // Reference: one forward per sample (batch size 1) offline.
+    let reference: Vec<Vec<u32>> = {
+        let solo = spec.instantiate_from(&mut checkpoint.as_slice()).unwrap();
+        let mut model = solo.model;
+        let (c, h, w) = spec.input_dims();
+        inputs
+            .iter()
+            .map(|input| {
+                let raw = Tensor::from_vec(&[1, c, h, w], input.clone()).unwrap();
+                let x = solo.preprocessing.apply(&raw, &solo.channel_means);
+                model.forward(&x, false).data().iter().map(|v| v.to_bits()).collect()
+            })
+            .collect()
+    };
+
+    for policy in RoutingPolicy::ALL {
+        for replicas in [1usize, 3] {
+            let config = FleetConfig {
+                replicas,
+                policy,
+                batch: BatchConfig {
+                    max_batch: 4,
+                    max_wait: Duration::from_millis(2),
+                    queue_capacity: 64,
+                },
+                ..Default::default()
+            };
+            let fleet = Fleet::new(spec.clone(), config, Some(checkpoint.clone())).unwrap();
+            for (round, (input, expected)) in inputs.iter().zip(&reference).enumerate() {
+                // Scale up and back down mid-stream: scaling activity
+                // must not change a single mantissa bit either.
+                if round == 4 {
+                    fleet.scale_to(replicas + 2).unwrap();
+                }
+                if round == 8 {
+                    fleet.scale_to(replicas).unwrap();
+                }
+                let p = fleet.predict(input.clone()).unwrap();
+                assert_eq!(p.version, 0);
+                let bits: Vec<u32> = p.logits.iter().map(|v| v.to_bits()).collect();
+                assert_eq!(
+                    &bits,
+                    expected,
+                    "{} x{replicas} diverged from offline forwards at round {round}",
+                    policy.name(),
+                );
+            }
+            fleet.drain();
+        }
+    }
+}
+
+#[test]
 fn tracing_enabled_keeps_gemm_bit_identical_at_four_threads() {
     let _gate = gate();
     // Recording spans must be pure observation: enabling the tracer

@@ -78,13 +78,13 @@ fn resume_retrains_only_missing_cells() {
     let plan = small_grid().expand().unwrap();
     assert_eq!(plan.cells.len(), 4);
     let opts = RunOptions { cache_dir: cache.path().to_path_buf(), force: false };
-    let first = spec::run_plan(&plan, &opts, None).unwrap();
+    let first = spec::run_plan(&plan, &opts, None, None).unwrap();
     assert_eq!((first.executed, first.cache_hits), (4, 0));
 
     // Simulate a killed sweep by deleting one finished cell.
     let victim = cache.path().join(format!("{}.json", first.cells[2].hash));
     std::fs::remove_file(&victim).unwrap();
-    let second = spec::run_plan(&plan, &opts, None).unwrap();
+    let second = spec::run_plan(&plan, &opts, None, None).unwrap();
     assert_eq!((second.executed, second.cache_hits), (1, 3), "exactly the deleted cell re-runs");
 
     // The resumed run reproduces the original results bit-for-bit.
@@ -108,7 +108,7 @@ fn truncated_cache_entry_is_a_miss_not_an_error() {
     );
     let plan = ExperimentSpec::parse(&text).unwrap().expand().unwrap();
     let opts = RunOptions { cache_dir: cache.path().to_path_buf(), force: false };
-    let first = spec::run_plan(&plan, &opts, None).unwrap();
+    let first = spec::run_plan(&plan, &opts, None, None).unwrap();
     assert_eq!(first.executed, 2);
 
     // A crash mid-write never leaves a half entry (temp + rename), but
@@ -116,7 +116,7 @@ fn truncated_cache_entry_is_a_miss_not_an_error() {
     let path = cache.path().join(format!("{}.json", first.cells[0].hash));
     let full = std::fs::read_to_string(&path).unwrap();
     std::fs::write(&path, &full[..full.len() / 3]).unwrap();
-    let second = spec::run_plan(&plan, &opts, None).unwrap();
+    let second = spec::run_plan(&plan, &opts, None, None).unwrap();
     assert_eq!((second.executed, second.cache_hits), (1, 1));
     assert_eq!(spec::document(&first).pretty(), spec::document(&second).pretty());
 }
@@ -134,7 +134,7 @@ fn spec_cell_matches_direct_runner_bitwise() {
     );
     let plan = ExperimentSpec::parse(&text).unwrap().expand().unwrap();
     let opts = RunOptions { cache_dir: cache.path().to_path_buf(), force: false };
-    let run = spec::run_plan(&plan, &opts, None).unwrap();
+    let run = spec::run_plan(&plan, &opts, None, None).unwrap();
     let result = &run.cells[0].result;
 
     // The same cell through the `run`/`train` path: identical key,
@@ -167,10 +167,103 @@ fn forced_rerun_is_byte_identical() {
     let plan = ExperimentSpec::parse(&text).unwrap().expand().unwrap();
     let cached = RunOptions { cache_dir: cache.path().to_path_buf(), force: false };
     let forced = RunOptions { cache_dir: cache.path().to_path_buf(), force: true };
-    let first = spec::run_plan(&plan, &cached, None).unwrap();
+    let first = spec::run_plan(&plan, &cached, None, None).unwrap();
     // `--force` re-executes everything; a deterministic engine must
     // still reproduce the document byte-for-byte.
-    let second = spec::run_plan(&plan, &forced, None).unwrap();
+    let second = spec::run_plan(&plan, &forced, None, None).unwrap();
     assert_eq!(second.executed, 1);
     assert_eq!(spec::document(&first).pretty(), spec::document(&second).pretty());
+}
+
+#[test]
+fn spec_routing_aliases_stay_in_sync_with_the_fleet_crate() {
+    use dlbench_core::spec::CellPayload;
+    use dlbench_fleet::RoutingPolicy;
+
+    // dlbench-core canonicalizes routing spellings without depending on
+    // dlbench-fleet; this pins the two alias tables together. Every
+    // spelling the fleet crate accepts must expand, and the canonical
+    // string the plan stores must parse back to the same policy.
+    let aliases = [
+        ("rr", "rr"),
+        ("round-robin", "rr"),
+        ("roundrobin", "rr"),
+        ("least-queue", "least-queue"),
+        ("leastqueue", "least-queue"),
+        ("lq", "least-queue"),
+        ("batch-aware", "batch-aware"),
+        ("batchaware", "batch-aware"),
+        ("ba", "batch-aware"),
+    ];
+    for (alias, canonical) in aliases {
+        // One spec per spelling: aliases of the same policy expand to
+        // the same canonical cell, which a single grid would reject as
+        // a duplicate.
+        let text = format!(
+            r#"{{
+                "name": "it-routing-aliases",
+                "defaults": {{"scale": "tiny", "seed": {TEST_SEED},
+                             "framework": "tf", "dataset": "mnist"}},
+                "grids": [{{"kind": "fleet", "axes": {{"routing": ["{alias}"]}}}}]
+            }}"#
+        );
+        let plan = ExperimentSpec::parse(&text).unwrap().expand().unwrap();
+        assert_eq!(plan.cells.len(), 1);
+        let CellPayload::Fleet(f) = &plan.cells[0].payload else {
+            panic!("expected a fleet cell for alias {alias}");
+        };
+        assert_eq!(f.routing, canonical, "core canonicalized `{alias}` differently");
+        let policy = RoutingPolicy::parse(alias)
+            .unwrap_or_else(|| panic!("fleet crate rejects spelling `{alias}`"));
+        assert_eq!(policy.name(), canonical, "alias tables diverged for `{alias}`");
+        assert_eq!(RoutingPolicy::parse(&f.routing), Some(policy));
+    }
+}
+
+#[test]
+fn shipped_fleet_sweep_spec_expands_and_runs_through_a_backend() {
+    use dlbench_core::spec::{CellPayload, FleetCellSpec};
+    use dlbench_core::FleetBackend;
+    use dlbench_fleet::{simulate_fleet, RoutingPolicy, SimFleetConfig};
+    use dlbench_json::ToJson;
+
+    struct SimBackend;
+    impl FleetBackend for SimBackend {
+        fn run_fleet(&self, cell: &FleetCellSpec) -> Result<dlbench_json::JsonValue, String> {
+            let mut cfg = SimFleetConfig::new(cell.rate_rps, cell.requests);
+            cfg.host = cell.host;
+            cfg.dataset = cell.dataset;
+            cfg.scale = cell.scale;
+            cfg.seed = cell.seed;
+            cfg.replicas = cell.replicas;
+            cfg.max_batch = cell.max_batch;
+            cfg.target_p99_ms = cell.target_p99_ms;
+            cfg.policy = RoutingPolicy::parse(&cell.routing)
+                .ok_or_else(|| format!("bad routing {}", cell.routing))?;
+            Ok(simulate_fleet(&cfg).to_json())
+        }
+    }
+
+    let text = std::fs::read_to_string(repo_path("../examples/specs/fleet_sweep.json"))
+        .expect("shipped fleet spec readable");
+    let plan = ExperimentSpec::parse(&text).unwrap().expand().unwrap();
+    assert!(plan.cells.iter().all(|c| matches!(c.payload, CellPayload::Fleet(_))));
+    assert_eq!(plan.cells.len(), 18, "3 policies x 3 rates x 2 replica counts");
+
+    // Run a 2-cell slice end to end through the backend and check the
+    // per-cell result shape the aggregator summarizes.
+    let cache = ScratchCache::new("fleet");
+    let slice = dlbench_core::Plan { name: plan.name.clone(), cells: plan.cells[..2].to_vec() };
+    let opts = RunOptions { cache_dir: cache.path().to_path_buf(), force: false };
+    let run = spec::run_plan(&slice, &opts, None, Some(&SimBackend)).unwrap();
+    assert_eq!(run.executed, 2);
+    for cell in &run.cells {
+        for key in ["completed", "shed_rate", "slo_burn", "latency_ms"] {
+            assert!(cell.result.get(key).is_some(), "fleet result missing `{key}`");
+        }
+    }
+    // Cached resume: byte-identical document without re-execution.
+    let again = spec::run_plan(&slice, &opts, None, Some(&SimBackend)).unwrap();
+    assert_eq!(again.executed, 0);
+    assert_eq!(spec::document(&run).pretty(), spec::document(&again).pretty());
 }
