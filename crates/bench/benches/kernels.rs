@@ -2,8 +2,9 @@
 //!
 //! Hand-rolled (no criterion facade) so every record carries achieved
 //! GFLOP/s next to its timing, and so the binary itself can enforce the
-//! regression gate: measures the four GEMM variants, `im2col`, and the
-//! convolution forward of every personality conv layer, writes
+//! regression gate: measures the four GEMM variants, the int8 inference
+//! kernels (`gemm_i8`, `quantize_i8`, `dequantize_i8`), `im2col`, and
+//! the convolution forward of every personality conv layer, writes
 //! `target/dlbench-reports/BENCH_kernels.json`, and — when
 //! `DLBENCH_PERF_BASELINE` points at a committed baseline JSON — exits
 //! non-zero if any kernel runs >15% slower than the baseline
@@ -21,7 +22,8 @@ use dlbench_bench::BENCH_SEED;
 use dlbench_frameworks::{arch_defaults, FrameworkKind};
 use dlbench_nn::{Conv2d, Initializer, Layer};
 use dlbench_tensor::{
-    gemm, gemm_a_bt, gemm_at_b, gemm_bias, im2col, Conv2dGeometry, SeededRng, Tensor,
+    dequantize_i8, gemm, gemm_a_bt, gemm_at_b, gemm_bias, gemm_i8, im2col, quantize_i8,
+    Conv2dGeometry, SeededRng, Tensor,
 };
 
 /// Timed samples per kernel; the fastest is recorded, which filters the
@@ -136,6 +138,53 @@ fn bench_gemm_variants(h: &mut Harness, rng: &mut SeededRng) {
     h.bench("gemm/tf_mnist_fc1", gemm_flops(m, k, nn), || {
         c.fill(0.0);
         gemm(m, k, nn, a.data(), b.data(), &mut c);
+    });
+}
+
+/// The int8 inference kernels behind `dlbench-quant`: the i32-accumulate
+/// GEMM at the same shapes as the fp32 variants plus the
+/// quantize/dequantize conversions at a conv-activation-sized plane.
+fn bench_quant_kernels(h: &mut Harness, rng: &mut SeededRng) {
+    let n = 128;
+    let af = Tensor::randn(&[n, n], 0.0, 1.0, rng);
+    let bf = Tensor::randn(&[n, n], 0.0, 1.0, rng);
+    let mut a = vec![0i8; n * n];
+    let mut b = vec![0i8; n * n];
+    quantize_i8(af.data(), 1.0 / 127.0, 0, &mut a);
+    quantize_i8(bf.data(), 1.0 / 127.0, 0, &mut b);
+    let mut c = vec![0i32; n * n];
+    h.bench("gemm_i8/128x128x128", gemm_flops(n, n, n), || {
+        c.fill(0);
+        gemm_i8(n, n, n, &a, &b, &mut c);
+    });
+
+    // The TF-MNIST fc1 shape, matching `gemm/tf_mnist_fc1` above so the
+    // fp32/int8 kernel ratio can be read straight off the report.
+    let (m, k, nn) = (50, 3136, 1024);
+    let af = Tensor::randn(&[m, k], 0.0, 1.0, rng);
+    let bf = Tensor::randn(&[k, nn], 0.0, 0.1, rng);
+    let mut a = vec![0i8; m * k];
+    let mut b = vec![0i8; k * nn];
+    quantize_i8(af.data(), 1.0 / 127.0, 0, &mut a);
+    quantize_i8(bf.data(), 1.0 / 64.0, 0, &mut b);
+    let mut c = vec![0i32; m * nn];
+    h.bench("gemm_i8/tf_mnist_fc1", gemm_flops(m, k, nn), || {
+        c.fill(0);
+        gemm_i8(m, k, nn, &a, &b, &mut c);
+    });
+
+    // Activation-plane-sized conversions (batch 50 of a 3136-feature
+    // activation — the tensor each quantized layer boundary converts).
+    let plane = 50 * 3136;
+    let xf = Tensor::randn(&[plane], 0.0, 1.0, rng);
+    let mut xq = vec![0i8; plane];
+    let mut xd = vec![0.0f32; plane];
+    h.bench("quantize_i8/50x3136", 2 * plane as u64, || {
+        quantize_i8(xf.data(), 0.05, -12, &mut xq);
+    });
+    quantize_i8(xf.data(), 0.05, -12, &mut xq);
+    h.bench("dequantize_i8/50x3136", 2 * plane as u64, || {
+        dequantize_i8(&xq, 0.05, -12, &mut xd);
     });
 }
 
@@ -294,6 +343,7 @@ fn merge_best(records: &mut [Record], retry: Vec<Record>) {
 
 fn run_suite(h: &mut Harness, rng: &mut SeededRng) {
     bench_gemm_variants(h, rng);
+    bench_quant_kernels(h, rng);
     bench_im2col(h, rng);
     bench_personality_convs(h, rng);
 }

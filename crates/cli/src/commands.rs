@@ -38,6 +38,14 @@ pub(crate) fn parse_scale(raw: Option<&str>) -> Result<Scale, String> {
     }
 }
 
+pub(crate) fn parse_dtype(raw: Option<&str>) -> Result<dlbench_serve::ModelDtype, String> {
+    match raw {
+        None => Ok(dlbench_serve::ModelDtype::Fp32),
+        Some(s) => dlbench_serve::ModelDtype::parse(s)
+            .ok_or_else(|| format!("unknown quantize mode `{s}` (fp32|int8)")),
+    }
+}
+
 /// Applies `--threads N` and returns the worker count now in effect.
 ///
 /// `0` (or an absent flag) keeps the default resolution: the
@@ -310,6 +318,178 @@ pub fn train(args: &ParsedArgs) -> Result<(), String> {
     Ok(())
 }
 
+/// Batched top-1 accuracy of a quantized network over `test` — the
+/// int8 mirror of `trainer::evaluate` (same 100-sample batches, same
+/// preprocessing pipeline).
+fn evaluate_quantized(
+    q: &mut dlbench_quant::QuantizedNetwork,
+    test: &dlbench_data::Dataset,
+    preprocessing: dlbench_data::Preprocessing,
+    channel_means: &[f32],
+) -> f32 {
+    let n = test.len();
+    let mut correct = 0usize;
+    let mut start = 0;
+    while start < n {
+        let end = (start + 100).min(n);
+        let idx: Vec<usize> = (start..end).collect();
+        let (images, labels) = test.gather(&idx);
+        let x = preprocessing.apply(&images, channel_means);
+        let preds = q.forward(&x, false).argmax_rows();
+        correct += preds.iter().zip(&labels).filter(|(p, l)| p == l).count();
+        start = end;
+    }
+    correct as f32 / n.max(1) as f32
+}
+
+/// `dlbench quantize`: post-training int8 quantization of one cell.
+///
+/// Loads an fp32 (v1) or quantized (v2) checkpoint — or trains the cell
+/// fresh when `--load` is absent — calibrates activation ranges on a
+/// held-out training shard, and reports per-layer calibration stats,
+/// the fp32→int8 accuracy drop and the modeled testing-time speedup on
+/// the paper's devices. `--save FILE` writes the quantized network as a
+/// version-2 checkpoint that `serve`/`fleet` adopt bit-for-bit.
+pub fn quantize(args: &ParsedArgs) -> Result<(), String> {
+    use dlbench_data::Preprocessing;
+    use dlbench_quant::{cost_split, quantize_checkpoint, quantize_trained, QuantConfig};
+    let scale = parse_scale(args.get("scale"))?;
+    let seed = args.get_parsed("seed", 42u64)?;
+    configure_threads(args)?;
+    let trace = trace_start(args);
+    let (host, setting, dataset) = cell_from_args(args)?;
+    let defaults = QuantConfig::default();
+    let cfg = QuantConfig {
+        percentile: args.get_parsed("percentile", defaults.percentile)?,
+        momentum: args.get_parsed("momentum", defaults.momentum)?,
+        calib_samples: args.get_parsed("calib-samples", defaults.calib_samples)?,
+        calib_batch: defaults.calib_batch,
+    };
+    println!(
+        "quantizing {} ({} setting) on {} to int8 (scale {scale:?}, seed {seed}, \
+         {} calibration samples @ p{})",
+        host.name(),
+        setting.label(),
+        dataset.name(),
+        cfg.calib_samples,
+        cfg.percentile
+    );
+
+    let (train, test) = trainer::generate_data(dataset, scale, seed);
+    let preprocessing = trainer::effective_preprocessing(host, &setting, dataset);
+    let channel_means = if preprocessing == Preprocessing::MeanSubtract {
+        Preprocessing::channel_means(&train)
+    } else {
+        Vec::new()
+    };
+
+    let mut fp32_acc: Option<f32> = None;
+    let mut qnet = match args.get("load") {
+        Some(path) => {
+            let bytes = std::fs::read(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+            match dlbench_nn::checkpoint_version(&bytes) {
+                Some('2') => {
+                    println!("loaded quantized (v2) checkpoint {path}; adopting stored int8 bits");
+                    quantize_checkpoint(
+                        host,
+                        &setting,
+                        dataset,
+                        scale,
+                        seed,
+                        &mut bytes.as_slice(),
+                        &cfg,
+                    )
+                    .map_err(|e| format!("cannot load {path}: {e}"))?
+                }
+                _ => {
+                    // v1 fp32 checkpoints keep an fp32 reference model
+                    // around for the accuracy-drop comparison; anything
+                    // unrecognized fails with the loader's structured
+                    // error, never a panic.
+                    let mut m = trainer::build_cell_model(host, &setting, dataset, scale, seed);
+                    dlbench_nn::load_parameters(&mut m, &mut bytes.as_slice())
+                        .map_err(|e| format!("cannot load {path}: {e}"))?;
+                    println!("loaded fp32 checkpoint {path}");
+                    fp32_acc =
+                        Some(trainer::evaluate(&mut m, &test, preprocessing, &channel_means));
+                    quantize_trained(m, host, &setting, dataset, scale, seed, &cfg)
+                }
+            }
+        }
+        None => {
+            let out = trainer::run_training(host, setting, dataset, scale, seed);
+            let mut m = out.model;
+            fp32_acc = Some(trainer::evaluate(&mut m, &test, preprocessing, &channel_means));
+            quantize_trained(m, host, &setting, dataset, scale, seed, &cfg)
+        }
+    };
+
+    println!("layers          {} ({} quantized to int8)", qnet.len(), qnet.num_quantized());
+    for line in qnet.describe() {
+        println!("  {line}");
+    }
+    println!("calibration:");
+    println!(
+        "  {:<12} {:>21} {:>21} {:>11} {:>4} {:>7}",
+        "layer", "observed", "calibrated", "scale", "zp", "clip%"
+    );
+    for c in qnet.calibration() {
+        println!(
+            "  {:<12} [{:>8.3},{:>8.3}] [{:>8.3},{:>8.3}] {:>11.6} {:>4} {:>6.2}%",
+            c.layer,
+            c.observed_min,
+            c.observed_max,
+            c.range_lo,
+            c.range_hi,
+            c.scale,
+            c.zero_point,
+            c.clipped_fraction * 100.0
+        );
+    }
+
+    let int8_acc = evaluate_quantized(&mut qnet, &test, preprocessing, &channel_means);
+    match fp32_acc {
+        Some(f) => println!(
+            "accuracy        fp32 {:.2}%   int8 {:.2}%   (drop {:+.2}pp)",
+            f * 100.0,
+            int8_acc * 100.0,
+            (f - int8_acc) * 100.0
+        ),
+        None => println!(
+            "accuracy        int8 {:.2}% (v2 checkpoint carries no fp32 reference)",
+            int8_acc * 100.0
+        ),
+    }
+
+    // Modeled testing-time speedup: int8 GEMMs run at the device's
+    // int8 throughput, fp32 fallback layers are charged unchanged.
+    let arch = trainer::build_cell_model(host, &setting, dataset, scale, seed);
+    let size = scale.image_size(dataset);
+    let batch = 100usize;
+    let shape = [batch, dataset.channels(), size, size];
+    let (qcost, fcost) = cost_split(&arch, &shape);
+    let total = qcost.merge(fcost);
+    for (label, device) in [("CPU", devices::xeon_e5_1620()), ("GPU", devices::gtx_1080_ti())] {
+        let model = dlbench_simtime::CostModel::new(device, host.execution_profile());
+        let fp32_s = model.inference_seconds_batched(&total, batch);
+        let int8_s = model.inference_seconds_batched_int8(&qcost, &fcost, batch);
+        println!(
+            "sim test {label}    fp32 {:.2}ms   int8 {:.2}ms per {batch}-batch ({:.2}x speedup)",
+            fp32_s * 1e3,
+            int8_s * 1e3,
+            fp32_s / int8_s
+        );
+    }
+
+    if let Some(path) = args.get("save") {
+        dlbench_nn::save_quantized_path(&qnet.to_entries(), path)
+            .map_err(|e| format!("cannot write {path}: {e}"))?;
+        println!("checkpoint      quantized (v2) written to {path}");
+    }
+    trace_finish(trace)?;
+    Ok(())
+}
+
 /// `dlbench attack`
 pub fn attack(args: &ParsedArgs) -> Result<(), String> {
     let scale = parse_scale(args.get("scale"))?;
@@ -435,6 +615,7 @@ pub fn serve(args: &ParsedArgs) -> Result<(), String> {
     configure_threads(args)?;
     let port = args.get_parsed("port", 8080u16)?;
     let config = batch_config_from_args(args)?;
+    let dtype = parse_dtype(args.get("quantize"))?;
     let trace = trace_start(args);
 
     let mut registry = ModelRegistry::new();
@@ -442,7 +623,7 @@ pub fn serve(args: &ParsedArgs) -> Result<(), String> {
         // One model from the usual cell flags, optionally checkpointed.
         let (host, setting, dataset) = cell_from_args(args)?;
         let name = args.get("name").unwrap_or("default").to_string();
-        let spec = ModelSpec { name, host, setting, dataset, scale, seed };
+        let spec = ModelSpec { name, host, setting, dataset, scale, seed, dtype };
         let checkpoint = args.get("load").map(std::path::Path::new);
         let served = spec.instantiate(checkpoint).map_err(|e| e.to_string())?;
         registry.register(served, config).map_err(|e| e.to_string())?;
@@ -458,7 +639,7 @@ pub fn serve(args: &ParsedArgs) -> Result<(), String> {
                 parts.next().ok_or_else(|| format!("model spec `{raw}` missing dataset"))?,
             )?;
             let checkpoint = parts.next().map(std::path::Path::new);
-            let spec = ModelSpec::own_default(name, host, dataset, scale, seed);
+            let spec = ModelSpec::own_default(name, host, dataset, scale, seed).with_dtype(dtype);
             let served = spec.instantiate(checkpoint).map_err(|e| e.to_string())?;
             registry.register(served, config).map_err(|e| e.to_string())?;
         }
@@ -574,6 +755,7 @@ fn fleet_sweep(args: &ParsedArgs) -> Result<(), String> {
     base.replicas = args.get_parsed("replicas", 2usize)?.max(1);
     base.max_batch = args.get_parsed("max-batch", 8usize)?.max(1);
     base.target_p99_ms = args.get_parsed("target-p99-ms", 20.0f64)?;
+    base.dtype = parse_dtype(args.get("quantize"))?;
     let doc = fleet_sweep_doc(&base, &rates, &policies, autoscale_modes);
     let out = args.get("out").unwrap_or("target/dlbench-reports/BENCH_fleet.json");
     write_text_file(out, &(doc.pretty() + "\n"))?;
@@ -604,7 +786,8 @@ pub fn fleet(args: &ParsedArgs) -> Result<(), String> {
         batch: batch_config_from_args(args)?,
         target_p99_ms: args.get_parsed("target-p99-ms", 50.0f64)?,
     };
-    let spec = ModelSpec { name: "default".into(), host, setting, dataset, scale, seed };
+    let dtype = parse_dtype(args.get("quantize"))?;
+    let spec = ModelSpec { name: "default".into(), host, setting, dataset, scale, seed, dtype };
     let concurrency = args.get_parsed("concurrency", 4usize)?.max(1);
     let every = args.get_parsed("promote-every", 1usize)?.max(1);
     let workers = args.get_parsed("workers", 2usize)?.max(1);
@@ -877,6 +1060,58 @@ pub fn profile(args: &ParsedArgs) -> Result<(), String> {
         println!("{}", report.render(Some(reference)));
         doc.add_process((FrameworkKind::ALL.len() + 1) as u64, &label, &events);
     }
+    // One quantized-inference pass: post-training-quantize the trained
+    // TF cell and trace a batched int8 forward, so the profile also
+    // covers the `gemm_i8`/`quantize_i8` kernels with their joined
+    // FLOP/s (inference-only — the train-chain validation above does
+    // not apply here).
+    {
+        let host = FrameworkKind::TensorFlow;
+        let setting = DefaultSetting::new(host, dataset);
+        let label = format!("{} int8 inference on {}", host.name(), dataset.name());
+        let out = trainer::run_training(host, setting, dataset, scale, seed);
+        let mut qnet = dlbench_quant::quantize_trained(
+            out.model,
+            host,
+            &setting,
+            dataset,
+            scale,
+            seed,
+            &dlbench_quant::QuantConfig::default(),
+        );
+        let (train, test) = trainer::generate_data(dataset, scale, seed);
+        let idx: Vec<usize> = (0..test.len().min(64)).collect();
+        let (images, _labels) = test.gather(&idx);
+        let preprocessing = trainer::effective_preprocessing(host, &setting, dataset);
+        let channel_means = if preprocessing == dlbench_data::Preprocessing::MeanSubtract {
+            dlbench_data::Preprocessing::channel_means(&train)
+        } else {
+            Vec::new()
+        };
+        let x = preprocessing.apply(&images, &channel_means);
+        dlbench_trace::configure(TraceConfig::on());
+        dlbench_trace::clear();
+        let _ = qnet.forward(&x, false);
+        let events = dlbench_trace::take_events();
+        dlbench_trace::configure(TraceConfig::Off);
+        let gemm_spans =
+            events.iter().filter(|e| e.is_span() && e.name.as_ref() == "gemm_i8").count();
+        if gemm_spans == 0 {
+            return Err(format!("{label}: quantized forward produced no gemm_i8 spans"));
+        }
+        println!("== {label} ==");
+        println!(
+            "{gemm_spans} gemm_i8 spans over a {}-sample int8 forward ({} of {} layers quantized)",
+            idx.len(),
+            qnet.num_quantized(),
+            qnet.len()
+        );
+        let reference =
+            devices::xeon_e5_1620().throughput_gflops * host.execution_profile().cpu_efficiency;
+        let report = ProfileReport::from_events(&events);
+        println!("{}", report.render(Some(reference)));
+        doc.add_process((FrameworkKind::ALL.len() + 2) as u64, &label, &events);
+    }
     let rendered = doc.render();
     // The exporter hand-emits JSON; prove the artifact parses before
     // handing it to the user.
@@ -1020,9 +1255,13 @@ impl dlbench_core::ServeBackend for CliServeBackend {
     ) -> Result<dlbench_json::JsonValue, String> {
         use dlbench_serve::loadgen::{self, LoadConfig, LoadMode};
         use dlbench_serve::{BatchConfig, ModelRegistry, ModelSpec};
+        let dtype = dlbench_serve::ModelDtype::parse(&cell.quantize)
+            .ok_or_else(|| format!("unknown quantize mode `{}` (fp32|int8)", cell.quantize))?;
         let spec =
-            ModelSpec::own_default("default", cell.host, cell.dataset, cell.scale, cell.seed);
+            ModelSpec::own_default("default", cell.host, cell.dataset, cell.scale, cell.seed)
+                .with_dtype(dtype);
         let served = spec.instantiate(None).map_err(|e| e.to_string())?;
+        let calibration = served.model.calibration_json();
         let config = BatchConfig {
             max_batch: cell.max_batch,
             max_wait: std::time::Duration::from_millis(cell.deadline_ms.round() as u64),
@@ -1043,7 +1282,16 @@ impl dlbench_core::ServeBackend for CliServeBackend {
             },
         );
         server.shutdown();
-        Ok(report.to_json())
+        // Lead the result with the model facts the load report cannot
+        // know: the serving dtype and (for int8) the calibration stats.
+        let mut members = vec![("dtype".to_string(), dlbench_json::JsonValue::from(dtype.name()))];
+        if let Some(stats) = calibration {
+            members.push(("calibration".to_string(), stats));
+        }
+        if let dlbench_json::JsonValue::Object(rest) = report.to_json() {
+            members.extend(rest);
+        }
+        Ok(dlbench_json::JsonValue::Object(members))
     }
 }
 
@@ -1066,6 +1314,8 @@ impl dlbench_core::FleetBackend for CliFleetBackend {
         cfg.replicas = cell.replicas;
         cfg.max_batch = cell.max_batch;
         cfg.target_p99_ms = cell.target_p99_ms;
+        cfg.dtype = dlbench_serve::ModelDtype::parse(&cell.quantize)
+            .ok_or_else(|| format!("unknown quantize mode `{}` (fp32|int8)", cell.quantize))?;
         Ok(dlbench_fleet::simulate_fleet(&cfg).to_json())
     }
 }

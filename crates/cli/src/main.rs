@@ -50,6 +50,21 @@ COMMANDS:
                                   [--checkpoint-every N]  (roll a
                                   checkpoint into --save FILE every N
                                   epochs; resume with --load)
+    quantize                      post-training int8 quantization of one
+                                  cell: calibrates activation ranges on
+                                  a held-out shard, reports per-layer
+                                  calibration stats, the fp32->int8
+                                  accuracy drop and the modeled
+                                  testing-time speedup
+                                  [--framework …] [--dataset …]
+                                  [--setting-owner …] [--setting-dataset …]
+                                  [--scale …] [--seed N]
+                                  [--load FILE]  (fp32 v1 or quantized
+                                  v2 checkpoint; trains fresh if absent)
+                                  [--save FILE]  (write v2 quantized
+                                  checkpoint for serve/fleet)
+                                  [--calib-samples N] [--percentile P]
+                                  [--momentum M] [--threads N]
     dist-train                    simulated data-parallel training
                                   [--workers N] [--strategy ps|ring]
                                   [--framework …] [--dataset …]
@@ -73,6 +88,10 @@ COMMANDS:
                                   [--load FILE] [--name NAME]
                                   [--port N] [--max-batch N]
                                   [--batch-wait-ms N] [--queue N]
+                                  [--quantize fp32|int8]  (int8 serves
+                                  the post-training-quantized model;
+                                  v1 checkpoints quantize on load, v2
+                                  quantized checkpoints adopt bits)
                                   [--scale …] [--seed N] [--threads N]
     loadgen                       drive predict load at a serve instance
                                   --url HOST:PORT [--model NAME]
@@ -95,7 +114,8 @@ COMMANDS:
                                   [--framework …] [--dataset …]
                                   [--scale …] [--seed N]
                                   [--max-batch N] [--batch-wait-ms N]
-                                  [--queue N] [--trace FILE]
+                                  [--queue N] [--quantize fp32|int8]
+                                  [--trace FILE]
                                   or: --sweep through the simtime fleet
                                   simulator (open-loop heavy-tailed
                                   arrivals at planet-scale rates)
@@ -151,6 +171,7 @@ fn main() -> ExitCode {
         "run" => commands::run(&parsed),
         "run-spec" => commands::run_spec(&parsed),
         "train" => commands::train(&parsed),
+        "quantize" => commands::quantize(&parsed),
         "dist-train" => commands::dist_train(&parsed),
         "attack" => commands::attack(&parsed),
         "stats" => commands::stats(&parsed),

@@ -75,6 +75,7 @@ const KNOWN_KEYS: &[&str] = &[
     "framework",
     "max_batch",
     "max_steps",
+    "quantize",
     "rate_rps",
     "replicas",
     "requests",
@@ -95,6 +96,13 @@ const KNOWN_KEYS: &[&str] = &[
 /// grid would otherwise get N identical cells and a duplicate-cell
 /// error that names the wrong problem.
 const FLEET_ONLY_KEYS: &[&str] = &["replicas", "routing", "target_p99_ms"];
+
+/// Keys that only make sense on serving-side grids (serve and fleet).
+/// Writing one on a train or dist grid is a structured error for the
+/// same reason as [`FLEET_ONLY_KEYS`]: varying `quantize` on a train
+/// grid would silently produce N identical cells, and the resulting
+/// duplicate-cell error names the wrong problem.
+const SERVING_ONLY_KEYS: &[&str] = &["quantize"];
 
 /// Parameter keys meaningful for each kind. Cells only keep (and
 /// hash) the keys their kind understands, so a shared default like
@@ -120,6 +128,7 @@ fn keys_for(kind: CellKindTag) -> &'static [&'static str] {
             "deadline_ms",
             "framework",
             "max_batch",
+            "quantize",
             "rate_rps",
             "requests",
             "scale",
@@ -129,6 +138,7 @@ fn keys_for(kind: CellKindTag) -> &'static [&'static str] {
             "dataset",
             "framework",
             "max_batch",
+            "quantize",
             "rate_rps",
             "replicas",
             "requests",
@@ -304,6 +314,20 @@ impl ExperimentSpec {
                     return Err(format!(
                         "{context}: parameter `{k}` only applies to fleet grids, but this \
                          grid is kind `{}`; move it to a fleet grid or drop it",
+                        kind.name()
+                    ));
+                }
+            }
+        }
+        if matches!(kind, CellKindTag::Train | CellKindTag::Dist) {
+            let written =
+                axes.iter().map(|(k, _)| k.as_str()).chain(overrides.keys().map(String::as_str));
+            for k in written {
+                if SERVING_ONLY_KEYS.contains(&k) {
+                    return Err(format!(
+                        "{context}: parameter `{k}` only applies to serve and fleet grids \
+                         (inference-side quantization), but this grid is kind `{}`; move it \
+                         to a serve or fleet grid or drop it",
                         kind.name()
                     ));
                 }
@@ -517,6 +541,10 @@ pub struct ServeCellSpec {
     pub requests: usize,
     /// Open-loop arrival rate (requests/second).
     pub rate_rps: f64,
+    /// Serving dtype, canonical spelling (`fp32` or `int8`). Kept as a
+    /// string because `dlbench-core` cannot depend on `dlbench-serve`;
+    /// the backend re-parses it into `ModelDtype`.
+    pub quantize: String,
 }
 
 /// A fully-resolved fleet cell, executed by a [`FleetBackend`]
@@ -546,11 +574,25 @@ pub struct FleetCellSpec {
     pub requests: usize,
     /// Open-loop arrival rate (requests/second).
     pub rate_rps: f64,
+    /// Serving dtype, canonical spelling (`fp32` or `int8`); see
+    /// [`ServeCellSpec::quantize`].
+    pub quantize: String,
 }
 
 /// Canonicalizes a routing-policy spelling. Mirrors
 /// `dlbench_fleet::RoutingPolicy::parse` (core cannot call it);
 /// `tests/tests/spec.rs` pins the two lists together.
+/// Canonicalizes a serving-dtype spelling. Mirrors
+/// `dlbench_serve::ModelDtype::parse` (core cannot call it);
+/// `tests/tests/spec.rs` pins the two lists together.
+fn canonical_quantize(s: &str) -> Result<&'static str, String> {
+    match s.to_ascii_lowercase().as_str() {
+        "fp32" | "f32" | "float32" => Ok("fp32"),
+        "int8" | "i8" => Ok("int8"),
+        other => Err(format!("unknown quantize mode `{other}` (expected fp32|int8)")),
+    }
+}
+
 fn canonical_routing(s: &str) -> Result<&'static str, String> {
     match s.to_ascii_lowercase().as_str() {
         "rr" | "round-robin" | "roundrobin" => Ok("rr"),
@@ -733,15 +775,18 @@ fn typed_cell(kind: CellKindTag, params: BTreeMap<String, String>) -> Result<Pla
             if rate_rps <= 0.0 {
                 return Err("`rate_rps` must be positive".into());
             }
+            let quantize = canonical_quantize(p.get("quantize").unwrap_or("fp32"))?;
             canonical.insert("deadline_ms".to_string(), fmt_num(deadline_ms));
             canonical.insert("max_batch".to_string(), max_batch.to_string());
             canonical.insert("requests".to_string(), requests.to_string());
             canonical.insert("rate_rps".to_string(), fmt_num(rate_rps));
+            canonical.insert("quantize".to_string(), quantize.to_string());
             let label = format!(
-                "{} on {} (deadline {}ms)",
+                "{} on {} (deadline {}ms, {})",
                 host.name(),
                 dataset.name(),
-                fmt_num(deadline_ms)
+                fmt_num(deadline_ms),
+                quantize
             );
             let cell = ServeCellSpec {
                 host,
@@ -752,6 +797,7 @@ fn typed_cell(kind: CellKindTag, params: BTreeMap<String, String>) -> Result<Pla
                 max_batch,
                 requests,
                 rate_rps,
+                quantize: quantize.to_string(),
             };
             (CellPayload::Serve(cell), label)
         }
@@ -768,19 +814,22 @@ fn typed_cell(kind: CellKindTag, params: BTreeMap<String, String>) -> Result<Pla
             if rate_rps <= 0.0 {
                 return Err("`rate_rps` must be positive".into());
             }
+            let quantize = canonical_quantize(p.get("quantize").unwrap_or("fp32"))?;
             canonical.insert("replicas".to_string(), replicas.to_string());
             canonical.insert("routing".to_string(), routing.to_string());
             canonical.insert("target_p99_ms".to_string(), fmt_num(target_p99_ms));
             canonical.insert("max_batch".to_string(), max_batch.to_string());
             canonical.insert("requests".to_string(), requests.to_string());
             canonical.insert("rate_rps".to_string(), fmt_num(rate_rps));
+            canonical.insert("quantize".to_string(), quantize.to_string());
             let label = format!(
-                "{} on {} x{} {} @ {}rps",
+                "{} on {} x{} {} @ {}rps ({})",
                 host.name(),
                 dataset.name(),
                 replicas,
                 routing,
-                fmt_num(rate_rps)
+                fmt_num(rate_rps),
+                quantize
             );
             let cell = FleetCellSpec {
                 host,
@@ -793,6 +842,7 @@ fn typed_cell(kind: CellKindTag, params: BTreeMap<String, String>) -> Result<Pla
                 max_batch,
                 requests,
                 rate_rps,
+                quantize: quantize.to_string(),
             };
             (CellPayload::Fleet(cell), label)
         }

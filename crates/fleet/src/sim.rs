@@ -20,6 +20,8 @@ use dlbench_core::{Histogram, HistogramSummary};
 use dlbench_data::DatasetKind;
 use dlbench_frameworks::{trainer, DefaultSetting, FrameworkKind, Scale};
 use dlbench_json::{JsonValue, ToJson};
+use dlbench_quant::cost_split;
+use dlbench_serve::ModelDtype;
 use dlbench_simtime::{devices, CostModel, SimClock};
 use dlbench_tensor::SeededRng;
 use std::cmp::Reverse;
@@ -59,6 +61,11 @@ pub struct SimFleetConfig {
     pub autoscale: Option<AutoscaleConfig>,
     /// Autoscaler observation period (sim-seconds).
     pub autoscale_tick_s: f64,
+    /// Numeric representation the replicas serve in. `Int8` charges the
+    /// quantizable layers at the device's int8 throughput (see
+    /// `CostModel::inference_seconds_batched_int8`) and the fallback
+    /// layers at fp32 rates.
+    pub dtype: ModelDtype,
 }
 
 impl SimFleetConfig {
@@ -80,6 +87,7 @@ impl SimFleetConfig {
             pareto_alpha: 2.0,
             autoscale: None,
             autoscale_tick_s: 0.25,
+            dtype: ModelDtype::Fp32,
         }
     }
 }
@@ -90,6 +98,8 @@ impl SimFleetConfig {
 pub struct SimFleetReport {
     /// Routing policy that ran.
     pub policy: RoutingPolicy,
+    /// Numeric representation the replicas served in.
+    pub dtype: ModelDtype,
     /// Mean offered arrival rate (requests per sim-second).
     pub rate_rps: f64,
     /// Whether the autoscaler was active.
@@ -126,6 +136,7 @@ impl ToJson for SimFleetReport {
     fn to_json(&self) -> JsonValue {
         JsonValue::Object(vec![
             ("policy".into(), self.policy.name().into()),
+            ("dtype".into(), self.dtype.name().into()),
             ("rate_rps".into(), self.rate_rps.into()),
             ("autoscale".into(), JsonValue::Bool(self.autoscale)),
             ("requests".into(), self.requests.into()),
@@ -222,8 +233,15 @@ pub fn simulate_fleet(cfg: &SimFleetConfig) -> SimFleetReport {
             if k == 0 {
                 return 0;
             }
-            let cost = network.cost(&[k, cfg.dataset.channels(), size, size]);
-            (cost_model.inference_seconds_batched(&cost, k) * NS).round() as u64
+            let shape = [k, cfg.dataset.channels(), size, size];
+            let seconds = match cfg.dtype {
+                ModelDtype::Fp32 => cost_model.inference_seconds_batched(&network.cost(&shape), k),
+                ModelDtype::Int8 => {
+                    let (quantized, fallback) = cost_split(&network, &shape);
+                    cost_model.inference_seconds_batched_int8(&quantized, &fallback, k)
+                }
+            };
+            (seconds * NS).round() as u64
         })
         .collect();
 
@@ -501,6 +519,7 @@ pub fn simulate_fleet(cfg: &SimFleetConfig) -> SimFleetReport {
     let replicas_final = replicas.iter().filter(|r| r.alive && !r.draining).count();
     SimFleetReport {
         policy: cfg.policy,
+        dtype: cfg.dtype,
         rate_rps: cfg.rate_rps,
         autoscale: cfg.autoscale.is_some(),
         requests: cfg.requests,
@@ -548,6 +567,7 @@ pub fn fleet_sweep_doc(
     JsonValue::Object(vec![
         ("benchmark".into(), "fleet".into()),
         ("host".into(), base.host.name().into()),
+        ("dtype".into(), base.dtype.name().into()),
         ("dataset".into(), base.dataset.name().into()),
         ("seed".into(), (base.seed as usize).into()),
         ("requests_per_cell".into(), base.requests.into()),
@@ -626,6 +646,18 @@ mod tests {
             ba.mean_batch,
             rr.mean_batch
         );
+    }
+
+    #[test]
+    fn int8_replicas_serve_at_least_as_fast_as_fp32() {
+        let fp32 = simulate_fleet(&quick(2_000.0));
+        let mut cfg = quick(2_000.0);
+        cfg.dtype = ModelDtype::Int8;
+        let int8 = simulate_fleet(&cfg);
+        assert_eq!(int8.completed + int8.shed, cfg.requests);
+        let (p50_fp32, p50_int8) =
+            (fp32.latency_ms.as_ref().unwrap().p50, int8.latency_ms.as_ref().unwrap().p50);
+        assert!(p50_int8 <= p50_fp32, "int8 p50 {p50_int8} vs fp32 {p50_fp32}");
     }
 
     #[test]

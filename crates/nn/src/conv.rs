@@ -78,6 +78,26 @@ impl Conv2d {
         &self.weight
     }
 
+    /// Immutable access to the per-channel biases.
+    pub fn bias(&self) -> &Tensor {
+        &self.bias
+    }
+
+    /// Square kernel side length.
+    pub fn kernel(&self) -> usize {
+        self.kernel
+    }
+
+    /// Uniform stride.
+    pub fn stride(&self) -> usize {
+        self.stride
+    }
+
+    /// Symmetric zero padding.
+    pub fn pad(&self) -> usize {
+        self.pad
+    }
+
     fn geometry(&self, in_h: usize, in_w: usize) -> Conv2dGeometry {
         Conv2dGeometry {
             in_channels: self.in_channels,

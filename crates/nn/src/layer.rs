@@ -2,6 +2,33 @@
 
 use crate::profile::LayerCost;
 use dlbench_tensor::Tensor;
+use std::any::Any;
+
+/// Upcasts a layer (or any `'static` value) to [`std::any::Any`], so
+/// trait objects can be downcast back to their concrete type. The
+/// post-training quantization pass in `dlbench-quant` uses this to
+/// recognize `Linear` and `Conv2d` inside a `Box<dyn Layer>` stack and
+/// swap in int8 counterparts, keeping everything else as an fp32
+/// fallback. The blanket impl means layer implementors never write a
+/// line for it.
+pub trait AsAny {
+    /// Borrows the value as [`Any`] (for `is::<T>()` probes).
+    fn as_any(&self) -> &dyn Any;
+
+    /// Consumes the box, yielding an [`Any`] box that can be
+    /// `downcast::<T>()` into the concrete layer.
+    fn into_any(self: Box<Self>) -> Box<dyn Any>;
+}
+
+impl<T: Any> AsAny for T {
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+
+    fn into_any(self: Box<Self>) -> Box<dyn Any> {
+        self
+    }
+}
 
 /// Whether a parameter tensor is a weight or a bias.
 ///
@@ -40,7 +67,9 @@ pub struct ParamSet<'a> {
 /// benchmark runner trains independent cells on worker threads (see
 /// `BenchmarkRunner::prefetch` in `dlbench-core`). Layers are plain
 /// owned data (tensors, caches), so this costs implementors nothing.
-pub trait Layer: Send {
+/// The [`AsAny`] supertrait (satisfied automatically via its blanket
+/// impl) lets the quantization pass downcast boxed layers.
+pub trait Layer: Send + AsAny {
     /// Short human-readable layer name (e.g. `"conv2d"`).
     fn name(&self) -> &'static str;
 

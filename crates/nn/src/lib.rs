@@ -56,7 +56,7 @@ pub use conv::Conv2d;
 pub use dropout::Dropout;
 pub use flatten::Flatten;
 pub use init::Initializer;
-pub use layer::{Layer, ParamKind, ParamSet};
+pub use layer::{AsAny, Layer, ParamKind, ParamSet};
 pub use linear::Linear;
 pub use loss::SoftmaxCrossEntropy;
 pub use network::Network;
@@ -64,5 +64,7 @@ pub use norm::LocalResponseNorm;
 pub use pool::{AvgPool2d, MaxPool2d};
 pub use profile::LayerCost;
 pub use serialize::{
-    load_parameters, load_parameters_path, save_parameters, save_parameters_path, CheckpointError,
+    checkpoint_version, load_parameters, load_parameters_path, load_quantized, load_quantized_path,
+    save_parameters, save_parameters_path, save_quantized, save_quantized_path, CheckpointError,
+    QuantEntry,
 };

@@ -55,6 +55,11 @@ impl Linear {
     pub fn weight(&self) -> &Tensor {
         &self.weight
     }
+
+    /// Immutable access to the per-output biases.
+    pub fn bias(&self) -> &Tensor {
+        &self.bias
+    }
 }
 
 impl Layer for Linear {

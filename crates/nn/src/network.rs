@@ -51,6 +51,14 @@ impl Network {
         &self.layers
     }
 
+    /// Consumes the network, yielding its layer stack. The
+    /// post-training quantization pass uses this (together with
+    /// [`crate::AsAny`]) to take ownership of each layer, downcast the
+    /// quantizable ones and wrap the rest as fp32 fallbacks.
+    pub fn into_layers(self) -> Vec<Box<dyn Layer>> {
+        self.layers
+    }
+
     /// Runs all layers forward, returning the final output (logits).
     ///
     /// Each layer runs under a trace span named after the layer,

@@ -6,15 +6,35 @@
 //! The format is a versioned, self-describing binary layout (no external
 //! dependencies): magic, version, parameter count, then per parameter a
 //! rank-prefixed shape and little-endian `f32` data.
+//!
+//! Two versions exist. Version 1 (`DLBENCH1`) is the fp32 parameter
+//! dump described above. Version 2 (`DLBENCH2`) is the *quantized*
+//! checkpoint: a sequence of typed [`QuantEntry`] tensors — plain `f32`
+//! tensors or `i8` tensors carrying their affine quantization
+//! parameters (scale, zero point). The entry sequence is
+//! network-agnostic; `dlbench-quant` defines how a quantized network
+//! maps onto it and validates structure on load. Each loader rejects
+//! the other version with a structured error naming the dtype mismatch,
+//! so an fp32 `--load` of a quantized file (or vice versa) never
+//! panics.
 
 use crate::network::Network;
 use std::io::{self, Read, Write};
 
 const MAGIC: &[u8; 8] = b"DLBENCH1";
 
+/// Version-2 magic: quantized checkpoints.
+const MAGIC_V2: &[u8; 8] = b"DLBENCH2";
+
 /// The format-family prefix shared by all checkpoint versions; the
 /// eighth magic byte is the ASCII version digit.
 const MAGIC_PREFIX: &[u8; 7] = b"DLBENCH";
+
+/// Hard cap on the element count any single checkpoint entry may
+/// declare (256M scalars ≈ 1 GiB of f32). Shapes are validated before
+/// data is read, so a corrupt dimension field must be rejected before
+/// it sizes an allocation.
+const MAX_ELEMS: u64 = 1 << 28;
 
 /// Highest tensor rank a checkpoint may declare. The header is read
 /// before shapes are validated against the network, so an adversarial
@@ -105,6 +125,13 @@ pub fn load_parameters(net: &mut Network, r: &mut impl Read) -> Result<(), Check
     if &magic[..7] != MAGIC_PREFIX {
         return Err(CheckpointError::BadFormat(format!("magic {:?} != {:?}", &magic, MAGIC)));
     }
+    if magic[7] == MAGIC_V2[7] {
+        return Err(CheckpointError::BadFormat(
+            "version 2 is a quantized (int8) checkpoint; this fp32 entry point reads \
+             version 1 — load it through the quantized path instead"
+                .to_string(),
+        ));
+    }
     if magic[7] != MAGIC[7] {
         return Err(CheckpointError::BadFormat(format!(
             "unsupported checkpoint version {:?} (this build reads version {:?})",
@@ -148,6 +175,202 @@ pub fn load_parameters(net: &mut Network, r: &mut impl Read) -> Result<(), Check
         }
     }
     Ok(())
+}
+
+/// Sniffs the checkpoint version from the head of a byte stream:
+/// `Some('1')` for fp32 checkpoints, `Some('2')` for quantized ones,
+/// `None` when the bytes are not a DLBench checkpoint at all. Entry
+/// points that accept either format (`--load`, the serve registry) use
+/// this to pick a loader before committing to one.
+pub fn checkpoint_version(bytes: &[u8]) -> Option<char> {
+    if bytes.len() >= 8 && &bytes[..7] == MAGIC_PREFIX {
+        Some(bytes[7] as char)
+    } else {
+        None
+    }
+}
+
+/// One typed tensor of a version-2 (quantized) checkpoint.
+#[derive(Debug, Clone, PartialEq)]
+pub enum QuantEntry {
+    /// A plain fp32 tensor (biases, fallback-layer parameters).
+    F32 {
+        /// Tensor shape.
+        dims: Vec<usize>,
+        /// Row-major values.
+        data: Vec<f32>,
+    },
+    /// An int8 tensor with its affine quantization parameters. An
+    /// empty `data` is legal — `dlbench-quant` uses zero-length `I8`
+    /// entries to persist activation quantizers, which have a scale and
+    /// zero point but no values of their own.
+    I8 {
+        /// Tensor shape.
+        dims: Vec<usize>,
+        /// Row-major quantized values.
+        data: Vec<i8>,
+        /// Quantization step (`x ≈ scale · (q − zero_point)`).
+        scale: f32,
+        /// Affine zero point.
+        zero_point: i8,
+    },
+}
+
+const TAG_F32: u8 = 0;
+const TAG_I8: u8 = 1;
+
+fn write_dims(dims: &[usize], w: &mut impl Write) -> Result<(), CheckpointError> {
+    w.write_all(&(dims.len() as u32).to_le_bytes())?;
+    for &d in dims {
+        w.write_all(&(d as u64).to_le_bytes())?;
+    }
+    Ok(())
+}
+
+fn read_dims(i: usize, r: &mut impl Read) -> Result<(Vec<usize>, usize), CheckpointError> {
+    let mut u32buf = [0u8; 4];
+    let mut u64buf = [0u8; 8];
+    r.read_exact(&mut u32buf)?;
+    let rank = u32::from_le_bytes(u32buf) as usize;
+    if rank > MAX_RANK {
+        return Err(CheckpointError::BadFormat(format!(
+            "entry {i}: rank {rank} exceeds the format maximum {MAX_RANK} (corrupt header?)"
+        )));
+    }
+    let mut dims = Vec::with_capacity(rank);
+    let mut len: u64 = 1;
+    for _ in 0..rank {
+        r.read_exact(&mut u64buf)?;
+        let d = u64::from_le_bytes(u64buf);
+        len = len.checked_mul(d).filter(|&l| l <= MAX_ELEMS).ok_or_else(|| {
+            CheckpointError::BadFormat(format!(
+                "entry {i}: element count overflows the {MAX_ELEMS}-element cap \
+                 (corrupt dimensions?)"
+            ))
+        })?;
+        dims.push(d as usize);
+    }
+    Ok((dims, len as usize))
+}
+
+/// Writes a version-2 (quantized) checkpoint: the given entry sequence
+/// under the `DLBENCH2` magic.
+pub fn save_quantized(entries: &[QuantEntry], w: &mut impl Write) -> Result<(), CheckpointError> {
+    w.write_all(MAGIC_V2)?;
+    w.write_all(&(entries.len() as u32).to_le_bytes())?;
+    for e in entries {
+        match e {
+            QuantEntry::F32 { dims, data } => {
+                w.write_all(&[TAG_F32])?;
+                write_dims(dims, w)?;
+                for &v in data {
+                    w.write_all(&v.to_le_bytes())?;
+                }
+            }
+            QuantEntry::I8 { dims, data, scale, zero_point } => {
+                w.write_all(&[TAG_I8])?;
+                w.write_all(&scale.to_le_bytes())?;
+                w.write_all(&(*zero_point as i32).to_le_bytes())?;
+                write_dims(dims, w)?;
+                for &v in data {
+                    w.write_all(&[v as u8])?;
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Writes a version-2 (quantized) checkpoint to a file at `path`.
+pub fn save_quantized_path(
+    entries: &[QuantEntry],
+    path: impl AsRef<std::path::Path>,
+) -> Result<(), CheckpointError> {
+    let mut file = std::fs::File::create(path)?;
+    save_quantized(entries, &mut file)
+}
+
+/// Reads a version-2 (quantized) checkpoint from `r`, validating the
+/// header, every rank/dimension field, and the quantization parameters
+/// (scale must be finite and positive, zero point must fit i8). All
+/// failure modes are structured [`CheckpointError`]s — truncation is
+/// `Io`, corruption is `BadFormat` — never a panic.
+pub fn load_quantized(r: &mut impl Read) -> Result<Vec<QuantEntry>, CheckpointError> {
+    let mut magic = [0u8; 8];
+    r.read_exact(&mut magic)?;
+    if &magic[..7] != MAGIC_PREFIX {
+        return Err(CheckpointError::BadFormat(format!("magic {:?} != {:?}", &magic, MAGIC_V2)));
+    }
+    if magic[7] == MAGIC[7] {
+        return Err(CheckpointError::BadFormat(
+            "version 1 is an fp32 checkpoint; this quantized entry point reads version 2 \
+             — load it through the fp32 path (or quantize it first)"
+                .to_string(),
+        ));
+    }
+    if magic[7] != MAGIC_V2[7] {
+        return Err(CheckpointError::BadFormat(format!(
+            "unsupported checkpoint version {:?} (the quantized loader reads version {:?})",
+            magic[7] as char, MAGIC_V2[7] as char
+        )));
+    }
+    let mut u32buf = [0u8; 4];
+    r.read_exact(&mut u32buf)?;
+    let count = u32::from_le_bytes(u32buf) as usize;
+    let mut entries = Vec::new();
+    for i in 0..count {
+        let mut tag = [0u8; 1];
+        r.read_exact(&mut tag)?;
+        match tag[0] {
+            TAG_F32 => {
+                let (dims, len) = read_dims(i, r)?;
+                let mut data = vec![0.0f32; len];
+                for v in &mut data {
+                    r.read_exact(&mut u32buf)?;
+                    *v = f32::from_le_bytes(u32buf);
+                }
+                entries.push(QuantEntry::F32 { dims, data });
+            }
+            TAG_I8 => {
+                r.read_exact(&mut u32buf)?;
+                let scale = f32::from_le_bytes(u32buf);
+                if !scale.is_finite() || scale <= 0.0 {
+                    return Err(CheckpointError::BadFormat(format!(
+                        "entry {i}: quantization scale {scale} must be finite and positive"
+                    )));
+                }
+                r.read_exact(&mut u32buf)?;
+                let zp = i32::from_le_bytes(u32buf);
+                if !(i8::MIN as i32..=i8::MAX as i32).contains(&zp) {
+                    return Err(CheckpointError::BadFormat(format!(
+                        "entry {i}: zero point {zp} outside the i8 range"
+                    )));
+                }
+                let (dims, len) = read_dims(i, r)?;
+                let mut data = vec![0i8; len];
+                let mut byte = [0u8; 1];
+                for v in &mut data {
+                    r.read_exact(&mut byte)?;
+                    *v = byte[0] as i8;
+                }
+                entries.push(QuantEntry::I8 { dims, data, scale, zero_point: zp as i8 });
+            }
+            other => {
+                return Err(CheckpointError::BadFormat(format!(
+                    "entry {i}: unknown dtype tag {other} (corrupt stream?)"
+                )));
+            }
+        }
+    }
+    Ok(entries)
+}
+
+/// Reads a version-2 (quantized) checkpoint from a file at `path`.
+pub fn load_quantized_path(
+    path: impl AsRef<std::path::Path>,
+) -> Result<Vec<QuantEntry>, CheckpointError> {
+    let mut file = std::fs::File::open(path)?;
+    load_quantized(&mut std::io::BufReader::new(&mut file))
 }
 
 #[cfg(test)]
@@ -253,7 +476,7 @@ mod tests {
         let mut a = net(1);
         let mut buf = Vec::new();
         save_parameters(&mut a, &mut buf).unwrap();
-        buf[7] = b'2'; // DLBENCH2: right family, future version
+        buf[7] = b'3'; // DLBENCH3: right family, future version
         let mut b = net(1);
         let err = load_parameters(&mut b, &mut buf.as_slice()).unwrap_err();
         match err {
@@ -262,6 +485,152 @@ mod tests {
             }
             other => panic!("expected BadFormat, got {other}"),
         }
+    }
+
+    #[test]
+    fn fp32_loader_names_quantized_checkpoints_in_its_error() {
+        // Loading a v2 (quantized) file through the fp32 path is the
+        // `--load` dtype-mismatch case: a structured error, not a panic.
+        let mut buf = Vec::new();
+        save_quantized(&[QuantEntry::F32 { dims: vec![2], data: vec![1.0, 2.0] }], &mut buf)
+            .unwrap();
+        let mut b = net(1);
+        let err = load_parameters(&mut b, &mut buf.as_slice()).unwrap_err();
+        match err {
+            CheckpointError::BadFormat(msg) => {
+                assert!(msg.contains("quantized"), "should name the dtype mismatch: {msg}")
+            }
+            other => panic!("expected BadFormat, got {other}"),
+        }
+    }
+
+    #[test]
+    fn quantized_loader_rejects_fp32_checkpoints() {
+        let mut a = net(1);
+        let mut buf = Vec::new();
+        save_parameters(&mut a, &mut buf).unwrap();
+        let err = load_quantized(&mut buf.as_slice()).unwrap_err();
+        match err {
+            CheckpointError::BadFormat(msg) => {
+                assert!(msg.contains("fp32"), "should name the dtype mismatch: {msg}")
+            }
+            other => panic!("expected BadFormat, got {other}"),
+        }
+    }
+
+    fn quant_entries() -> Vec<QuantEntry> {
+        vec![
+            QuantEntry::I8 {
+                dims: vec![2, 3],
+                data: vec![1, -2, 3, -4, 5, -128],
+                scale: 0.05,
+                zero_point: -7,
+            },
+            QuantEntry::F32 { dims: vec![3], data: vec![0.5, -0.25, 0.0] },
+            QuantEntry::I8 { dims: vec![0], data: vec![], scale: 0.125, zero_point: 3 },
+        ]
+    }
+
+    #[test]
+    fn quantized_roundtrip_preserves_entries() {
+        let entries = quant_entries();
+        let mut buf = Vec::new();
+        save_quantized(&entries, &mut buf).unwrap();
+        assert_eq!(checkpoint_version(&buf), Some('2'));
+        let back = load_quantized(&mut buf.as_slice()).unwrap();
+        assert_eq!(back, entries);
+    }
+
+    #[test]
+    fn quantized_every_truncation_point_errors_never_panics() {
+        let mut buf = Vec::new();
+        save_quantized(&quant_entries(), &mut buf).unwrap();
+        for cut in 0..buf.len() {
+            let err = load_quantized(&mut buf[..cut].as_ref());
+            assert!(err.is_err(), "truncation at byte {cut} must fail");
+        }
+    }
+
+    #[test]
+    fn quantized_rejects_zero_negative_and_non_finite_scales() {
+        for bad in [0.0f32, -1.0, f32::NAN, f32::INFINITY] {
+            let mut buf = Vec::new();
+            save_quantized(
+                &[QuantEntry::I8 { dims: vec![1], data: vec![5], scale: 0.1, zero_point: 0 }],
+                &mut buf,
+            )
+            .unwrap();
+            // The scale field sits right after the magic, count and tag.
+            buf[13..17].copy_from_slice(&bad.to_le_bytes());
+            let err = load_quantized(&mut buf.as_slice()).unwrap_err();
+            assert!(
+                matches!(err, CheckpointError::BadFormat(ref m) if m.contains("scale")),
+                "scale {bad} should be rejected: {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn quantized_rejects_zero_point_outside_i8_range() {
+        for bad in [128i32, -129, i32::MAX] {
+            let mut buf = Vec::new();
+            save_quantized(
+                &[QuantEntry::I8 { dims: vec![1], data: vec![5], scale: 0.1, zero_point: 0 }],
+                &mut buf,
+            )
+            .unwrap();
+            // The zero-point field follows the 4-byte scale.
+            buf[17..21].copy_from_slice(&bad.to_le_bytes());
+            let err = load_quantized(&mut buf.as_slice()).unwrap_err();
+            assert!(
+                matches!(err, CheckpointError::BadFormat(ref m) if m.contains("zero point")),
+                "zero point {bad} should be rejected: {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn quantized_rejects_unknown_tags_and_rank_bombs() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(b"DLBENCH2");
+        buf.extend_from_slice(&1u32.to_le_bytes());
+        buf.push(9); // unknown dtype tag
+        let err = load_quantized(&mut buf.as_slice()).unwrap_err();
+        assert!(matches!(err, CheckpointError::BadFormat(ref m) if m.contains("tag")), "{err}");
+
+        let mut buf = Vec::new();
+        buf.extend_from_slice(b"DLBENCH2");
+        buf.extend_from_slice(&1u32.to_le_bytes());
+        buf.push(0); // f32 tag
+        buf.extend_from_slice(&u32::MAX.to_le_bytes()); // rank bomb
+        let err = load_quantized(&mut buf.as_slice()).unwrap_err();
+        assert!(matches!(err, CheckpointError::BadFormat(ref m) if m.contains("rank")), "{err}");
+
+        // Plausible rank whose dimensions overflow the element cap must
+        // be rejected before sizing an allocation.
+        let mut buf = Vec::new();
+        buf.extend_from_slice(b"DLBENCH2");
+        buf.extend_from_slice(&1u32.to_le_bytes());
+        buf.push(0);
+        buf.extend_from_slice(&2u32.to_le_bytes()); // rank 2
+        buf.extend_from_slice(&u64::MAX.to_le_bytes());
+        buf.extend_from_slice(&7u64.to_le_bytes());
+        let err = load_quantized(&mut buf.as_slice()).unwrap_err();
+        assert!(
+            matches!(err, CheckpointError::BadFormat(ref m) if m.contains("element count")),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn quantized_path_roundtrip() {
+        let dir = std::env::temp_dir().join("dlbench-ckpt-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(format!("quant-roundtrip-{}.ckpt", std::process::id()));
+        let entries = quant_entries();
+        save_quantized_path(&entries, &path).unwrap();
+        assert_eq!(load_quantized_path(&path).unwrap(), entries);
+        let _ = std::fs::remove_file(&path);
     }
 
     #[test]

@@ -1,0 +1,456 @@
+//! Quantized layer forward paths.
+
+use crate::qtensor::QTensor;
+use dlbench_nn::{Conv2d, Layer, Linear};
+use dlbench_tensor::{gemm_i8, quantize_i8, Conv2dGeometry, Tensor};
+use dlbench_trace::{span, Category};
+
+/// Per-output-channel sums of the quantized weights — the constant in
+/// the affine zero-point correction
+/// `y = s_x·s_w·(acc − z_x·wsum)` (exact in i32).
+fn weight_sums(rows: usize, cols: usize, data: &[i8]) -> Vec<i32> {
+    // `data` is row-major [rows, cols]; a Linear's transposed weight
+    // sums down columns, a Conv2d's patch matrix sums along rows, so
+    // the caller picks the orientation via (rows, cols).
+    let mut sums = vec![0i32; cols];
+    for r in 0..rows {
+        let row = &data[r * cols..(r + 1) * cols];
+        for (s, &v) in sums.iter_mut().zip(row) {
+            *s += v as i32;
+        }
+    }
+    sums
+}
+
+/// A quantized fully connected layer: symmetric int8 weights
+/// (pre-transposed to `[in, out]` so a single plain [`gemm_i8`] serves
+/// both quantized layer kinds), affine int8 input quantization, i32
+/// accumulation, fp32 requantized output.
+#[derive(Debug, Clone)]
+pub struct QLinear {
+    in_features: usize,
+    out_features: usize,
+    /// Weights, transposed to `[in, out]`, symmetric (`zero_point` 0).
+    weight_t: QTensor,
+    /// Per-output-column sums of `weight_t` (zero-point correction).
+    wsum: Vec<i32>,
+    bias: Vec<f32>,
+    /// Input (activation) quantizer, calibrated offline.
+    act_scale: f32,
+    act_zero_point: i8,
+}
+
+impl QLinear {
+    /// Quantizes a trained fp32 layer, given its calibrated input
+    /// quantizer.
+    pub fn from_fp32(layer: &Linear, act_scale: f32, act_zero_point: i8) -> Self {
+        let (inf, outf) = (layer.in_features(), layer.out_features());
+        // Transpose [out, in] → [in, out] so the forward GEMM is
+        // `x[n, in] @ w_t[in, out]` with unit-stride inner loops.
+        let w = layer.weight().data();
+        let mut w_t = vec![0.0f32; w.len()];
+        for o in 0..outf {
+            for i in 0..inf {
+                w_t[i * outf + o] = w[o * inf + i];
+            }
+        }
+        let weight_t = QTensor::quantize_symmetric(&[inf, outf], &w_t);
+        Self::from_parts(weight_t, layer.bias().data().to_vec(), act_scale, act_zero_point)
+    }
+
+    /// Assembles the layer from already-quantized parts (the
+    /// checkpoint-load path — stored weights are reused bit-for-bit,
+    /// never re-quantized).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weight_t` is not rank 2 or the bias length disagrees
+    /// with its output dimension.
+    pub fn from_parts(
+        weight_t: QTensor,
+        bias: Vec<f32>,
+        act_scale: f32,
+        act_zero_point: i8,
+    ) -> Self {
+        assert_eq!(weight_t.shape().len(), 2, "QLinear weight must be [in, out]");
+        let (inf, outf) = (weight_t.shape()[0], weight_t.shape()[1]);
+        assert_eq!(bias.len(), outf, "QLinear bias length mismatch");
+        let wsum = weight_sums(inf, outf, weight_t.data());
+        Self {
+            in_features: inf,
+            out_features: outf,
+            weight_t,
+            wsum,
+            bias,
+            act_scale,
+            act_zero_point,
+        }
+    }
+
+    /// Input feature count.
+    pub fn in_features(&self) -> usize {
+        self.in_features
+    }
+
+    /// Output feature count.
+    pub fn out_features(&self) -> usize {
+        self.out_features
+    }
+
+    /// The quantized, transposed weight matrix.
+    pub fn weight_t(&self) -> &QTensor {
+        &self.weight_t
+    }
+
+    /// The fp32 biases.
+    pub fn bias(&self) -> &[f32] {
+        &self.bias
+    }
+
+    /// The calibrated input quantizer `(scale, zero_point)`.
+    pub fn activation_params(&self) -> (f32, i8) {
+        (self.act_scale, self.act_zero_point)
+    }
+
+    /// Quantized forward over `[n, in]` inputs.
+    pub fn forward(&self, input: &Tensor) -> Tensor {
+        assert_eq!(input.rank(), 2, "QLinear expects [N, in]");
+        let n = input.shape()[0];
+        assert_eq!(input.shape()[1], self.in_features, "QLinear feature mismatch");
+        let _s = span(Category::Kernel, "qlinear");
+        let mut xq = vec![0i8; input.len()];
+        quantize_i8(input.data(), self.act_scale, self.act_zero_point, &mut xq);
+        let mut acc = vec![0i32; n * self.out_features];
+        gemm_i8(n, self.in_features, self.out_features, &xq, self.weight_t.data(), &mut acc);
+        let mut out = Tensor::zeros(&[n, self.out_features]);
+        requantize_rows(
+            &acc,
+            &self.wsum,
+            &self.bias,
+            self.act_scale * self.weight_t.scale,
+            self.act_zero_point as i32,
+            out.data_mut(),
+        );
+        out
+    }
+}
+
+/// Dequantizes i32 accumulators back to fp32:
+/// `out = s·(acc − z_x·wsum[col]) + bias[col]`, where `acc` holds rows
+/// of `wsum.len()` columns. The zero-point correction stays in exact
+/// i32 arithmetic; only the final scale touches floats, with a fixed
+/// per-element operation order.
+fn requantize_rows(acc: &[i32], wsum: &[i32], bias: &[f32], s: f32, zx: i32, out: &mut [f32]) {
+    let cols = wsum.len();
+    for (acc_row, out_row) in acc.chunks(cols).zip(out.chunks_mut(cols)) {
+        for c in 0..cols {
+            out_row[c] = s * (acc_row[c] - zx * wsum[c]) as f32 + bias[c];
+        }
+    }
+}
+
+/// [`dlbench_tensor::im2col`] over int8 values: unrolls one quantized
+/// image (`[C, H, W]`) into a `[patch_len, out_h·out_w]` patch matrix,
+/// filling padded taps with the activation `zero_point` — which is
+/// exactly what fp32 zero padding quantizes to, so the lowering
+/// commutes with quantization.
+pub fn im2col_i8(geo: &Conv2dGeometry, zero_point: i8, input: &[i8], cols: &mut [i8]) {
+    let (oh, ow) = (geo.out_h(), geo.out_w());
+    debug_assert_eq!(input.len(), geo.in_channels * geo.in_h * geo.in_w);
+    debug_assert_eq!(cols.len(), geo.patch_len() * oh * ow);
+    let mut row = 0usize;
+    for c in 0..geo.in_channels {
+        let plane = &input[c * geo.in_h * geo.in_w..(c + 1) * geo.in_h * geo.in_w];
+        for kh in 0..geo.kernel_h {
+            for kw in 0..geo.kernel_w {
+                let out_row = &mut cols[row * oh * ow..(row + 1) * oh * ow];
+                let mut idx = 0usize;
+                for oy in 0..oh {
+                    let iy = (oy * geo.stride + kh) as isize - geo.pad as isize;
+                    if iy < 0 || iy >= geo.in_h as isize {
+                        for _ in 0..ow {
+                            out_row[idx] = zero_point;
+                            idx += 1;
+                        }
+                        continue;
+                    }
+                    let iy = iy as usize;
+                    for ox in 0..ow {
+                        let ix = (ox * geo.stride + kw) as isize - geo.pad as isize;
+                        out_row[idx] = if ix < 0 || ix >= geo.in_w as isize {
+                            zero_point
+                        } else {
+                            plane[iy * geo.in_w + ix as usize]
+                        };
+                        idx += 1;
+                    }
+                }
+                row += 1;
+            }
+        }
+    }
+}
+
+/// A quantized 2-D convolution: symmetric int8 weights flattened to
+/// the `[out_channels, patch_len]` GEMM layout, affine int8 input
+/// quantization, per-sample `im2col_i8` lowering with zero-point
+/// padding, i32 accumulation and fp32 requantized output.
+#[derive(Debug, Clone)]
+pub struct QConv2d {
+    in_channels: usize,
+    out_channels: usize,
+    kernel: usize,
+    stride: usize,
+    pad: usize,
+    /// Weights flattened to `[out_channels, patch_len]`, symmetric.
+    weight: QTensor,
+    /// Per-output-channel sums of `weight` (zero-point correction).
+    wsum: Vec<i32>,
+    bias: Vec<f32>,
+    act_scale: f32,
+    act_zero_point: i8,
+}
+
+impl QConv2d {
+    /// Quantizes a trained fp32 layer, given its calibrated input
+    /// quantizer.
+    pub fn from_fp32(layer: &Conv2d, act_scale: f32, act_zero_point: i8) -> Self {
+        let (ic, oc, k) = (layer.in_channels(), layer.out_channels(), layer.kernel());
+        let patch = ic * k * k;
+        // The fp32 weight is [oc, ic, kh, kw]; flattening rows to
+        // patch_len matches the (c, kh, kw) im2col row order exactly.
+        let weight = QTensor::quantize_symmetric(&[oc, patch], layer.weight().data());
+        Self::from_parts(
+            weight,
+            layer.bias().data().to_vec(),
+            ic,
+            k,
+            layer.stride(),
+            layer.pad(),
+            act_scale,
+            act_zero_point,
+        )
+    }
+
+    /// Assembles the layer from already-quantized parts (the
+    /// checkpoint-load path).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the weight shape disagrees with the declared geometry
+    /// or the bias length disagrees with the output channel count.
+    #[allow(clippy::too_many_arguments)]
+    pub fn from_parts(
+        weight: QTensor,
+        bias: Vec<f32>,
+        in_channels: usize,
+        kernel: usize,
+        stride: usize,
+        pad: usize,
+        act_scale: f32,
+        act_zero_point: i8,
+    ) -> Self {
+        assert_eq!(weight.shape().len(), 2, "QConv2d weight must be [oc, patch]");
+        let (oc, patch) = (weight.shape()[0], weight.shape()[1]);
+        assert_eq!(patch, in_channels * kernel * kernel, "QConv2d patch length mismatch");
+        assert_eq!(bias.len(), oc, "QConv2d bias length mismatch");
+        // The patch matrix sums along rows: wsum[oc] = Σ_patch w[oc, ·].
+        let mut wsum = vec![0i32; oc];
+        for (o, s) in wsum.iter_mut().enumerate() {
+            *s = weight.data()[o * patch..(o + 1) * patch].iter().map(|&v| v as i32).sum();
+        }
+        Self {
+            in_channels,
+            out_channels: oc,
+            kernel,
+            stride,
+            pad,
+            weight,
+            wsum,
+            bias,
+            act_scale,
+            act_zero_point,
+        }
+    }
+
+    /// Number of output channels.
+    pub fn out_channels(&self) -> usize {
+        self.out_channels
+    }
+
+    /// Number of input channels.
+    pub fn in_channels(&self) -> usize {
+        self.in_channels
+    }
+
+    /// `(kernel, stride, pad)` geometry.
+    pub fn geometry_params(&self) -> (usize, usize, usize) {
+        (self.kernel, self.stride, self.pad)
+    }
+
+    /// The quantized `[out_channels, patch_len]` weight matrix.
+    pub fn weight(&self) -> &QTensor {
+        &self.weight
+    }
+
+    /// The fp32 biases.
+    pub fn bias(&self) -> &[f32] {
+        &self.bias
+    }
+
+    /// The calibrated input quantizer `(scale, zero_point)`.
+    pub fn activation_params(&self) -> (f32, i8) {
+        (self.act_scale, self.act_zero_point)
+    }
+
+    /// Quantized forward over `[N, C, H, W]` inputs.
+    pub fn forward(&self, input: &Tensor) -> Tensor {
+        assert_eq!(input.rank(), 4, "QConv2d expects [N, C, H, W]");
+        let (n, c, h, w) = (input.shape()[0], input.shape()[1], input.shape()[2], input.shape()[3]);
+        assert_eq!(c, self.in_channels, "QConv2d channel mismatch");
+        let geo = Conv2dGeometry {
+            in_channels: c,
+            in_h: h,
+            in_w: w,
+            kernel_h: self.kernel,
+            kernel_w: self.kernel,
+            stride: self.stride,
+            pad: self.pad,
+        };
+        let (oh, ow) = (geo.out_h(), geo.out_w());
+        let plane = oh * ow;
+        let patch = geo.patch_len();
+        let sample_in = c * h * w;
+        let sample_out = self.out_channels * plane;
+        let _s = span(Category::Kernel, "qconv2d");
+
+        // Per-tensor activation quantization: one parameter set for the
+        // whole batch, so batching cannot change any sample's bits.
+        let mut xq = vec![0i8; input.len()];
+        quantize_i8(input.data(), self.act_scale, self.act_zero_point, &mut xq);
+
+        let s = self.act_scale * self.weight.scale;
+        let zx = self.act_zero_point as i32;
+        let mut out = Tensor::zeros(&[n, self.out_channels, oh, ow]);
+        let mut cols = vec![0i8; patch * plane];
+        let mut acc = vec![0i32; sample_out];
+        for (si, out_s) in out.data_mut().chunks_mut(sample_out).enumerate() {
+            im2col_i8(
+                &geo,
+                self.act_zero_point,
+                &xq[si * sample_in..(si + 1) * sample_in],
+                &mut cols,
+            );
+            acc.fill(0);
+            gemm_i8(self.out_channels, patch, plane, self.weight.data(), &cols, &mut acc);
+            for oc in 0..self.out_channels {
+                let corr = zx * self.wsum[oc];
+                let b = self.bias[oc];
+                let acc_plane = &acc[oc * plane..(oc + 1) * plane];
+                let out_plane = &mut out_s[oc * plane..(oc + 1) * plane];
+                for (o, &a) in out_plane.iter_mut().zip(acc_plane) {
+                    *o = s * (a - corr) as f32 + b;
+                }
+            }
+        }
+        out
+    }
+}
+
+/// One layer of a [`crate::QuantizedNetwork`]: a quantized kernel or an
+/// fp32 fallback for ops int8 does not cover (activations, pools,
+/// normalization, dropout).
+pub enum QLayer {
+    /// Quantized fully connected layer.
+    Linear(QLinear),
+    /// Quantized convolution.
+    Conv2d(QConv2d),
+    /// Unquantized op running its normal fp32 inference path.
+    Fallback(Box<dyn Layer>),
+}
+
+impl QLayer {
+    /// Runs the layer forward (inference mode).
+    pub fn forward(&mut self, input: &Tensor) -> Tensor {
+        match self {
+            QLayer::Linear(l) => l.forward(input),
+            QLayer::Conv2d(c) => c.forward(input),
+            QLayer::Fallback(l) => l.forward(input, false),
+        }
+    }
+
+    /// Short human-readable name (mirrors [`Layer::name`]).
+    pub fn name(&self) -> &'static str {
+        match self {
+            QLayer::Linear(_) => "qlinear",
+            QLayer::Conv2d(_) => "qconv2d",
+            QLayer::Fallback(l) => l.name(),
+        }
+    }
+
+    /// Whether this layer runs on the int8 path.
+    pub fn is_quantized(&self) -> bool {
+        !matches!(self, QLayer::Fallback(_))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dlbench_nn::Initializer;
+    use dlbench_tensor::SeededRng;
+
+    #[test]
+    fn qlinear_tracks_fp32_within_quantization_error() {
+        let mut rng = SeededRng::new(21);
+        let mut lin = Linear::new(16, 8, Initializer::Xavier, &mut rng);
+        let x = Tensor::randn(&[4, 16], 0.0, 1.0, &mut rng);
+        let y32 = lin.forward(&x, false);
+        // Calibrate the input quantizer directly from the batch range.
+        let (lo, hi) = x.data().iter().fold((0.0f32, 0.0f32), |(l, h), &v| (l.min(v), h.max(v)));
+        let scale = (hi - lo) / 255.0;
+        let zp = (-128.0 - lo / scale).round() as i8;
+        let q = QLinear::from_fp32(&lin, scale, zp);
+        let y8 = q.forward(&x);
+        assert_eq!(y8.shape(), y32.shape());
+        for (a, b) in y32.data().iter().zip(y8.data()) {
+            assert!((a - b).abs() < 0.15, "fp32 {a} vs int8 {b}");
+        }
+    }
+
+    #[test]
+    fn qconv_tracks_fp32_within_quantization_error_with_padding() {
+        let mut rng = SeededRng::new(22);
+        let mut conv = Conv2d::new(2, 3, 3, 1, 1, Initializer::Xavier, &mut rng);
+        let x = Tensor::randn(&[2, 2, 6, 6], 0.0, 1.0, &mut rng);
+        let y32 = conv.forward(&x, false);
+        let (lo, hi) = x.data().iter().fold((0.0f32, 0.0f32), |(l, h), &v| (l.min(v), h.max(v)));
+        let scale = (hi - lo) / 255.0;
+        let zp = (-128.0 - lo / scale).round() as i8;
+        let q = QConv2d::from_fp32(&conv, scale, zp);
+        let y8 = q.forward(&x);
+        assert_eq!(y8.shape(), y32.shape());
+        for (a, b) in y32.data().iter().zip(y8.data()) {
+            assert!((a - b).abs() < 0.2, "fp32 {a} vs int8 {b}");
+        }
+    }
+
+    #[test]
+    fn batched_forward_is_bitwise_single_sample_forward() {
+        let mut rng = SeededRng::new(23);
+        let conv = Conv2d::new(1, 2, 3, 1, 1, Initializer::Xavier, &mut rng);
+        let q = QConv2d::from_fp32(&conv, 0.02, -5);
+        let x = Tensor::randn(&[3, 1, 8, 8], 0.0, 1.0, &mut rng);
+        let batched = q.forward(&x);
+        let sample = x.shape()[1] * x.shape()[2] * x.shape()[3];
+        for s in 0..3 {
+            let xs =
+                Tensor::from_vec(&[1, 1, 8, 8], x.data()[s * sample..(s + 1) * sample].to_vec())
+                    .unwrap();
+            let ys = q.forward(&xs);
+            let out_s = batched.len() / 3;
+            let b = &batched.data()[s * out_s..(s + 1) * out_s];
+            assert!(b.iter().zip(ys.data()).all(|(p, q)| p.to_bits() == q.to_bits()));
+        }
+    }
+}

@@ -1,0 +1,507 @@
+//! The quantized network container and its checkpoint mapping.
+
+use crate::layers::{QConv2d, QLayer, QLinear};
+use crate::qtensor::QTensor;
+use dlbench_json::JsonValue;
+use dlbench_nn::{CheckpointError, Conv2d, Linear, Network, QuantEntry};
+use dlbench_tensor::Tensor;
+use dlbench_trace::{span, Category};
+
+/// Calibration record for one quantized layer — what the observer saw
+/// on the calibration shard and the quantizer derived from it. Surfaced
+/// through `/metrics`, report facts and the `dlbench quantize` summary.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LayerCalibration {
+    /// Diagnostic label (`"conv2d[0]"`, `"linear[4]"` — kind plus
+    /// position in the stack).
+    pub layer: String,
+    /// Absolute minimum activation observed on the shard.
+    pub observed_min: f32,
+    /// Absolute maximum activation observed on the shard.
+    pub observed_max: f32,
+    /// Lower edge of the calibrated (EMA percentile) range.
+    pub range_lo: f32,
+    /// Upper edge of the calibrated range.
+    pub range_hi: f32,
+    /// Derived activation quantization step.
+    pub scale: f32,
+    /// Derived activation zero point.
+    pub zero_point: i8,
+    /// Fraction of shard values falling outside the calibrated range
+    /// (clipped by the quantizer).
+    pub clipped_fraction: f32,
+}
+
+impl LayerCalibration {
+    /// JSON object for metrics endpoints and reports.
+    pub fn to_json(&self) -> JsonValue {
+        JsonValue::Object(vec![
+            ("layer".into(), JsonValue::from(self.layer.as_str())),
+            ("observed_min".into(), JsonValue::from(self.observed_min)),
+            ("observed_max".into(), JsonValue::from(self.observed_max)),
+            ("range_lo".into(), JsonValue::from(self.range_lo)),
+            ("range_hi".into(), JsonValue::from(self.range_hi)),
+            ("scale".into(), JsonValue::from(self.scale)),
+            ("zero_point".into(), JsonValue::from(self.zero_point as f64)),
+            ("clipped_fraction".into(), JsonValue::from(self.clipped_fraction)),
+        ])
+    }
+}
+
+/// An int8 inference network: the quantized counterparts of a trained
+/// [`Network`]'s `Linear`/`Conv2d` layers interleaved with its original
+/// fp32 layers as fallbacks, plus the calibration record each quantizer
+/// came from.
+///
+/// Inference-only: there is no backward pass, and
+/// [`QuantizedNetwork::forward`] rejects training mode.
+pub struct QuantizedNetwork {
+    name: String,
+    layers: Vec<QLayer>,
+    calibration: Vec<LayerCalibration>,
+}
+
+impl QuantizedNetwork {
+    /// Assembles a network from its layers and per-quantized-layer
+    /// calibration records.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the calibration count disagrees with the number of
+    /// quantized layers.
+    pub(crate) fn new(
+        name: String,
+        layers: Vec<QLayer>,
+        calibration: Vec<LayerCalibration>,
+    ) -> Self {
+        let quantized = layers.iter().filter(|l| l.is_quantized()).count();
+        assert_eq!(calibration.len(), quantized, "one calibration record per quantized layer");
+        Self { name, layers, calibration }
+    }
+
+    /// The network's diagnostic name (inherited from the fp32 source).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of layers.
+    pub fn len(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// Whether the network has no layers.
+    pub fn is_empty(&self) -> bool {
+        self.layers.is_empty()
+    }
+
+    /// Number of layers running on the int8 path.
+    pub fn num_quantized(&self) -> usize {
+        self.layers.iter().filter(|l| l.is_quantized()).count()
+    }
+
+    /// Per-quantized-layer calibration records, in layer order.
+    pub fn calibration(&self) -> &[LayerCalibration] {
+        &self.calibration
+    }
+
+    /// The calibration records as a JSON array (the `/metrics` and
+    /// report-fact payload).
+    pub fn calibration_json(&self) -> JsonValue {
+        JsonValue::Array(self.calibration.iter().map(LayerCalibration::to_json).collect())
+    }
+
+    /// One-line-per-layer description, quantized layers marked.
+    pub fn describe(&self) -> Vec<String> {
+        self.layers
+            .iter()
+            .map(|l| {
+                if l.is_quantized() {
+                    format!("{} (int8)", l.name())
+                } else {
+                    format!("{} (fp32 fallback)", l.name())
+                }
+            })
+            .collect()
+    }
+
+    /// Runs all layers forward, returning logits. `train` must be
+    /// `false` — quantized networks are inference-only.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `train` is requested.
+    pub fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
+        assert!(!train, "quantized networks are inference-only");
+        let mut x = input.clone();
+        for layer in &mut self.layers {
+            let _span = span(Category::Layer, layer.name());
+            x = layer.forward(&x);
+        }
+        x
+    }
+
+    /// Serializes the network as a version-2 checkpoint entry sequence.
+    ///
+    /// Each quantized layer contributes four entries, in order: the
+    /// `i8` weight tensor (symmetric, carrying the weight scale), the
+    /// `f32` bias, a zero-length `i8` marker carrying the activation
+    /// quantizer (scale + zero point), and an `f32` `[5]` statistics
+    /// tensor (`observed_min`, `observed_max`, `range_lo`, `range_hi`,
+    /// `clipped_fraction`). Fallback layers contribute one plain `f32`
+    /// entry per parameter, in `params()` order.
+    pub fn to_entries(&mut self) -> Vec<QuantEntry> {
+        let mut entries = Vec::new();
+        let mut cal = self.calibration.iter();
+        for layer in &mut self.layers {
+            match layer {
+                QLayer::Linear(l) => {
+                    let c = cal.next().expect("calibration per quantized layer");
+                    let w = l.weight_t();
+                    entries.push(QuantEntry::I8 {
+                        dims: w.shape().to_vec(),
+                        data: w.data().to_vec(),
+                        scale: w.scale,
+                        zero_point: w.zero_point,
+                    });
+                    entries.push(QuantEntry::F32 {
+                        dims: vec![l.bias().len()],
+                        data: l.bias().to_vec(),
+                    });
+                    push_act_and_stats(&mut entries, l.activation_params(), c);
+                }
+                QLayer::Conv2d(cv) => {
+                    let c = cal.next().expect("calibration per quantized layer");
+                    let w = cv.weight();
+                    entries.push(QuantEntry::I8 {
+                        dims: w.shape().to_vec(),
+                        data: w.data().to_vec(),
+                        scale: w.scale,
+                        zero_point: w.zero_point,
+                    });
+                    entries.push(QuantEntry::F32 {
+                        dims: vec![cv.bias().len()],
+                        data: cv.bias().to_vec(),
+                    });
+                    push_act_and_stats(&mut entries, cv.activation_params(), c);
+                }
+                QLayer::Fallback(l) => {
+                    for p in l.params() {
+                        entries.push(QuantEntry::F32 {
+                            dims: p.value.shape().to_vec(),
+                            data: p.value.data().to_vec(),
+                        });
+                    }
+                }
+            }
+        }
+        entries
+    }
+
+    /// Rebuilds a quantized network from a version-2 checkpoint entry
+    /// sequence, validated against the freshly built fp32 architecture
+    /// `arch` (the same network the checkpoint's training cell used).
+    /// Stored int8 weights are adopted bit-for-bit — never re-quantized
+    /// — so a save/load round trip preserves every output bit.
+    ///
+    /// All mismatches (entry count, dtype, shape) are structured
+    /// [`CheckpointError::StructureMismatch`] values, never panics.
+    pub fn from_entries(arch: Network, entries: &[QuantEntry]) -> Result<Self, CheckpointError> {
+        let name = arch.name().to_string();
+        let mut idx = 0usize;
+        let mut next = |what: &str| {
+            let i = idx;
+            idx += 1;
+            entries.get(i).map(|e| (i, e)).ok_or_else(|| {
+                CheckpointError::StructureMismatch(format!(
+                    "checkpoint ended early: expected {what}"
+                ))
+            })
+        };
+        let mut layers = Vec::new();
+        let mut calibration = Vec::new();
+        for (li, layer) in arch.into_layers().into_iter().enumerate() {
+            if layer.as_any().is::<Linear>() {
+                let lin = layer.into_any().downcast::<Linear>().expect("probed as Linear");
+                let label = format!("linear[{li}]");
+                let (weight, bias, act, stats) = read_group(&label, &mut next)?;
+                let want = [lin.in_features(), lin.out_features()];
+                if weight.shape() != want {
+                    return Err(CheckpointError::StructureMismatch(format!(
+                        "{label}: weight shape {:?} != expected {want:?}",
+                        weight.shape()
+                    )));
+                }
+                if bias.len() != lin.out_features() {
+                    return Err(CheckpointError::StructureMismatch(format!(
+                        "{label}: bias length {} != {}",
+                        bias.len(),
+                        lin.out_features()
+                    )));
+                }
+                layers.push(QLayer::Linear(QLinear::from_parts(weight, bias, act.0, act.1)));
+                calibration.push(stats_record(label, act, stats));
+            } else if layer.as_any().is::<Conv2d>() {
+                let conv = layer.into_any().downcast::<Conv2d>().expect("probed as Conv2d");
+                let label = format!("conv2d[{li}]");
+                let (weight, bias, act, stats) = read_group(&label, &mut next)?;
+                let k = conv.kernel();
+                let want = [conv.out_channels(), conv.in_channels() * k * k];
+                if weight.shape() != want {
+                    return Err(CheckpointError::StructureMismatch(format!(
+                        "{label}: weight shape {:?} != expected {want:?}",
+                        weight.shape()
+                    )));
+                }
+                if bias.len() != conv.out_channels() {
+                    return Err(CheckpointError::StructureMismatch(format!(
+                        "{label}: bias length {} != {}",
+                        bias.len(),
+                        conv.out_channels()
+                    )));
+                }
+                layers.push(QLayer::Conv2d(QConv2d::from_parts(
+                    weight,
+                    bias,
+                    conv.in_channels(),
+                    k,
+                    conv.stride(),
+                    conv.pad(),
+                    act.0,
+                    act.1,
+                )));
+                calibration.push(stats_record(label, act, stats));
+            } else {
+                let mut layer = layer;
+                for p in layer.params() {
+                    let (i, e) = next(&format!("fp32 parameter for layer {li}"))?;
+                    match e {
+                        QuantEntry::F32 { dims, data } if dims == p.value.shape() => {
+                            p.value.data_mut().copy_from_slice(data);
+                        }
+                        QuantEntry::F32 { dims, .. } => {
+                            return Err(CheckpointError::StructureMismatch(format!(
+                                "entry {i}: fallback parameter shape {dims:?} != network \
+                                 shape {:?}",
+                                p.value.shape()
+                            )));
+                        }
+                        QuantEntry::I8 { .. } => {
+                            return Err(CheckpointError::StructureMismatch(format!(
+                                "entry {i}: int8 entry where layer {li} expects an fp32 \
+                                 parameter"
+                            )));
+                        }
+                    }
+                }
+                layers.push(QLayer::Fallback(layer));
+            }
+        }
+        let _ = next;
+        if idx < entries.len() {
+            return Err(CheckpointError::StructureMismatch(format!(
+                "checkpoint has {} trailing entries starting at entry {idx}",
+                entries.len() - idx
+            )));
+        }
+        Ok(Self::new(name, layers, calibration))
+    }
+}
+
+impl std::fmt::Debug for QuantizedNetwork {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("QuantizedNetwork")
+            .field("name", &self.name)
+            .field("layers", &self.describe())
+            .finish()
+    }
+}
+
+/// Appends the activation-quantizer marker and statistics entries of
+/// one quantized layer.
+fn push_act_and_stats(entries: &mut Vec<QuantEntry>, act: (f32, i8), c: &LayerCalibration) {
+    entries.push(QuantEntry::I8 { dims: vec![0], data: vec![], scale: act.0, zero_point: act.1 });
+    entries.push(QuantEntry::F32 {
+        dims: vec![5],
+        data: vec![c.observed_min, c.observed_max, c.range_lo, c.range_hi, c.clipped_fraction],
+    });
+}
+
+/// Builds the calibration record back from a checkpoint's activation
+/// quantizer and statistics entries.
+fn stats_record(layer: String, act: (f32, i8), stats: [f32; 5]) -> LayerCalibration {
+    LayerCalibration {
+        layer,
+        observed_min: stats[0],
+        observed_max: stats[1],
+        range_lo: stats[2],
+        range_hi: stats[3],
+        scale: act.0,
+        zero_point: act.1,
+        clipped_fraction: stats[4],
+    }
+}
+
+/// One decoded quantized-layer group: int8 weight, fp32 bias,
+/// activation `(scale, zero_point)`, calibration statistics.
+type LayerGroup = (QTensor, Vec<f32>, (f32, i8), [f32; 5]);
+
+/// Reads the four-entry group of one quantized layer: weight, bias,
+/// activation marker, statistics.
+fn read_group<'a, F>(label: &str, next: &mut F) -> Result<LayerGroup, CheckpointError>
+where
+    F: FnMut(&str) -> Result<(usize, &'a QuantEntry), CheckpointError>,
+{
+    let weight = match next(&format!("{label} int8 weight"))? {
+        (_, QuantEntry::I8 { dims, data, scale, zero_point }) => {
+            QTensor::from_parts(dims, data.clone(), *scale, *zero_point)
+        }
+        (i, _) => {
+            return Err(CheckpointError::StructureMismatch(format!(
+                "entry {i}: {label} expects an int8 weight tensor"
+            )))
+        }
+    };
+    let bias = match next(&format!("{label} bias"))? {
+        (_, QuantEntry::F32 { data, .. }) => data.clone(),
+        (i, _) => {
+            return Err(CheckpointError::StructureMismatch(format!(
+                "entry {i}: {label} expects an fp32 bias tensor"
+            )))
+        }
+    };
+    let act = match next(&format!("{label} activation quantizer"))? {
+        (_, QuantEntry::I8 { data, scale, zero_point, .. }) if data.is_empty() => {
+            (*scale, *zero_point)
+        }
+        (i, _) => {
+            return Err(CheckpointError::StructureMismatch(format!(
+                "entry {i}: {label} expects a zero-length int8 activation-quantizer marker"
+            )))
+        }
+    };
+    let stats = match next(&format!("{label} calibration statistics"))? {
+        (_, QuantEntry::F32 { data, .. }) if data.len() == 5 => {
+            [data[0], data[1], data[2], data[3], data[4]]
+        }
+        (i, _) => {
+            return Err(CheckpointError::StructureMismatch(format!(
+                "entry {i}: {label} expects a 5-value fp32 statistics tensor"
+            )))
+        }
+    };
+    Ok((weight, bias, act, stats))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dlbench_nn::{Flatten, Initializer, MaxPool2d, Relu};
+    use dlbench_tensor::SeededRng;
+
+    fn arch(seed: u64) -> Network {
+        let mut rng = SeededRng::new(seed);
+        let mut net = Network::new("qnet");
+        net.push(Conv2d::new(1, 3, 3, 1, 1, Initializer::Xavier, &mut rng));
+        net.push(Relu::new());
+        net.push(MaxPool2d::new(2, 2, false));
+        net.push(Flatten::new());
+        net.push(Linear::new(3 * 4 * 4, 5, Initializer::Xavier, &mut rng));
+        net
+    }
+
+    fn cal(layer: &str) -> LayerCalibration {
+        LayerCalibration {
+            layer: layer.into(),
+            observed_min: -1.5,
+            observed_max: 2.0,
+            range_lo: -1.2,
+            range_hi: 1.9,
+            scale: 0.0122,
+            zero_point: -30,
+            clipped_fraction: 0.004,
+        }
+    }
+
+    fn quantize_by_hand(net: Network) -> QuantizedNetwork {
+        let name = net.name().to_string();
+        let mut layers = Vec::new();
+        let mut calibration = Vec::new();
+        for (li, layer) in net.into_layers().into_iter().enumerate() {
+            if layer.as_any().is::<Linear>() {
+                let lin = layer.into_any().downcast::<Linear>().unwrap();
+                layers.push(QLayer::Linear(QLinear::from_fp32(&lin, 0.0122, -30)));
+                calibration.push(cal(&format!("linear[{li}]")));
+            } else if layer.as_any().is::<Conv2d>() {
+                let conv = layer.into_any().downcast::<Conv2d>().unwrap();
+                layers.push(QLayer::Conv2d(QConv2d::from_fp32(&conv, 0.0122, -30)));
+                calibration.push(cal(&format!("conv2d[{li}]")));
+            } else {
+                layers.push(QLayer::Fallback(layer));
+            }
+        }
+        QuantizedNetwork::new(name, layers, calibration)
+    }
+
+    #[test]
+    fn entries_roundtrip_preserves_every_output_bit() {
+        let mut q = quantize_by_hand(arch(31));
+        let mut rng = SeededRng::new(8);
+        let x = Tensor::randn(&[2, 1, 8, 8], 0.0, 1.0, &mut rng);
+        let before = q.forward(&x, false);
+        let entries = q.to_entries();
+        let mut back = QuantizedNetwork::from_entries(arch(99), &entries).unwrap();
+        let after = back.forward(&x, false);
+        assert!(before.data().iter().zip(after.data()).all(|(a, b)| a.to_bits() == b.to_bits()));
+        assert_eq!(back.num_quantized(), 2);
+        assert_eq!(back.calibration(), q.calibration());
+    }
+
+    #[test]
+    fn from_entries_rejects_wrong_architecture_and_truncation() {
+        let mut q = quantize_by_hand(arch(31));
+        let entries = q.to_entries();
+        // Wrong architecture: a different linear width.
+        let mut rng = SeededRng::new(1);
+        let mut other = Network::new("other");
+        other.push(Linear::new(4, 4, Initializer::Xavier, &mut rng));
+        let err = QuantizedNetwork::from_entries(other, &entries).unwrap_err();
+        assert!(matches!(err, CheckpointError::StructureMismatch(_)), "{err}");
+        // Truncated entry list.
+        let err = QuantizedNetwork::from_entries(arch(1), &entries[..3]).unwrap_err();
+        assert!(matches!(err, CheckpointError::StructureMismatch(_)), "{err}");
+        // Trailing entries.
+        let mut extra = entries.clone();
+        extra.push(QuantEntry::F32 { dims: vec![1], data: vec![0.0] });
+        let err = QuantizedNetwork::from_entries(arch(1), &extra).unwrap_err();
+        assert!(matches!(err, CheckpointError::StructureMismatch(_)), "{err}");
+    }
+
+    #[test]
+    fn forward_rejects_training_mode() {
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let mut q = quantize_by_hand(arch(31));
+            let x = Tensor::zeros(&[1, 1, 8, 8]);
+            q.forward(&x, true);
+        }));
+        assert!(result.is_err(), "train=true must be rejected");
+    }
+
+    #[test]
+    fn calibration_json_carries_all_fields() {
+        let q = quantize_by_hand(arch(31));
+        let json = q.calibration_json();
+        let text = json.pretty();
+        for field in [
+            "layer",
+            "observed_min",
+            "observed_max",
+            "range_lo",
+            "range_hi",
+            "scale",
+            "zero_point",
+            "clipped_fraction",
+        ] {
+            assert!(text.contains(field), "missing {field} in {text}");
+        }
+    }
+}

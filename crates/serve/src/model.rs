@@ -9,8 +9,44 @@ use dlbench_data::{DatasetKind, Preprocessing};
 use dlbench_frameworks::{trainer, DefaultSetting, FrameworkKind, Scale};
 use dlbench_json::JsonValue;
 use dlbench_nn::Network;
+use dlbench_quant::{quantize_checkpoint, quantize_trained, QuantConfig, QuantizedNetwork};
+use dlbench_tensor::Tensor;
 use std::collections::BTreeMap;
 use std::sync::Arc;
+
+/// Numeric representation a model is served in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ModelDtype {
+    /// Full-precision fp32 inference (the training representation).
+    Fp32,
+    /// Post-training-quantized int8 inference (`dlbench-quant`).
+    Int8,
+}
+
+impl ModelDtype {
+    /// Canonical lowercase name (`"fp32"` / `"int8"`).
+    pub fn name(&self) -> &'static str {
+        match self {
+            ModelDtype::Fp32 => "fp32",
+            ModelDtype::Int8 => "int8",
+        }
+    }
+
+    /// Parses a dtype name case-insensitively.
+    pub fn parse(s: &str) -> Option<Self> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "fp32" => Some(ModelDtype::Fp32),
+            "int8" => Some(ModelDtype::Int8),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for ModelDtype {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
 
 /// Everything needed to rebuild the exact network a training cell
 /// produced: the host personality, its default setting, the dataset,
@@ -30,6 +66,10 @@ pub struct ModelSpec {
     pub scale: Scale,
     /// Seed the cell was trained with.
     pub seed: u64,
+    /// Numeric representation to serve in. `Int8` quantizes fp32
+    /// checkpoints on load (calibrating against the cell's held-out
+    /// shard) and adopts version-2 quantized checkpoints bit-for-bit.
+    pub dtype: ModelDtype,
 }
 
 impl ModelSpec {
@@ -48,7 +88,15 @@ impl ModelSpec {
             dataset,
             scale,
             seed,
+            dtype: ModelDtype::Fp32,
         }
+    }
+
+    /// Returns the spec with its serving dtype replaced.
+    #[must_use]
+    pub fn with_dtype(mut self, dtype: ModelDtype) -> Self {
+        self.dtype = dtype;
+        self
     }
 
     /// `(channels, height, width)` of one input sample.
@@ -60,28 +108,67 @@ impl ModelSpec {
     /// Instantiates the served model, loading parameters from a
     /// checkpoint file when given (otherwise the network keeps its
     /// seeded initialization — useful for load benchmarks where the
-    /// weights' provenance is irrelevant).
+    /// weights' provenance is irrelevant). An `Int8` spec without a
+    /// checkpoint quantizes the seeded initialization.
     pub fn instantiate(
         &self,
         checkpoint: Option<&std::path::Path>,
     ) -> Result<ServedModel, ServeError> {
-        let mut model = self.build();
-        if let Some(path) = checkpoint {
-            dlbench_nn::load_parameters_path(&mut model, path)
-                .map_err(|e| ServeError::Checkpoint(e.to_string()))?;
+        match checkpoint {
+            Some(path) => {
+                let bytes =
+                    std::fs::read(path).map_err(|e| ServeError::Checkpoint(e.to_string()))?;
+                self.instantiate_from(&mut bytes.as_slice())
+            }
+            None => {
+                let model = match self.dtype {
+                    ModelDtype::Fp32 => ServingModel::Fp32(self.build()),
+                    ModelDtype::Int8 => ServingModel::Int8(quantize_trained(
+                        self.build(),
+                        self.host,
+                        &self.setting,
+                        self.dataset,
+                        self.scale,
+                        self.seed,
+                        &QuantConfig::default(),
+                    )),
+                };
+                Ok(self.served(model))
+            }
         }
-        Ok(self.served(model))
     }
 
     /// Instantiates the served model from an in-memory checkpoint
-    /// stream.
+    /// stream. The checkpoint version is sniffed against the spec's
+    /// dtype: an `Fp32` spec reads version-1 checkpoints (and rejects
+    /// quantized ones with a structured [`ServeError::Checkpoint`]);
+    /// an `Int8` spec quantizes version-1 checkpoints on the spot and
+    /// adopts version-2 checkpoints bit-for-bit.
     pub fn instantiate_from(
         &self,
         mut r: &mut dyn std::io::Read,
     ) -> Result<ServedModel, ServeError> {
-        let mut model = self.build();
-        dlbench_nn::load_parameters(&mut model, &mut r)
-            .map_err(|e| ServeError::Checkpoint(e.to_string()))?;
+        let model = match self.dtype {
+            ModelDtype::Fp32 => {
+                let mut model = self.build();
+                dlbench_nn::load_parameters(&mut model, &mut r)
+                    .map_err(|e| ServeError::Checkpoint(e.to_string()))?;
+                ServingModel::Fp32(model)
+            }
+            ModelDtype::Int8 => {
+                let q = quantize_checkpoint(
+                    self.host,
+                    &self.setting,
+                    self.dataset,
+                    self.scale,
+                    self.seed,
+                    r,
+                    &QuantConfig::default(),
+                )
+                .map_err(|e| ServeError::Checkpoint(e.to_string()))?;
+                ServingModel::Int8(q)
+            }
+        };
         Ok(self.served(model))
     }
 
@@ -89,7 +176,7 @@ impl ModelSpec {
         trainer::build_cell_model(self.host, &self.setting, self.dataset, self.scale, self.seed)
     }
 
-    fn served(&self, model: Network) -> ServedModel {
+    fn served(&self, model: ServingModel) -> ServedModel {
         let preprocessing =
             trainer::effective_preprocessing(self.host, &self.setting, self.dataset);
         // Mean subtraction needs the training-set statistics the cell
@@ -105,6 +192,69 @@ impl ModelSpec {
     }
 }
 
+/// The network behind a served model, in whichever numeric
+/// representation the spec asked for. Both variants share the
+/// fixed-reduction-chain determinism contract, so predictions are
+/// bit-identical across batch sizes and thread counts either way.
+pub enum ServingModel {
+    /// Full-precision network (the training representation).
+    Fp32(Network),
+    /// Post-training-quantized int8 network.
+    Int8(QuantizedNetwork),
+}
+
+impl ServingModel {
+    /// Runs the model forward (inference expects `train = false`).
+    pub fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
+        match self {
+            ServingModel::Fp32(m) => m.forward(input, train),
+            ServingModel::Int8(m) => m.forward(input, train),
+        }
+    }
+
+    /// The representation this model runs in.
+    pub fn dtype(&self) -> ModelDtype {
+        match self {
+            ServingModel::Fp32(_) => ModelDtype::Fp32,
+            ServingModel::Int8(_) => ModelDtype::Int8,
+        }
+    }
+
+    /// Calibration statistics (`None` for fp32 models): per quantized
+    /// layer, the ranges observed on the calibration shard and the
+    /// clipped fraction — surfaced through `/metrics` and report facts.
+    pub fn calibration_json(&self) -> Option<JsonValue> {
+        match self {
+            ServingModel::Fp32(_) => None,
+            ServingModel::Int8(q) => Some(q.calibration_json()),
+        }
+    }
+
+    /// Mutable access to the fp32 network, when this is one.
+    pub fn as_fp32_mut(&mut self) -> Option<&mut Network> {
+        match self {
+            ServingModel::Fp32(m) => Some(m),
+            ServingModel::Int8(_) => None,
+        }
+    }
+
+    /// The quantized network, when this is one.
+    pub fn as_int8(&self) -> Option<&QuantizedNetwork> {
+        match self {
+            ServingModel::Fp32(_) => None,
+            ServingModel::Int8(q) => Some(q),
+        }
+    }
+
+    /// Mutable access to the quantized network, when this is one.
+    pub fn as_int8_mut(&mut self) -> Option<&mut QuantizedNetwork> {
+        match self {
+            ServingModel::Fp32(_) => None,
+            ServingModel::Int8(q) => Some(q),
+        }
+    }
+}
+
 /// A model ready to serve: the network plus the input pipeline the
 /// training cell used, so served predictions match offline inference
 /// bit for bit.
@@ -115,13 +265,15 @@ pub struct ServedModel {
     pub preprocessing: Preprocessing,
     /// Per-channel means (empty unless mean subtraction is in effect).
     pub channel_means: Vec<f32>,
-    /// The network itself.
-    pub model: Network,
+    /// The network itself, in the spec's dtype.
+    pub model: ServingModel,
 }
 
 struct Entry {
     batcher: MicroBatcher,
     metrics: Arc<ServeMetrics>,
+    dtype: ModelDtype,
+    calibration: Option<JsonValue>,
 }
 
 /// Named models, each behind its own [`MicroBatcher`] and metrics.
@@ -143,9 +295,11 @@ impl ModelRegistry {
         if self.entries.contains_key(&name) {
             return Err(ServeError::BadInput(format!("model {name:?} already registered")));
         }
+        let dtype = served.model.dtype();
+        let calibration = served.model.calibration_json();
         let metrics = Arc::new(ServeMetrics::new());
         let batcher = MicroBatcher::spawn(served, config, Arc::clone(&metrics));
-        self.entries.insert(name, Entry { batcher, metrics });
+        self.entries.insert(name, Entry { batcher, metrics, dtype, calibration });
         Ok(())
     }
 
@@ -178,11 +332,23 @@ impl ModelRegistry {
     }
 
     /// The `/metrics` document: one snapshot per model, keyed by name.
+    /// Each snapshot leads with the model's dtype and — for quantized
+    /// models — the per-layer calibration statistics.
     pub fn metrics_json(&self) -> JsonValue {
         JsonValue::Object(
             self.entries
                 .iter()
-                .map(|(name, e)| (name.clone(), e.metrics.snapshot(e.batcher.queue_depth())))
+                .map(|(name, e)| {
+                    let mut fields = vec![("dtype".to_string(), JsonValue::from(e.dtype.name()))];
+                    if let Some(cal) = &e.calibration {
+                        fields.push(("calibration".to_string(), cal.clone()));
+                    }
+                    match e.metrics.snapshot(e.batcher.queue_depth()) {
+                        JsonValue::Object(rest) => fields.extend(rest),
+                        other => fields.push(("metrics".to_string(), other)),
+                    }
+                    (name.clone(), JsonValue::Object(fields))
+                })
                 .collect(),
         )
     }

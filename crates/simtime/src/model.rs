@@ -63,6 +63,33 @@ impl CostModel {
             + self.traffic_seconds(cost.activations)
     }
 
+    /// Simulated seconds for one *int8-quantized* inference pass.
+    ///
+    /// `quantized` aggregates the layers running on the int8 path and
+    /// `fallback` the layers still executing in fp32 (activations,
+    /// pools, normalization — see `dlbench-quant`). Quantized compute
+    /// runs at the device's [`Device::int8_speedup`] multiple of f32
+    /// throughput and its activation traffic moves 1-byte scalars
+    /// instead of 4-byte ones; everything else — per-kernel launches,
+    /// framework dispatch overhead, the fp32 remainder — is charged
+    /// exactly as in [`CostModel::inference_seconds_batched`]. The
+    /// fp32/int8 testing-time ratio therefore varies by architecture
+    /// with the fraction of compute that actually quantizes, which is
+    /// the effect the quantization benchmark reports.
+    pub fn inference_seconds_batched_int8(
+        &self,
+        quantized: &LayerCost,
+        fallback: &LayerCost,
+        batch: usize,
+    ) -> f64 {
+        self.profile.infer_overhead_ms * 1e-3
+            + self.launch_seconds(quantized.fwd_kernels + fallback.fwd_kernels)
+            + self.compute_seconds(quantized.fwd_flops, batch) / self.device.int8_speedup
+            + self.compute_seconds(fallback.fwd_flops, batch)
+            + self.traffic_seconds(quantized.activations) / 4.0
+            + self.traffic_seconds(fallback.activations)
+    }
+
     /// [`CostModel::train_iteration_seconds_batched`] at a batch size
     /// large enough that batch-ramp effects vanish.
     pub fn train_iteration_seconds(&self, cost: &LayerCost) -> f64 {

@@ -1,7 +1,16 @@
 //! Property-based tests for the tensor substrate.
 
-use dlbench_tensor::{col2im, gemm, im2col, Conv2dGeometry, SeededRng, Tensor};
+use dlbench_tensor::{
+    col2im, dequantize_i8, gemm, gemm_i8, im2col, par, quantize_i8, Conv2dGeometry, SeededRng,
+    Tensor,
+};
 use proptest::prelude::*;
+
+/// Random i8 slice drawn through the repo's seeded RNG, so shrinking
+/// stays deterministic.
+fn rand_i8(rng: &mut SeededRng, len: usize) -> Vec<i8> {
+    (0..len).map(|_| (rng.normal(0.0, 48.0) as i32).clamp(-128, 127) as i8).collect()
+}
 
 fn small_dims() -> impl Strategy<Value = Vec<usize>> {
     prop::collection::vec(1usize..6, 1..4)
@@ -184,5 +193,74 @@ proptest! {
         let t = Tensor::randn(&[len], 0.0, 1.0, &mut rng);
         let idx = t.argmax();
         prop_assert!(t.data().iter().all(|&v| v <= t.data()[idx]));
+    }
+
+    #[test]
+    fn quantize_dequantize_roundtrip_within_one_lsb(
+        values in prop::collection::vec(-1000.0f32..1000.0, 1..64),
+        scale in 1e-3f32..8.0,
+        zp in -128i32..=127,
+    ) {
+        // Values inside the representable affine range must come back
+        // within one quantization step (the LSB, == scale); values
+        // outside must come back as the clamped range boundary.
+        let zp8 = zp as i8;
+        let lo = (-128 - zp) as f32 * scale;
+        let hi = (127 - zp) as f32 * scale;
+        let mut q = vec![0i8; values.len()];
+        quantize_i8(&values, scale, zp8, &mut q);
+        let mut back = vec![0.0f32; values.len()];
+        dequantize_i8(&q, scale, zp8, &mut back);
+        for (&v, &r) in values.iter().zip(&back) {
+            let target = v.clamp(lo, hi);
+            prop_assert!(
+                (r - target).abs() <= scale * (1.0 + 1e-4),
+                "value {} came back as {} (target {}, scale {})", v, r, target, scale
+            );
+        }
+    }
+
+    #[test]
+    fn gemm_i8_invariant_to_row_partition(
+        m in 1usize..12, k in 1usize..24, n in 1usize..12,
+        split in 0usize..12, seed in 0u64..500,
+    ) {
+        // Integer accumulation is exact, so computing any horizontal
+        // split of the output separately must reproduce the one-shot
+        // result bit for bit — the property thread partitioning
+        // relies on.
+        let split = split.min(m);
+        let mut rng = SeededRng::new(seed);
+        let a = rand_i8(&mut rng, m * k);
+        let b = rand_i8(&mut rng, k * n);
+        let mut full = vec![0i32; m * n];
+        gemm_i8(m, k, n, &a, &b, &mut full);
+        let mut parts = vec![0i32; m * n];
+        gemm_i8(split, k, n, &a[..split * k], &b, &mut parts[..split * n]);
+        gemm_i8(m - split, k, n, &a[split * k..], &b, &mut parts[split * n..]);
+        prop_assert_eq!(full, parts);
+    }
+}
+
+#[test]
+fn gemm_i8_bitwise_invariant_to_thread_count() {
+    // Big enough that the parallel path actually engages
+    // (m*k*n > PAR_MIN_WORK); integer accumulation makes the result
+    // exactly partition-order independent, so every thread count must
+    // produce identical i32 bits.
+    let (m, k, n) = (64usize, 128usize, 96usize);
+    let mut rng = SeededRng::new(7);
+    let a = rand_i8(&mut rng, m * k);
+    let b = rand_i8(&mut rng, k * n);
+    let run = |threads: usize| {
+        par::set_threads(threads);
+        let mut c = vec![0i32; m * n];
+        gemm_i8(m, k, n, &a, &b, &mut c);
+        par::set_threads(1);
+        c
+    };
+    let serial = run(1);
+    for threads in [2usize, 4, 8] {
+        assert_eq!(serial, run(threads), "gemm_i8 diverged at {threads} threads");
     }
 }

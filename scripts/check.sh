@@ -78,4 +78,26 @@ cargo bench --bench fleet --locked -- --quick > /dev/null
 cmp target/dlbench-reports/BENCH_fleet.first.json target/dlbench-reports/BENCH_fleet.json
 rm -f target/dlbench-reports/BENCH_fleet.first.json
 
+echo "==> quantize smoke (train -> int8 quantize -> v2 checkpoint reload)"
+cargo run -p dlbench-cli --release --locked -q -- quantize --scale tiny \
+    --save target/dlbench-check-quant.ckpt > /dev/null
+test -s target/dlbench-check-quant.ckpt
+cargo run -p dlbench-cli --release --locked -q -- quantize --scale tiny \
+    --load target/dlbench-check-quant.ckpt > /dev/null
+rm -f target/dlbench-check-quant.ckpt
+
+echo "==> quant serving gate (int8 under loadgen, dtype metrics, checkpoint errors)"
+cargo test -p dlbench-integration-tests --test quant --locked -q
+
+echo "==> quantized determinism gate (batched == single-sample, 1 vs 4 threads)"
+cargo test -p dlbench-integration-tests --test determinism --locked -q \
+    quantized_serving_is_bit_deterministic
+
+echo "==> quant bench (quick, BENCH_quant.json, byte-identical across runs)"
+cargo bench --bench quant --locked -- --quick > /dev/null
+cp target/dlbench-reports/BENCH_quant.json target/dlbench-reports/BENCH_quant.first.json
+cargo bench --bench quant --locked -- --quick > /dev/null
+cmp target/dlbench-reports/BENCH_quant.first.json target/dlbench-reports/BENCH_quant.json
+rm -f target/dlbench-reports/BENCH_quant.first.json
+
 echo "==> OK"

@@ -215,6 +215,94 @@ fn micro_batched_serving_matches_individual_forwards_bitwise() {
 }
 
 #[test]
+fn quantized_serving_is_bit_deterministic_across_batching_and_threads() {
+    let _gate = gate();
+    use dlbench_data::DatasetKind;
+    use dlbench_frameworks::{trainer, FrameworkKind};
+    use dlbench_serve::{loadgen, serve, BatchConfig, ModelDtype, ModelRegistry, ModelSpec};
+    use std::time::Duration;
+
+    // The int8 determinism contract: per-tensor activation parameters
+    // are frozen at calibration time, so a sample's quantized bits
+    // cannot depend on its batch neighbours, and i32 accumulation is
+    // exact, so they cannot depend on the worker count either.
+    let host = FrameworkKind::TensorFlow;
+    let (scale, seed) = (Scale::Tiny, 42);
+    let mut out = trainer::run_training(
+        host,
+        dlbench_frameworks::DefaultSetting::new(host, DatasetKind::Mnist),
+        DatasetKind::Mnist,
+        scale,
+        seed,
+    );
+    let mut checkpoint = Vec::new();
+    dlbench_nn::save_parameters(&mut out.model, &mut checkpoint).unwrap();
+
+    let spec = ModelSpec::own_default("m", host, DatasetKind::Mnist, scale, seed)
+        .with_dtype(ModelDtype::Int8);
+    let inputs = loadgen::sample_inputs(DatasetKind::Mnist, scale, seed, 12);
+
+    // Single-sample int8 forwards, quantize-on-load included, at a
+    // given worker count.
+    let single = |threads: usize| -> Vec<Vec<u32>> {
+        at_threads(threads, || {
+            let solo = spec.instantiate_from(&mut checkpoint.as_slice()).unwrap();
+            let mut model = solo.model;
+            let (c, h, w) = spec.input_dims();
+            inputs
+                .iter()
+                .map(|input| {
+                    let raw = Tensor::from_vec(&[1, c, h, w], input.clone()).unwrap();
+                    let x = solo.preprocessing.apply(&raw, &solo.channel_means);
+                    model.forward(&x, false).data().iter().map(|v| v.to_bits()).collect()
+                })
+                .collect()
+        })
+    };
+    let reference = single(1);
+    assert_eq!(reference, single(4), "int8 forwards differ between 1 and 4 threads");
+
+    // Serve the quantized model with a generous flush deadline so the
+    // concurrent requests really coalesce into multi-row batches, at
+    // 4 worker threads.
+    let served = spec.instantiate_from(&mut checkpoint.as_slice()).unwrap();
+    let mut registry = ModelRegistry::new();
+    let config =
+        BatchConfig { max_batch: 4, max_wait: Duration::from_millis(50), queue_capacity: 64 };
+    registry.register(served, config).unwrap();
+    par::set_threads(4);
+    let server = serve(registry, "127.0.0.1:0").unwrap();
+    let addr = server.addr();
+    let (replies, max_batch_seen) = std::thread::scope(|scope| {
+        let handles: Vec<_> = inputs
+            .iter()
+            .map(|input| scope.spawn(move || loadgen::predict(addr, "m", input).unwrap()))
+            .collect();
+        let mut replies = Vec::new();
+        let mut max_batch_seen = 0usize;
+        for h in handles {
+            let (status, body) = h.join().unwrap();
+            assert_eq!(status, 200, "predict failed: {}", body.pretty());
+            max_batch_seen =
+                max_batch_seen.max(body["batch_size"].as_f64().unwrap_or(0.0) as usize);
+            let logits: Vec<u32> = body["logits"]
+                .as_array()
+                .unwrap()
+                .iter()
+                .map(|v| (v.as_f64().unwrap() as f32).to_bits())
+                .collect();
+            replies.push(logits);
+        }
+        (replies, max_batch_seen)
+    });
+    server.shutdown();
+    par::set_threads(1);
+
+    assert_eq!(replies, reference, "batched int8 serving diverged from single-sample forwards");
+    assert!(max_batch_seen >= 2, "deadline batching never formed a multi-request batch");
+}
+
+#[test]
 fn fleet_serving_is_bit_transparent_across_routing_replicas_and_scaling() {
     let _gate = gate();
     use dlbench_data::DatasetKind;
@@ -232,7 +320,7 @@ fn fleet_serving_is_bit_transparent_across_routing_replicas_and_scaling() {
         ModelSpec::own_default("m", FrameworkKind::TensorFlow, DatasetKind::Mnist, Scale::Tiny, 42);
     let mut served = spec.instantiate(None).unwrap();
     let mut checkpoint = Vec::new();
-    dlbench_nn::save_parameters(&mut served.model, &mut checkpoint).unwrap();
+    dlbench_nn::save_parameters(served.model.as_fp32_mut().unwrap(), &mut checkpoint).unwrap();
     let inputs = loadgen::sample_inputs(DatasetKind::Mnist, Scale::Tiny, 42, 12);
 
     // Reference: one forward per sample (batch size 1) offline.

@@ -267,3 +267,116 @@ fn shipped_fleet_sweep_spec_expands_and_runs_through_a_backend() {
     assert_eq!(again.executed, 0);
     assert_eq!(spec::document(&run).pretty(), spec::document(&again).pretty());
 }
+
+#[test]
+fn quantize_axis_expands_on_serve_and_fleet_grids() {
+    use dlbench_core::spec::CellPayload;
+    use dlbench_serve::ModelDtype;
+
+    let text = format!(
+        r#"{{
+            "name": "it-quantize-axis",
+            "defaults": {{"scale": "tiny", "seed": {TEST_SEED},
+                         "framework": "tf", "dataset": "mnist"}},
+            "grids": [
+                {{"kind": "serve",
+                  "axes": {{"deadline_ms": [50], "quantize": ["fp32", "int8"]}}}},
+                {{"kind": "fleet", "axes": {{"quantize": ["fp32", "int8"]}}}}
+            ]
+        }}"#
+    );
+    let plan = ExperimentSpec::parse(&text).unwrap().expand().unwrap();
+    assert_eq!(plan.cells.len(), 4, "each dtype must be its own cached cell");
+
+    let mut serve_dtypes = Vec::new();
+    let mut fleet_dtypes = Vec::new();
+    for cell in &plan.cells {
+        // The canonical parameter map is what the cache key hashes, so
+        // the dtype must appear there for fp32/int8 cells to cache
+        // separately.
+        let dtype = cell.params.get("quantize").expect("canonical params carry quantize").clone();
+        match &cell.payload {
+            CellPayload::Serve(s) => {
+                assert_eq!(s.quantize, dtype);
+                serve_dtypes.push(dtype);
+            }
+            CellPayload::Fleet(f) => {
+                assert_eq!(f.quantize, dtype);
+                fleet_dtypes.push(dtype);
+            }
+            other => panic!("unexpected payload: {other:?}"),
+        }
+    }
+    serve_dtypes.sort();
+    fleet_dtypes.sort();
+    assert_eq!(serve_dtypes, ["fp32", "int8"]);
+    assert_eq!(fleet_dtypes, ["fp32", "int8"]);
+
+    // The canonical spellings the plan stores must be exactly what the
+    // serving layer parses — the two vocabularies are pinned together.
+    for dtype in ["fp32", "int8"] {
+        assert!(
+            ModelDtype::parse(dtype).is_some(),
+            "serve crate rejects canonical spelling `{dtype}`"
+        );
+    }
+
+    // Alias spellings canonicalize rather than multiply cells.
+    for (alias, canonical) in [("f32", "fp32"), ("float32", "fp32"), ("i8", "int8")] {
+        let text = format!(
+            r#"{{
+                "name": "it-quantize-alias",
+                "defaults": {{"scale": "tiny", "seed": {TEST_SEED},
+                             "framework": "tf", "dataset": "mnist"}},
+                "grids": [{{"kind": "serve",
+                           "axes": {{"deadline_ms": [50], "quantize": ["{alias}"]}}}}]
+            }}"#
+        );
+        let plan = ExperimentSpec::parse(&text).unwrap().expand().unwrap();
+        let CellPayload::Serve(s) = &plan.cells[0].payload else {
+            panic!("expected a serve cell for alias {alias}");
+        };
+        assert_eq!(s.quantize, canonical, "alias `{alias}` canonicalized differently");
+    }
+}
+
+#[test]
+fn quantize_axis_on_train_or_dist_grid_is_a_structured_error() {
+    for kind in ["train", "dist"] {
+        let text = format!(
+            r#"{{
+                "name": "it-quantize-misplaced",
+                "defaults": {{"scale": "tiny", "seed": {TEST_SEED},
+                             "framework": "tf", "dataset": "mnist"}},
+                "grids": [{{"kind": "{kind}", "axes": {{"quantize": ["int8"]}}}}]
+            }}"#
+        );
+        let err = match ExperimentSpec::parse(&text) {
+            Ok(_) => panic!("quantize on a {kind} grid must be rejected"),
+            Err(e) => e.to_string(),
+        };
+        assert!(
+            err.contains("only applies to serve and fleet grids"),
+            "error must say where the key belongs ({kind}): {err}"
+        );
+    }
+
+    // Unknown spellings are rejected with the accepted vocabulary.
+    let text = format!(
+        r#"{{
+            "name": "it-quantize-bad-value",
+            "defaults": {{"scale": "tiny", "seed": {TEST_SEED},
+                         "framework": "tf", "dataset": "mnist"}},
+            "grids": [{{"kind": "serve",
+                       "axes": {{"deadline_ms": [50], "quantize": ["int4"]}}}}]
+        }}"#
+    );
+    let err = match ExperimentSpec::parse(&text).unwrap().expand() {
+        Ok(_) => panic!("unknown quantize spelling must be rejected"),
+        Err(e) => e.to_string(),
+    };
+    assert!(
+        err.contains("unknown quantize mode") && err.contains("fp32|int8"),
+        "error must name the accepted modes: {err}"
+    );
+}
