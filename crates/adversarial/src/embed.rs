@@ -1,0 +1,268 @@
+//! Embedding-space attacks for the text workload.
+//!
+//! Token ids are discrete, so the pixel-space gradient attacks are
+//! undefined at the input: the embedding lookup is piecewise constant
+//! and its input gradient is exactly zero. The standard remedy
+//! (Miyato et al., 2017) perturbs the *embedding activations* instead:
+//! the network is split after its embedding layer, the attack ascends
+//! the loss gradient in the continuous embedding space, and the
+//! perturbed activations are fed through the remaining layers. Success
+//! semantics match the pixel attacks — a changed prediction, not
+//! disagreement with the label.
+
+use crate::fgsm::FgsmReport;
+use crate::pgd::PgdConfig;
+use crate::report::ConfusionRates;
+use dlbench_nn::{Network, SoftmaxCrossEntropy};
+use dlbench_tensor::{SeededRng, Tensor};
+
+/// Embedding-space FGSM parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EmbedAttackConfig {
+    /// Perturbation magnitude ε in embedding space. Embedding
+    /// activations are unbounded, so there is no clamp; calibrate ε
+    /// against the embedding table's scale (its per-coordinate standard
+    /// deviation is a good unit).
+    pub epsilon: f32,
+    /// Index of the first non-embedding layer — the split point. For
+    /// the suite's sentence-CNN models the embedding is layer 0, so
+    /// this is 1.
+    pub split: usize,
+}
+
+impl EmbedAttackConfig {
+    /// The canonical configuration for the suite's sentence-CNN models:
+    /// split after layer 0 (the embedding).
+    pub fn standard(epsilon: f32) -> Self {
+        Self { epsilon, split: 1 }
+    }
+}
+
+/// Crafts one untargeted embedding-space FGSM example for a single
+/// token sequence (`x` is `[1, 1, L, 1]` token ids, `label` its true
+/// class). The returned report's `adversarial` tensor holds the
+/// perturbed *embedding activations* (`[1, 1, L, E]`), not token ids.
+pub fn fgsm_embedding(
+    net: &mut Network,
+    x: &Tensor,
+    label: usize,
+    config: &EmbedAttackConfig,
+) -> FgsmReport {
+    assert_eq!(x.shape()[0], 1, "fgsm_embedding operates on single samples");
+    let embed = net.forward_prefix(config.split, x, false);
+    let logits = net.forward_from(config.split, &embed, false);
+    let original_pred = logits.argmax_rows()[0];
+
+    let mut loss = SoftmaxCrossEntropy::new();
+    loss.forward(&logits, &[label]);
+    net.zero_grads();
+    let grad = net.backward_from(config.split, &loss.backward());
+
+    let mut adversarial = embed.clone();
+    for (v, &g) in adversarial.data_mut().iter_mut().zip(grad.data()) {
+        *v += config.epsilon * sign(g);
+    }
+    let adversarial_pred = net.forward_from(config.split, &adversarial, false).argmax_rows()[0];
+    FgsmReport {
+        adversarial,
+        original_pred,
+        adversarial_pred,
+        success: adversarial_pred != original_pred,
+    }
+}
+
+/// Crafts one untargeted embedding-space PGD example: iterated ascent
+/// in embedding space with an L∞ projection back into the ε-ball around
+/// the clean embedding. `config.clamp` is ignored (embedding
+/// activations are unbounded).
+pub fn pgd_embedding(
+    net: &mut Network,
+    x: &Tensor,
+    label: usize,
+    split: usize,
+    config: &PgdConfig,
+    rng: &mut SeededRng,
+) -> FgsmReport {
+    assert_eq!(x.shape()[0], 1, "pgd_embedding operates on single samples");
+    let embed = net.forward_prefix(split, x, false);
+    let original_pred = net.forward_from(split, &embed, false).argmax_rows()[0];
+
+    let mut adv = embed.clone();
+    if config.random_start {
+        for v in adv.data_mut() {
+            *v += rng.uniform(-config.epsilon, config.epsilon);
+        }
+    }
+    for _ in 0..config.steps {
+        let logits = net.forward_from(split, &adv, false);
+        let mut loss = SoftmaxCrossEntropy::new();
+        loss.forward(&logits, &[label]);
+        net.zero_grads();
+        let grad = net.backward_from(split, &loss.backward());
+        for (v, &g) in adv.data_mut().iter_mut().zip(grad.data()) {
+            *v += config.step * sign(g);
+        }
+        for (v, &orig) in adv.data_mut().iter_mut().zip(embed.data()) {
+            *v = v.clamp(orig - config.epsilon, orig + config.epsilon);
+        }
+    }
+    let adversarial_pred = net.forward_from(split, &adv, false).argmax_rows()[0];
+    FgsmReport {
+        adversarial: adv,
+        original_pred,
+        adversarial_pred,
+        success: adversarial_pred != original_pred,
+    }
+}
+
+/// Embedding-space FGSM campaign over a labelled token set (same
+/// predict-first tallying as the pixel campaigns: only samples the
+/// model classifies correctly are attacked).
+pub fn fgsm_embedding_success_rates(
+    net: &mut Network,
+    tokens: &Tensor,
+    labels: &[usize],
+    num_classes: usize,
+    config: &EmbedAttackConfig,
+) -> ConfusionRates {
+    assert_eq!(tokens.shape()[0], labels.len(), "token/label mismatch");
+    let mut rates = ConfusionRates::new(num_classes);
+    let preds = net.forward(tokens, false).argmax_rows();
+    for (i, &label) in labels.iter().enumerate() {
+        if preds[i] != label {
+            continue;
+        }
+        let x = tokens.slice_batch(i);
+        let report = fgsm_embedding(net, &x, label, config);
+        rates.record(label, report.adversarial_pred);
+    }
+    rates
+}
+
+/// Embedding-space PGD campaign over a labelled token set.
+pub fn pgd_embedding_success_rates(
+    net: &mut Network,
+    tokens: &Tensor,
+    labels: &[usize],
+    num_classes: usize,
+    split: usize,
+    config: &PgdConfig,
+    rng: &mut SeededRng,
+) -> ConfusionRates {
+    assert_eq!(tokens.shape()[0], labels.len(), "token/label mismatch");
+    let mut rates = ConfusionRates::new(num_classes);
+    let preds = net.forward(tokens, false).argmax_rows();
+    for (i, &label) in labels.iter().enumerate() {
+        if preds[i] != label {
+            continue;
+        }
+        let x = tokens.slice_batch(i);
+        let report = pgd_embedding(net, &x, label, split, config, rng);
+        rates.record(label, report.adversarial_pred);
+    }
+    rates
+}
+
+/// The paper's `sign()`: −1 / 0 / +1.
+fn sign(v: f32) -> f32 {
+    if v > 0.0 {
+        1.0
+    } else if v < 0.0 {
+        -1.0
+    } else {
+        0.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dlbench_nn::{Conv1dBank, Embedding, Initializer, Linear, Relu};
+
+    fn text_net(rng: &mut SeededRng) -> Network {
+        let mut net = Network::new("embed-toy");
+        net.push(Embedding::new(10, 4, Initializer::Xavier, rng));
+        net.push(Conv1dBank::new(3, &[2, 3], 4, Initializer::Xavier, rng));
+        net.push(Relu::new());
+        net.push(Linear::new(6, 2, Initializer::Xavier, rng));
+        net
+    }
+
+    fn tokens(rng: &mut SeededRng, n: usize, l: usize) -> Tensor {
+        let data: Vec<f32> = (0..n * l).map(|_| (rng.uniform(0.0, 10.0)).floor()).collect();
+        Tensor::from_vec(&[n, 1, l, 1], data).unwrap()
+    }
+
+    #[test]
+    fn perturbation_is_linf_bounded_in_embedding_space() {
+        let mut rng = SeededRng::new(1);
+        let mut net = text_net(&mut rng);
+        let x = tokens(&mut rng, 1, 6);
+        let clean = net.forward_prefix(1, &x, false);
+        let report = fgsm_embedding(&mut net, &x, 0, &EmbedAttackConfig::standard(0.05));
+        assert_eq!(report.adversarial.shape(), clean.shape());
+        for (a, b) in report.adversarial.data().iter().zip(clean.data()) {
+            assert!((a - b).abs() <= 0.05 + 1e-6);
+        }
+    }
+
+    #[test]
+    fn large_epsilon_flips_predictions() {
+        // With an ε far above the embedding scale the suffix input is
+        // dominated by the ascent direction; at least one of several
+        // samples must flip.
+        let mut rng = SeededRng::new(2);
+        let mut net = text_net(&mut rng);
+        let mut flipped = 0;
+        for i in 0..8 {
+            let x = tokens(&mut rng.fork(i), 1, 6);
+            let label = net.forward(&x, false).argmax_rows()[0];
+            let report = fgsm_embedding(&mut net, &x, label, &EmbedAttackConfig::standard(25.0));
+            flipped += report.success as usize;
+        }
+        assert!(flipped > 0, "eps=25 should dominate Xavier-scale embeddings");
+    }
+
+    #[test]
+    fn pgd_embedding_stays_in_ball_and_beats_or_ties_fgsm() {
+        let mut rng = SeededRng::new(3);
+        let mut net = text_net(&mut rng);
+        let eps = 0.4;
+        let mut fgsm_wins = 0;
+        let mut pgd_wins = 0;
+        for i in 0..12 {
+            let x = tokens(&mut rng.fork(100 + i), 1, 6);
+            let label = net.forward(&x, false).argmax_rows()[0];
+            let clean = net.forward_prefix(1, &x, false);
+            let f = fgsm_embedding(&mut net, &x, label, &EmbedAttackConfig::standard(eps));
+            let cfg = PgdConfig { random_start: false, clamp: None, ..PgdConfig::standard(eps) };
+            let p = pgd_embedding(&mut net, &x, label, 1, &cfg, &mut rng);
+            for (a, b) in p.adversarial.data().iter().zip(clean.data()) {
+                assert!((a - b).abs() <= eps + 1e-5);
+            }
+            fgsm_wins += f.success as usize;
+            pgd_wins += p.success as usize;
+        }
+        assert!(pgd_wins >= fgsm_wins, "PGD {pgd_wins} < FGSM {fgsm_wins}");
+    }
+
+    #[test]
+    fn campaigns_skip_misclassified_and_are_deterministic() {
+        let mut rng = SeededRng::new(4);
+        let mut net = text_net(&mut rng);
+        let toks = tokens(&mut rng, 10, 6);
+        let preds = net.forward(&toks, false).argmax_rows();
+        let labels: Vec<usize> = preds.clone();
+        let cfg = EmbedAttackConfig::standard(0.3);
+        let a = fgsm_embedding_success_rates(&mut net, &toks, &labels, 2, &cfg);
+        let b = fgsm_embedding_success_rates(&mut net, &toks, &labels, 2, &cfg);
+        assert_eq!(a.total_attempts(), 10);
+        for class in 0..2 {
+            assert_eq!(a.success_rate(class), b.success_rate(class));
+        }
+        // All-wrong labels: nothing attacked.
+        let wrong: Vec<usize> = preds.iter().map(|&p| 1 - p).collect();
+        let r = fgsm_embedding_success_rates(&mut net, &toks, &wrong, 2, &cfg);
+        assert_eq!(r.total_attempts(), 0);
+    }
+}

@@ -18,6 +18,11 @@
 //! framework personality — which is exactly what lets the benchmark
 //! compare the *frameworks'* robustness rather than the attacks.
 //!
+//! For the text workload, where token ids are discrete and the input
+//! gradient is exactly zero, [`fgsm_embedding`] and [`pgd_embedding`]
+//! run the same attacks in the continuous *embedding space* by
+//! splitting the network after its embedding layer.
+//!
 //! ## Example
 //!
 //! ```
@@ -36,12 +41,17 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod embed;
 mod fgsm;
 mod jsma;
 mod noise;
 mod pgd;
 mod report;
 
+pub use embed::{
+    fgsm_embedding, fgsm_embedding_success_rates, pgd_embedding, pgd_embedding_success_rates,
+    EmbedAttackConfig,
+};
 pub use fgsm::{fgsm, fgsm_success_rates, FgsmConfig, FgsmReport};
 pub use jsma::{jsma, jsma_success_matrix, JsmaConfig, JsmaOutcome};
 pub use noise::{noise_attack, noise_success_rates, NoiseConfig};

@@ -3,8 +3,10 @@
 //! Hand-rolled (no criterion facade) so every record carries achieved
 //! GFLOP/s next to its timing, and so the binary itself can enforce the
 //! regression gate: measures the four GEMM variants, the int8 inference
-//! kernels (`gemm_i8`, `quantize_i8`, `dequantize_i8`), `im2col`, and
-//! the convolution forward of every personality conv layer, writes
+//! kernels (`gemm_i8`, `quantize_i8`, `dequantize_i8`), `im2col`,
+//! the convolution forward of every personality conv layer, and the
+//! text-workload layers (embedding lookup, 3/4/5-width conv1d banks),
+//! writes
 //! `target/dlbench-reports/BENCH_kernels.json`, and — when
 //! `DLBENCH_PERF_BASELINE` points at a committed baseline JSON — exits
 //! non-zero if any kernel runs >15% slower than the baseline
@@ -20,7 +22,7 @@ use std::time::Instant;
 
 use dlbench_bench::BENCH_SEED;
 use dlbench_frameworks::{arch_defaults, FrameworkKind};
-use dlbench_nn::{Conv2d, Initializer, Layer};
+use dlbench_nn::{Conv1dBank, Conv2d, Embedding, Initializer, Layer};
 use dlbench_tensor::{
     dequantize_i8, gemm, gemm_a_bt, gemm_at_b, gemm_bias, gemm_i8, im2col, quantize_i8,
     Conv2dGeometry, SeededRng, Tensor,
@@ -238,6 +240,40 @@ fn bench_personality_convs(h: &mut Harness, rng: &mut SeededRng) {
     }
 }
 
+/// The text-workload layers at their personality shapes (batch 2,
+/// native 256-token sequences): the embedding lookup is pure data
+/// movement (gather), the 3/4/5-width conv bank rides the packed
+/// im2col+GEMM path — together they are the text forward's hot loop.
+fn bench_text_layers(h: &mut Harness, rng: &mut SeededRng) {
+    const BATCH: usize = 2;
+    let len = dlbench_data::DatasetKind::Imdb.native_size();
+    let tokens: Vec<f32> =
+        (0..BATCH * len).map(|_| rng.index(dlbench_text::VOCAB) as f32).collect();
+    let x = Tensor::from_vec(&[BATCH, 1, len, 1], tokens).unwrap();
+
+    // TF-IMDB embedding width; Caffe/Torch use 64 (covered by the bank
+    // benches below reading an embedded sequence of their own width).
+    let mut emb = Embedding::new(dlbench_text::VOCAB, 128, Initializer::Xavier, rng);
+    h.bench("embedding_lookup/imdb_len256_dim128", 0, || {
+        std::hint::black_box(emb.forward(&x, false));
+    });
+
+    // One conv bank per personality: (filters, embed dim) from
+    // `arch_defaults(fw, Imdb)`, widths 3/4/5 everywhere.
+    for (name, filters, dim) in
+        [("TF-IMDB", 128usize, 128usize), ("Caffe-IMDB", 100, 64), ("Torch-IMDB", 64, 64)]
+    {
+        let widths = [3usize, 4, 5];
+        let mut bank = Conv1dBank::new(filters, &widths, dim, Initializer::Xavier, rng);
+        let embedded = Tensor::randn(&[BATCH, 1, len, dim], 0.0, 1.0, rng);
+        let flops: u64 =
+            widths.iter().map(|w| 2 * (BATCH * filters * (w * dim) * (len - w + 1)) as u64).sum();
+        h.bench(format!("conv1d_fwd/{name}"), flops, || {
+            std::hint::black_box(bank.forward(&embedded, false));
+        });
+    }
+}
+
 /// `target/dlbench-reports`, recovered from the bench executable's own
 /// path (cargo runs bench binaries with the package root as cwd).
 fn reports_dir() -> std::path::PathBuf {
@@ -346,6 +382,7 @@ fn run_suite(h: &mut Harness, rng: &mut SeededRng) {
     bench_quant_kernels(h, rng);
     bench_im2col(h, rng);
     bench_personality_convs(h, rng);
+    bench_text_layers(h, rng);
 }
 
 fn main() {

@@ -2,8 +2,9 @@
 
 use crate::args::ParsedArgs;
 use dlbench_adversarial::{
-    fgsm_success_rates, jsma_success_matrix, noise_success_rates, pgd_success_rates, FgsmConfig,
-    JsmaConfig, NoiseConfig, PgdConfig,
+    fgsm_embedding_success_rates, fgsm_success_rates, jsma_success_matrix, noise_success_rates,
+    pgd_embedding_success_rates, pgd_success_rates, EmbedAttackConfig, FgsmConfig, JsmaConfig,
+    NoiseConfig, PgdConfig,
 };
 use dlbench_core::runner::BenchmarkRunner;
 use dlbench_core::ExperimentId;
@@ -25,7 +26,8 @@ pub(crate) fn parse_dataset(raw: &str) -> Result<DatasetKind, String> {
     match raw.to_ascii_lowercase().as_str() {
         "mnist" => Ok(DatasetKind::Mnist),
         "cifar10" | "cifar-10" | "cifar" => Ok(DatasetKind::Cifar10),
-        other => Err(format!("unknown dataset `{other}` (mnist|cifar10)")),
+        "imdb" => Ok(DatasetKind::Imdb),
+        other => Err(format!("unknown dataset `{other}` (mnist|cifar10|imdb)")),
     }
 }
 
@@ -466,7 +468,8 @@ pub fn quantize(args: &ParsedArgs) -> Result<(), String> {
     let arch = trainer::build_cell_model(host, &setting, dataset, scale, seed);
     let size = scale.image_size(dataset);
     let batch = 100usize;
-    let shape = [batch, dataset.channels(), size, size];
+    let (ic, ih, iw) = trainer::input_dims(dataset, size);
+    let shape = [batch, ic, ih, iw];
     let (qcost, fcost) = cost_split(&arch, &shape);
     let total = qcost.merge(fcost);
     for (label, device) in [("CPU", devices::xeon_e5_1620()), ("GPU", devices::gtx_1080_ti())] {
@@ -498,8 +501,12 @@ pub fn attack(args: &ParsedArgs) -> Result<(), String> {
     let epsilon = args.get_parsed("epsilon", 0.15f32)?;
     let kind = args.get("attack").unwrap_or("fgsm").to_ascii_lowercase();
     let (host, setting, dataset) = cell_from_args(args)?;
-    if dataset != DatasetKind::Mnist {
-        return Err("attacks are defined on the MNIST cells (paper §III.E)".into());
+    if dataset == DatasetKind::Cifar10 {
+        return Err(
+            "attacks are defined on the MNIST cells (paper §III.E) and the IMDB text cells \
+             (embedding space); pick `dataset mnist` or `dataset imdb`"
+                .into(),
+        );
     }
     println!(
         "{kind} attack vs {} ({} setting), epsilon {epsilon}, scale {scale:?}",
@@ -521,6 +528,47 @@ pub fn attack(args: &ParsedArgs) -> Result<(), String> {
     };
     let (_, test) = trainer::generate_data(dataset, scale, seed);
     let mut rng = SeededRng::new(seed).fork(0xA77);
+    if dataset.is_text() {
+        // Token ids are discrete (the input gradient is exactly zero),
+        // so text attacks ascend in the continuous embedding space.
+        let classes = dataset.num_classes();
+        match kind.as_str() {
+            "fgsm" => {
+                let config = EmbedAttackConfig::standard(epsilon);
+                let rates = fgsm_embedding_success_rates(
+                    &mut model,
+                    &test.images,
+                    &test.labels,
+                    classes,
+                    &config,
+                );
+                print_rates("per-source-class success (embedding-space)", &rates.success_rates());
+                println!("mean success rate: {:.3}", rates.mean_success_rate());
+            }
+            "pgd" => {
+                let config = PgdConfig { clamp: None, ..PgdConfig::standard(epsilon) };
+                let rates = pgd_embedding_success_rates(
+                    &mut model,
+                    &test.images,
+                    &test.labels,
+                    classes,
+                    1,
+                    &config,
+                    &mut rng,
+                );
+                print_rates("per-source-class success (embedding-space)", &rates.success_rates());
+                println!("mean success rate: {:.3}", rates.mean_success_rate());
+            }
+            "jsma" | "noise" => {
+                return Err(format!(
+                    "`{kind}` operates on pixel inputs; text cells support fgsm|pgd \
+                     (crafted in embedding space)"
+                ))
+            }
+            other => return Err(format!("unknown attack `{other}` (fgsm|pgd)")),
+        }
+        return Ok(());
+    }
     match kind.as_str() {
         "fgsm" => {
             let config = FgsmConfig { epsilon, clamp: Some((0.0, 1.0)) };
@@ -584,9 +632,14 @@ pub fn stats(args: &ParsedArgs) -> Result<(), String> {
     let data = match dataset {
         DatasetKind::Mnist => SynthMnist::generate(samples, size, seed),
         DatasetKind::Cifar10 => SynthCifar10::generate(samples, size, seed),
+        DatasetKind::Imdb => dlbench_text::SynthImdb::generate(samples, size, seed),
     };
     let s = data.stats();
-    println!("{} stand-in ({samples} samples @{size}x{size}, seed {seed})", dataset.name());
+    if dataset.is_text() {
+        println!("{} stand-in ({samples} sequences @{size} tokens, seed {seed})", dataset.name());
+    } else {
+        println!("{} stand-in ({samples} samples @{size}x{size}, seed {seed})", dataset.name());
+    }
     println!("  pixel entropy   {:.2} bits (32-bin histogram)", s.pixel_entropy);
     println!("  sparsity        {:.1}% of pixels below 0.1", s.sparsity * 100.0);
     for (ch, (m, sd)) in s.channel_means.iter().zip(&s.channel_stds).enumerate() {

@@ -638,7 +638,8 @@ fn parse_dataset(s: &str) -> Result<DatasetKind, String> {
     match s.to_ascii_lowercase().as_str() {
         "mnist" => Ok(DatasetKind::Mnist),
         "cifar10" | "cifar-10" => Ok(DatasetKind::Cifar10),
-        other => Err(format!("unknown dataset `{other}` (expected mnist|cifar10)")),
+        "imdb" => Ok(DatasetKind::Imdb),
+        other => Err(format!("unknown dataset `{other}` (expected mnist|cifar10|imdb)")),
     }
 }
 
@@ -646,6 +647,7 @@ fn dataset_name(ds: DatasetKind) -> &'static str {
     match ds {
         DatasetKind::Mnist => "mnist",
         DatasetKind::Cifar10 => "cifar10",
+        DatasetKind::Imdb => "imdb",
     }
 }
 
@@ -720,6 +722,20 @@ fn typed_cell(kind: CellKindTag, params: BTreeMap<String, String>) -> Result<Pla
             None => dataset,
             Some(s) => parse_dataset(s)?,
         };
+        // Text and image settings take different input shapes (token
+        // sequences vs pixel grids), so transplanting across the
+        // modality boundary cannot instantiate; reject it here with the
+        // fix instead of panicking during model construction.
+        if tuned_for.is_text() != dataset.is_text() {
+            return Err(format!(
+                "setting_dataset `{}` cannot be applied to dataset `{}`: text and image \
+                 architectures take different input shapes; set `setting_dataset` to \
+                 `{}` or change `dataset`",
+                dataset_name(tuned_for),
+                dataset_name(dataset),
+                dataset_name(dataset),
+            ));
+        }
         Ok(DefaultSetting::new(owner, tuned_for))
     };
 
@@ -738,6 +754,14 @@ fn typed_cell(kind: CellKindTag, params: BTreeMap<String, String>) -> Result<Pla
             (CellPayload::Train(cell), format!("{label} [{}]", device.name()))
         }
         CellKindTag::Dist => {
+            if dataset.is_text() {
+                return Err(format!(
+                    "dataset `{}` only applies to train, serve and fleet grids (the \
+                     data-parallel driver shards image batches only), but this grid is \
+                     kind `dist`; move the cell to a train grid or pick an image dataset",
+                    dataset_name(dataset)
+                ));
+            }
             let setting = setting(&p)?;
             let workers = p
                 .usize("workers")?
@@ -1455,6 +1479,46 @@ mod tests {
         assert_eq!((s.requests, s.max_batch), (16, 8));
         // Serve cells ignore inapplicable defaults and fill their own.
         assert_eq!(plan.cells[2].params["rate_rps"], "200");
+    }
+
+    #[test]
+    fn imdb_on_a_dist_grid_is_a_structured_error_naming_the_fix() {
+        let spec = r#"{
+            "name": "text-dist",
+            "defaults": {"framework": "tf", "dataset": "imdb"},
+            "grids": [{"kind": "dist", "axes": {"workers": [2]},
+                       "overrides": {"strategy": "ring"}}]
+        }"#;
+        let err = ExperimentSpec::parse(spec).unwrap().expand().unwrap_err();
+        assert!(err.contains("imdb"), "{err}");
+        assert!(err.contains("move the cell to a train grid"), "error must name the fix: {err}");
+        // The same dataset on train and serve grids is accepted.
+        let ok = r#"{
+            "name": "text-ok",
+            "defaults": {"framework": "tf", "dataset": "imdb"},
+            "grids": [
+                {"kind": "train", "axes": {"device": ["cpu"]}},
+                {"kind": "serve", "axes": {"deadline_ms": [10]}}
+            ]
+        }"#;
+        let plan = ExperimentSpec::parse(ok).unwrap().expand().unwrap();
+        assert_eq!(plan.cells.len(), 2);
+    }
+
+    #[test]
+    fn cross_modality_setting_transplant_is_a_structured_error() {
+        // An MNIST-tuned setting takes pixel grids; an IMDB cell feeds
+        // token sequences. The mismatch must fail at expansion with the
+        // fix, not panic during model construction.
+        let spec = r#"{
+            "name": "transplant",
+            "defaults": {"framework": "tf", "dataset": "imdb"},
+            "grids": [{"kind": "train", "axes": {"device": ["cpu"]},
+                       "overrides": {"setting_dataset": "mnist"}}]
+        }"#;
+        let err = ExperimentSpec::parse(spec).unwrap().expand().unwrap_err();
+        assert!(err.contains("different input shapes"), "{err}");
+        assert!(err.contains("set `setting_dataset`"), "error must name the fix: {err}");
     }
 
     #[test]

@@ -17,6 +17,10 @@
 //!   intra-class variation); separates model capacity and training-budget
 //!   differences the way CIFAR-10 does in the paper.
 //!
+//! The text-workload axis adds [`DatasetKind::Imdb`]: token-id sequence
+//! datasets built through the validating [`Dataset::sequences`]
+//! constructor (the generator itself lives in `dlbench-text`).
+//!
 //! ## Example
 //!
 //! ```
@@ -40,7 +44,7 @@ mod stats;
 
 pub use batch::BatchIter;
 pub use cifar::SynthCifar10;
-pub use dataset::{Dataset, DatasetKind};
+pub use dataset::{Dataset, DatasetError, DatasetKind};
 pub use mnist::SynthMnist;
 pub use preprocess::Preprocessing;
 pub use stats::DatasetStats;

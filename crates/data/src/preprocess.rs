@@ -28,6 +28,12 @@ pub enum Preprocessing {
     /// paper's Figure 5 flat-loss divergence (Caffe reports exactly
     /// `-ln(FLT_MIN) ≈ 87.34` forever).
     RawBytes,
+    /// Token-id passthrough for text sequences: ids are categorical, so
+    /// every numeric transform above would destroy them. Explicit (not
+    /// `Raw01`) so a configuration table shows the text pipeline by
+    /// name, and so numeric schemes transplanted onto token data are
+    /// distinguishable from the intended no-op.
+    TokenIds,
 }
 
 impl Preprocessing {
@@ -38,6 +44,7 @@ impl Preprocessing {
             Preprocessing::MeanSubtract => "mean subtract",
             Preprocessing::Standardize => "standardize",
             Preprocessing::RawBytes => "raw bytes (no scale)",
+            Preprocessing::TokenIds => "token ids (passthrough)",
         }
     }
 
@@ -45,7 +52,7 @@ impl Preprocessing {
     /// pipeline would bake in).
     pub fn channel_means(dataset: &Dataset) -> Vec<f32> {
         let c = dataset.channels();
-        let plane = dataset.size() * dataset.size();
+        let plane = dataset.images.shape()[2] * dataset.images.shape()[3];
         let n = dataset.len();
         let mut means = vec![0.0f32; c];
         for s in 0..n {
@@ -62,7 +69,7 @@ impl Preprocessing {
     /// (ignored otherwise).
     pub fn apply(&self, batch: &Tensor, channel_means: &[f32]) -> Tensor {
         match self {
-            Preprocessing::Raw01 => batch.clone(),
+            Preprocessing::Raw01 | Preprocessing::TokenIds => batch.clone(),
             Preprocessing::RawBytes => batch.scale(255.0),
             Preprocessing::MeanSubtract => {
                 let (n, c) = (batch.shape()[0], batch.shape()[1]);

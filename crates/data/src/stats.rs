@@ -29,7 +29,9 @@ impl DatasetStats {
     /// Measures statistics over the whole dataset.
     pub fn measure(dataset: &Dataset) -> Self {
         let c = dataset.channels();
-        let hw = dataset.size() * dataset.size();
+        // Plane size from the actual shape: image data is square, but
+        // token sequences are [N, 1, L, 1] and must not be squared.
+        let hw = dataset.images.shape()[2] * dataset.images.shape()[3];
         let n = dataset.len();
         let mut means = vec![0.0f32; c];
         let mut sqs = vec![0.0f32; c];
@@ -51,7 +53,7 @@ impl DatasetStats {
             .collect();
         DatasetStats {
             samples: n,
-            dims: (c, dataset.size(), dataset.size()),
+            dims: (c, dataset.images.shape()[2], dataset.images.shape()[3]),
             pixel_entropy: dataset.images.histogram_entropy(32),
             sparsity: dataset.images.sparsity(0.1),
             channel_means,

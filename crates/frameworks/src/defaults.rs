@@ -218,6 +218,37 @@ pub fn training_defaults(fw: FrameworkKind, ds: DatasetKind) -> TrainingConfig {
             preprocessing: Preprocessing::Standardize,
             regularizer: Regularizer::None,
         },
+        // Text axis (no paper table — settings follow each framework's
+        // canonical sentence-CNN recipe, keeping the personality
+        // contrasts: TF Adam+dropout, Caffe momentum-SGD+decay with an
+        // inverse schedule, Torch plain SGD).
+        (TensorFlow, Imdb) => TrainingConfig {
+            algorithm: OptimizerKind::Adam,
+            base_lr: 1e-3,
+            schedule: ScheduleSpec::Fixed,
+            batch_size: 64,
+            max_iterations: 10_000,
+            preprocessing: Preprocessing::TokenIds,
+            regularizer: Regularizer::Dropout { rate: 0.5 },
+        },
+        (Caffe, Imdb) => TrainingConfig {
+            algorithm: OptimizerKind::Sgd { momentum: 0.9 },
+            base_lr: 0.01,
+            schedule: ScheduleSpec::Inverse { gamma: 1e-4, power: 0.75 },
+            batch_size: 50,
+            max_iterations: 10_000,
+            preprocessing: Preprocessing::TokenIds,
+            regularizer: Regularizer::WeightDecay { lambda: 5e-4 },
+        },
+        (Torch, Imdb) => TrainingConfig {
+            algorithm: OptimizerKind::Sgd { momentum: 0.0 },
+            base_lr: 0.05,
+            schedule: ScheduleSpec::Fixed,
+            batch_size: 32,
+            max_iterations: 25_000,
+            preprocessing: Preprocessing::TokenIds,
+            regularizer: Regularizer::None,
+        },
     }
 }
 
@@ -315,6 +346,39 @@ pub fn arch_defaults(fw: FrameworkKind, ds: DatasetKind) -> ArchSpec {
                 L::Fc { out: 128 },
                 L::Tanh,
                 L::Fc { out: 10 },
+            ],
+        ),
+        // Text axis — Kim-style sentence CNNs (parallel 3/4/5-width
+        // branches, max-over-time), differing in embedding width,
+        // filter count and activation per personality. ReLU/Tanh after
+        // the bank is equivalent to per-window activation because
+        // max-over-time commutes with monotone functions.
+        (TensorFlow, Imdb) => ArchSpec::new(
+            "TF-IMDB",
+            vec![
+                L::Embed { vocab: dlbench_text::VOCAB, dim: 128 },
+                L::ConvBank { filters: 128, widths: vec![3, 4, 5] },
+                L::Relu,
+                L::Dropout { rate: 0.5 },
+                L::Fc { out: 2 },
+            ],
+        ),
+        (Caffe, Imdb) => ArchSpec::new(
+            "Caffe-IMDB",
+            vec![
+                L::Embed { vocab: dlbench_text::VOCAB, dim: 64 },
+                L::ConvBank { filters: 100, widths: vec![3, 4, 5] },
+                L::Relu,
+                L::Fc { out: 2 },
+            ],
+        ),
+        (Torch, Imdb) => ArchSpec::new(
+            "Torch-IMDB",
+            vec![
+                L::Embed { vocab: dlbench_text::VOCAB, dim: 64 },
+                L::ConvBank { filters: 64, widths: vec![3, 4, 5] },
+                L::Tanh,
+                L::Fc { out: 2 },
             ],
         ),
     }

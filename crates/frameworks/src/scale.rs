@@ -52,8 +52,18 @@ impl Scale {
         }
     }
 
-    /// Image side length used for training at this scale.
+    /// Image side length used for training at this scale. For text
+    /// datasets this is the *sequence length* (tokens per sample) —
+    /// longer than the image sides, since a width-5 conv branch needs
+    /// headroom and token sequences are cheap (one id per position).
     pub fn image_size(&self, ds: DatasetKind) -> usize {
+        if ds.is_text() {
+            return match self {
+                Scale::Tiny => 16,
+                Scale::Small => 32,
+                Scale::Paper => ds.native_size(),
+            };
+        }
         match self {
             Scale::Tiny => 12,
             Scale::Small => 16,
@@ -113,6 +123,7 @@ impl Scale {
             (Scale::Tiny, _) => 300,
             (Scale::Small, DatasetKind::Mnist) => 600,
             (Scale::Small, DatasetKind::Cifar10) => 450,
+            (Scale::Small, DatasetKind::Imdb) => 450,
             (Scale::Paper, _) => 0,
         }
     }

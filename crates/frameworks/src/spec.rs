@@ -1,8 +1,8 @@
 //! Architecture specifications (paper Tables IV and V as data).
 
 use dlbench_nn::{
-    AvgPool2d, Conv2d, Dropout, Flatten, Initializer, LayerCost, Linear, LocalResponseNorm,
-    MaxPool2d, Network, Relu, Tanh,
+    AvgPool2d, Conv1dBank, Conv2d, Dropout, Embedding, Flatten, Initializer, LayerCost, Linear,
+    LocalResponseNorm, MaxPool2d, Network, Relu, Tanh,
 };
 use dlbench_tensor::{Conv2dGeometry, SeededRng};
 
@@ -59,6 +59,24 @@ pub enum LayerSpecEntry {
     Dropout {
         /// Drop probability.
         rate: f32,
+    },
+    /// Token-embedding lookup for text inputs (`[N, 1, L, 1]` token ids
+    /// → `[N, 1, L, dim]`). Must be the first entry of a text spec.
+    Embed {
+        /// Vocabulary size (rows of the embedding table; never scaled).
+        vocab: usize,
+        /// Embedding dimension at paper scale.
+        dim: usize,
+    },
+    /// Sentence-CNN block: parallel 1-D convolutions over the token
+    /// axis (one branch per kernel width), each max-pooled over time,
+    /// concatenated to `widths.len() * filters` flat features. Only
+    /// valid after [`LayerSpecEntry::Embed`].
+    ConvBank {
+        /// Filters per branch at paper scale.
+        filters: usize,
+        /// Kernel widths, one branch each (Kim-style 3/4/5).
+        widths: Vec<usize>,
     },
 }
 
@@ -153,6 +171,31 @@ impl ArchSpec {
                 LayerSpecEntry::Dropout { rate } => {
                     net.push(Dropout::new(rate, rng.fork(0xD0)));
                 }
+                LayerSpecEntry::Embed { vocab, dim } => {
+                    assert!(i == 0, "Embed must be the first entry of a text spec");
+                    assert_eq!(w, 1, "text specs take [N, 1, L, 1] token-id inputs");
+                    let dim_s = Self::scaled(dim, width_mult);
+                    net.push(Embedding::new(vocab, dim_s, init, rng));
+                    w = dim_s;
+                }
+                LayerSpecEntry::ConvBank { filters, ref widths } => {
+                    assert!(
+                        matches!(self.entries.first(), Some(LayerSpecEntry::Embed { .. })),
+                        "ConvBank requires an Embed entry first"
+                    );
+                    assert!(!flattened, "conv bank after flatten is unsupported");
+                    let f_s = Self::scaled(filters, width_mult);
+                    assert!(
+                        widths.iter().all(|&kw| kw <= h),
+                        "sequence length {h} shorter than a kernel width in {}",
+                        self.name
+                    );
+                    net.push(Conv1dBank::new(f_s, widths, w, init, rng));
+                    // Max-over-time pools each branch to one feature per
+                    // filter; the bank's output is already flat.
+                    features = widths.len() * f_s;
+                    flattened = true;
+                }
             }
         }
         net
@@ -185,6 +228,10 @@ impl ArchSpec {
                         pool_extent(h, kernel, stride, ceil),
                         pool_extent(w, kernel, stride, ceil),
                     );
+                }
+                LayerSpecEntry::Embed { dim, .. } => w = dim,
+                LayerSpecEntry::ConvBank { filters, ref widths } => {
+                    return widths.len() * filters;
                 }
                 LayerSpecEntry::Fc { .. } => return c * h * w,
                 _ => {}
@@ -226,6 +273,25 @@ impl ArchSpec {
                         pool_extent(h, kernel, stride, ceil),
                         pool_extent(w, kernel, stride, ceil),
                     );
+                }
+                LayerSpecEntry::Embed { dim, .. } => w = dim,
+                LayerSpecEntry::ConvBank { filters, ref widths } => {
+                    // One geometry per branch: a width-`kw` window over
+                    // the full embedding dimension (out_w collapses to 1).
+                    for &kw in widths {
+                        geos.push((
+                            Conv2dGeometry {
+                                in_channels: c,
+                                in_h: h,
+                                in_w: w,
+                                kernel_h: kw,
+                                kernel_w: w,
+                                stride: 1,
+                                pad: 0,
+                            },
+                            filters,
+                        ));
+                    }
                 }
                 _ => {}
             }

@@ -23,6 +23,7 @@ use dlbench_nn::{CheckpointError, LayerCost, Network, SoftmaxCrossEntropy};
 use dlbench_optim::{Adam, Optimizer, Sgd};
 use dlbench_simtime::{CostModel, Device};
 use dlbench_tensor::SeededRng;
+use dlbench_text::SynthImdb;
 use dlbench_trace::{span, Category, Stopwatch};
 
 /// Loss ceiling recorded when training diverges (softmax probabilities
@@ -246,8 +247,21 @@ pub fn generate_data(dataset: DatasetKind, scale: Scale, seed: u64) -> (Dataset,
     let full = match dataset {
         DatasetKind::Mnist => SynthMnist::generate(n_train + n_test, size, data_seed),
         DatasetKind::Cifar10 => SynthCifar10::generate(n_train + n_test, size, data_seed),
+        DatasetKind::Imdb => SynthImdb::generate(n_train + n_test, size, data_seed),
     };
     full.split(n_train)
+}
+
+/// Per-sample tensor dimensions `(c, h, w)` a network for `dataset`
+/// takes at extent `size` (image side length, or sequence length for
+/// text): images are `(channels, size, size)`, token sequences are
+/// `(1, size, 1)` — the embedding layer widens the last axis.
+pub fn input_dims(dataset: DatasetKind, size: usize) -> (usize, usize, usize) {
+    if dataset.is_text() {
+        (1, size, 1)
+    } else {
+        (dataset.channels(), size, size)
+    }
 }
 
 /// The RNG stream a cell's model parameters are drawn from. Forking is
@@ -271,9 +285,8 @@ pub fn build_cell_model(
 ) -> Network {
     let arch = effective_arch(host, setting);
     let mut rng = cell_model_rng(host, setting, seed);
-    let c = dataset.channels();
-    let size = scale.image_size(dataset);
-    arch.build((c, size, size), scale.width_mult(), host.initializer(), &mut rng)
+    let dims = input_dims(dataset, scale.image_size(dataset));
+    arch.build(dims, scale.width_mult(), host.initializer(), &mut rng)
 }
 
 /// Builds the optimizer a cell trains with, exactly as [`run_training`]
@@ -416,9 +429,8 @@ fn run_training_impl(
     // `build_cell_model` exactly, so a checkpoint loaded against that
     // function's output is interchangeable with a freshly trained cell.
     let mut rng = cell_model_rng(host, &setting, seed);
-    let c = dataset.channels();
-    let size = scale.image_size(dataset);
-    let mut model = arch.build((c, size, size), scale.width_mult(), host.initializer(), &mut rng);
+    let dims = input_dims(dataset, scale.image_size(dataset));
+    let mut model = arch.build(dims, scale.width_mult(), host.initializer(), &mut rng);
     if let Some(mut reader) = warm_start {
         dlbench_nn::load_parameters(&mut model, &mut reader)?;
     }
@@ -536,8 +548,13 @@ fn run_training_impl(
     // Timing path: paper-scale costs.
     let native = setting.tuned_for.native_size();
     // The architecture geometry follows the setting's tuned-for dataset;
-    // channels follow the dataset actually trained on.
-    let paper_input = (c, native, native);
+    // channels follow the dataset actually trained on (for text both
+    // agree: one channel of token ids).
+    let paper_input = if setting.tuned_for.is_text() {
+        (1, native, 1)
+    } else {
+        (dataset.channels(), native, native)
+    };
     let paper_train_batch_cost = arch.paper_cost(paper_input, config.batch_size);
     let mut rng2 = SeededRng::new(0);
     let paper_net = arch.build(paper_input, 1.0, host.initializer(), &mut rng2);
@@ -607,6 +624,32 @@ mod tests {
         assert!(!out.loss_curve.is_empty());
         assert!(out.times.train_seconds > 0.0);
         assert_eq!(out.paper_iterations, 20_000);
+    }
+
+    #[test]
+    fn torch_imdb_own_default_learns_at_tiny_scale() {
+        let cell =
+            Cell::own_default(FrameworkKind::Torch, DatasetKind::Imdb, devices::gtx_1080_ti());
+        let out = run_cell(&cell, Scale::Tiny, 1);
+        assert!(out.accuracy > 0.6, "text accuracy {}", out.accuracy);
+        assert!(out.converged);
+        assert!(out.times.train_seconds > 0.0);
+    }
+
+    #[test]
+    fn imdb_checkpoint_roundtrips_through_build_cell_model() {
+        // The embedding table and conv-bank branches must serialize in
+        // the same order build_cell_model rebuilds them.
+        let s = DefaultSetting::new(FrameworkKind::Caffe, DatasetKind::Imdb);
+        let mut out = run_training(FrameworkKind::Caffe, s, DatasetKind::Imdb, Scale::Tiny, 4);
+        let mut buf = Vec::new();
+        dlbench_nn::save_parameters(&mut out.model, &mut buf).unwrap();
+        let mut rebuilt =
+            build_cell_model(FrameworkKind::Caffe, &s, DatasetKind::Imdb, Scale::Tiny, 4);
+        dlbench_nn::load_parameters(&mut rebuilt, &mut buf.as_slice()).unwrap();
+        let (_, test) = generate_data(DatasetKind::Imdb, Scale::Tiny, 4);
+        let (x, _) = test.gather(&[0, 1, 2]);
+        assert_eq!(rebuilt.forward(&x, false), out.model.forward(&x, false));
     }
 
     #[test]

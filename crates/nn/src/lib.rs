@@ -5,10 +5,12 @@
 //! sequential [`Network`] container, and per-layer cost accounting that
 //! feeds the simulated device timing model.
 //!
-//! The layer set is exactly what the paper's reference models (Tables IV
-//! and V) require: `Conv2d`, `MaxPool2d`, `AvgPool2d`, `Linear`, `ReLU`,
-//! `Tanh`, local response normalization, `Dropout`, `Flatten`, and a
-//! softmax-cross-entropy loss.
+//! The layer set covers the paper's reference models (Tables IV and V)
+//! — `Conv2d`, `MaxPool2d`, `AvgPool2d`, `Linear`, `ReLU`, `Tanh`,
+//! local response normalization, `Dropout`, `Flatten`, and a
+//! softmax-cross-entropy loss — plus the text-workload extension's
+//! sentence-CNN blocks: `Embedding`, `Conv1d`, `MaxOverTime` and the
+//! parallel-width `Conv1dBank`.
 //!
 //! ## Example
 //!
@@ -39,7 +41,9 @@
 
 mod activation;
 mod conv;
+mod conv1d;
 mod dropout;
+mod embedding;
 mod flatten;
 mod init;
 mod layer;
@@ -53,7 +57,9 @@ mod serialize;
 
 pub use activation::{Relu, Tanh};
 pub use conv::Conv2d;
+pub use conv1d::{Conv1d, Conv1dBank, MaxOverTime};
 pub use dropout::Dropout;
+pub use embedding::{token_row, Embedding};
 pub use flatten::Flatten;
 pub use init::Initializer;
 pub use layer::{AsAny, Layer, ParamKind, ParamSet};

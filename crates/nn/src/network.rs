@@ -76,6 +76,46 @@ impl Network {
         x
     }
 
+    /// Runs only the first `end` layers forward (the `[0, end)` prefix),
+    /// returning that prefix's output. With `end == 1` on a text model
+    /// this yields the embedding activations the embedding-space
+    /// attacks perturb.
+    pub fn forward_prefix(&mut self, end: usize, input: &Tensor, train: bool) -> Tensor {
+        assert!(end <= self.layers.len(), "prefix end beyond network");
+        let mut x = input.clone();
+        for layer in &mut self.layers[..end] {
+            x = layer.forward(&x, train);
+        }
+        x
+    }
+
+    /// Runs the layers from `start` onward forward (the `[start, len)`
+    /// suffix), treating `input` as the activation entering layer
+    /// `start`. Together with [`Network::forward_prefix`] this splits a
+    /// forward pass at any layer boundary.
+    pub fn forward_from(&mut self, start: usize, input: &Tensor, train: bool) -> Tensor {
+        assert!(start <= self.layers.len(), "suffix start beyond network");
+        let mut x = input.clone();
+        for layer in &mut self.layers[start..] {
+            x = layer.forward(&x, train);
+        }
+        x
+    }
+
+    /// Propagates a gradient backward through the `[start, len)` suffix
+    /// only, returning the gradient w.r.t. the activation entering
+    /// layer `start` (parameter gradients accumulate as usual). The
+    /// suffix must have been run forward last — via
+    /// [`Network::forward_from`] or a full [`Network::forward`].
+    pub fn backward_from(&mut self, start: usize, grad_output: &Tensor) -> Tensor {
+        assert!(start <= self.layers.len(), "suffix start beyond network");
+        let mut g = grad_output.clone();
+        for layer in self.layers[start..].iter_mut().rev() {
+            g = layer.backward(&g);
+        }
+        g
+    }
+
     /// Propagates a gradient from the output back to the input,
     /// accumulating parameter gradients along the way, and returns the
     /// gradient w.r.t. the network input (used by adversarial attacks).
@@ -289,6 +329,36 @@ mod tests {
         let mut rng = SeededRng::new(6);
         let mut net = tiny_net(&mut rng);
         assert_eq!(net.num_params(), 4 * 9 + 4 + 64 * 10 + 10);
+    }
+
+    #[test]
+    fn split_forward_backward_matches_whole_network() {
+        let mut rng = SeededRng::new(8);
+        let mut net = tiny_net(&mut rng);
+        let x = Tensor::randn(&[2, 1, 8, 8], 0.0, 1.0, &mut rng);
+        let whole = net.forward(&x, false);
+        let mut g = Tensor::zeros(&[2, 10]);
+        g.data_mut()[3] = 1.0;
+        g.data_mut()[14] = -2.0;
+        net.zero_grads();
+        let gx_whole = net.backward(&g);
+
+        for split in 0..=net.len() {
+            let mid = net.forward_prefix(split, &x, false);
+            let out = net.forward_from(split, &mid, false);
+            assert_eq!(out, whole, "split at {split}");
+        }
+        // Suffix backward at split 0 is the whole backward.
+        net.forward(&x, false);
+        net.zero_grads();
+        assert_eq!(net.backward_from(0, &g), gx_whole);
+        // Backward through a strict suffix returns the gradient at the
+        // split boundary, matching a finite shape check.
+        let mid = net.forward_prefix(2, &x, false);
+        net.forward_from(2, &mid, false);
+        net.zero_grads();
+        let g_mid = net.backward_from(2, &g);
+        assert_eq!(g_mid.shape(), mid.shape());
     }
 
     #[test]

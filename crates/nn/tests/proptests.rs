@@ -1,8 +1,8 @@
 //! Property-based tests for layer invariants.
 
 use dlbench_nn::{
-    AvgPool2d, Conv2d, Dropout, Initializer, Layer, Linear, MaxPool2d, Relu, SoftmaxCrossEntropy,
-    Tanh,
+    AvgPool2d, Conv2d, Dropout, Embedding, Initializer, Layer, Linear, MaxOverTime, MaxPool2d,
+    ParamKind, Relu, SoftmaxCrossEntropy, Tanh,
 };
 use dlbench_tensor::{SeededRng, Tensor};
 use proptest::prelude::*;
@@ -115,6 +115,90 @@ proptest! {
         // Average pooling distributes each unit of gradient across its
         // window: total mass is conserved.
         prop_assert!((gx.sum() - g.sum()).abs() < 1e-3);
+    }
+
+    #[test]
+    fn embedding_scatter_add_is_partition_invariant(
+        n in 2usize..5, l in 1usize..7, vocab in 2usize..10, dim in 1usize..6,
+        split in 1usize..4, seed in 0u64..500,
+    ) {
+        // The table gradient of a batch must equal, bit for bit, the
+        // accumulated gradients of any row partition of that batch —
+        // the invariant the determinism gate relies on when the batch
+        // sharding changes.
+        let split = split.min(n - 1);
+        let mut rng = SeededRng::new(seed);
+        let mut emb = Embedding::new(vocab, dim, Initializer::Xavier, &mut rng);
+        let tokens: Vec<f32> = (0..n * l).map(|_| rng.index(vocab) as f32).collect();
+        let x = Tensor::from_vec(&[n, 1, l, 1], tokens.clone()).unwrap();
+        let g = Tensor::randn(&[n, 1, l, dim], 0.0, 1.0, &mut rng);
+
+        emb.forward(&x, true);
+        emb.zero_grads();
+        emb.backward(&g);
+        let whole = emb.params()[0].grad.clone();
+
+        emb.zero_grads();
+        for (lo, hi) in [(0, split), (split, n)] {
+            let xs = Tensor::from_vec(&[hi - lo, 1, l, 1], tokens[lo * l..hi * l].to_vec())
+                .unwrap();
+            let gs = Tensor::from_vec(
+                &[hi - lo, 1, l, dim],
+                g.data()[lo * l * dim..hi * l * dim].to_vec(),
+            )
+            .unwrap();
+            emb.forward(&xs, true);
+            emb.backward(&gs);
+        }
+        let parts = emb.params()[0].grad.clone();
+        prop_assert_eq!(whole.data(), parts.data());
+    }
+
+    #[test]
+    fn embedding_absent_tokens_keep_exactly_zero_grad(
+        n in 1usize..4, l in 1usize..6, dim in 1usize..5, seed in 0u64..500,
+    ) {
+        // Only even rows of the table are ever addressed; odd rows must
+        // come out of backward with an exactly-zero gradient.
+        let vocab = 10usize;
+        let mut rng = SeededRng::new(seed);
+        let mut emb = Embedding::new(vocab, dim, Initializer::Xavier, &mut rng);
+        let tokens: Vec<f32> =
+            (0..n * l).map(|_| (2 * rng.index(vocab / 2)) as f32).collect();
+        let x = Tensor::from_vec(&[n, 1, l, 1], tokens).unwrap();
+        emb.forward(&x, true);
+        emb.zero_grads();
+        let g = Tensor::randn(&[n, 1, l, dim], 0.0, 1.0, &mut rng);
+        let gin = emb.backward(&g);
+        // Discrete inputs: the input gradient is identically zero.
+        prop_assert!(gin.data().iter().all(|&v| v == 0.0));
+        let params = emb.params();
+        prop_assert!(matches!(params[0].kind, ParamKind::Weight));
+        let gt = params[0].grad.data();
+        for row in (1..vocab).step_by(2) {
+            prop_assert!(gt[row * dim..(row + 1) * dim].iter().all(|&v| v == 0.0));
+        }
+    }
+
+    #[test]
+    fn max_over_time_output_is_columnwise_max_and_mass_conserving(
+        n in 1usize..4, f in 1usize..5, t in 1usize..8, seed in 0u64..500,
+    ) {
+        let mut rng = SeededRng::new(seed);
+        let x = Tensor::rand_uniform(&[n, f, t, 1], 0.0, 1.0, &mut rng);
+        let mut pool = MaxOverTime::new();
+        let y = pool.forward(&x, true);
+        for nf in 0..n * f {
+            let window = &x.data()[nf * t..(nf + 1) * t];
+            let max = window.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+            prop_assert_eq!(y.data()[nf], max);
+        }
+        let g = Tensor::rand_uniform(y.shape(), 0.5, 1.5, &mut rng);
+        let gx = pool.backward(&g);
+        // Each (sample, filter) routes its whole gradient to one step.
+        prop_assert!((gx.sum() - g.sum()).abs() < 1e-4);
+        let nonzero = gx.data().iter().filter(|&&v| v != 0.0).count();
+        prop_assert!(nonzero <= n * f);
     }
 
     #[test]

@@ -1,14 +1,14 @@
 //! Post-training quantization: calibration passes and checkpoint entry
 //! points.
 
-use crate::layers::{QConv2d, QLayer, QLinear};
+use crate::layers::{QConv1dBank, QConv2d, QEmbedding, QLayer, QLinear};
 use crate::network::{LayerCalibration, QuantizedNetwork};
 use crate::observer::RangeObserver;
 use dlbench_data::{DatasetKind, Preprocessing};
 use dlbench_frameworks::{trainer, DefaultSetting, FrameworkKind, Scale};
 use dlbench_nn::{
-    checkpoint_version, load_parameters, load_quantized, CheckpointError, Conv2d, Layer, LayerCost,
-    Linear, Network,
+    checkpoint_version, load_parameters, load_quantized, CheckpointError, Conv1dBank, Conv2d,
+    Embedding, Layer, LayerCost, Linear, Network,
 };
 use dlbench_tensor::Tensor;
 use dlbench_trace::{span, Category};
@@ -37,7 +37,10 @@ impl Default for QuantConfig {
 /// Whether the quantization pass replaces this layer with an int8
 /// counterpart (everything else stays an fp32 fallback).
 fn quantizable(layer: &dyn Layer) -> bool {
-    layer.as_any().is::<Linear>() || layer.as_any().is::<Conv2d>()
+    layer.as_any().is::<Linear>()
+        || layer.as_any().is::<Conv2d>()
+        || layer.as_any().is::<Embedding>()
+        || layer.as_any().is::<Conv1dBank>()
 }
 
 /// Slices sample `range` out of a `[N, ...]` calibration tensor as its
@@ -125,10 +128,21 @@ pub fn quantize_network(net: Network, calib: &Tensor, cfg: &QuantConfig) -> Quan
             let lin = layer.into_any().downcast::<Linear>().expect("probed as Linear");
             label = format!("linear[{li}]");
             qlayers.push(QLayer::Linear(QLinear::from_fp32(&lin, scale, zero_point)));
-        } else {
+        } else if layer.as_any().is::<Conv2d>() {
             let conv = layer.into_any().downcast::<Conv2d>().expect("probed as Conv2d");
             label = format!("conv2d[{li}]");
             qlayers.push(QLayer::Conv2d(QConv2d::from_fp32(&conv, scale, zero_point)));
+        } else if layer.as_any().is::<Embedding>() {
+            // The observer saw token ids, not activations; the lookup
+            // needs no input quantizer, but the calibration record keeps
+            // the observed id range for the report.
+            let emb = layer.into_any().downcast::<Embedding>().expect("probed as Embedding");
+            label = format!("embedding[{li}]");
+            qlayers.push(QLayer::Embedding(QEmbedding::from_fp32(&emb)));
+        } else {
+            let bank = layer.into_any().downcast::<Conv1dBank>().expect("probed as Conv1dBank");
+            label = format!("conv1d_bank[{li}]");
+            qlayers.push(QLayer::Conv1dBank(QConv1dBank::from_fp32(&bank, scale, zero_point)));
         }
         calibration.push(LayerCalibration {
             layer: label,
@@ -314,6 +328,43 @@ mod tests {
         let b = q2.forward(&shard, false);
         assert!(a.data().iter().zip(b.data()).all(|(x, y)| x.to_bits() == y.to_bits()));
         assert_eq!(q1.calibration(), q2.calibration());
+    }
+
+    #[test]
+    fn text_cell_quantizes_end_to_end_and_roundtrips_both_versions() {
+        let host = FrameworkKind::Torch;
+        let setting = DefaultSetting::new(host, DatasetKind::Imdb);
+        let (dataset, scale, seed) = (DatasetKind::Imdb, Scale::Tiny, 11);
+        let mut net = trainer::build_cell_model(host, &setting, dataset, scale, seed);
+        let mut v1 = Vec::new();
+        save_parameters(&mut net, &mut v1).unwrap();
+        let cfg = QuantConfig { calib_samples: 32, ..QuantConfig::default() };
+        let mut q1 =
+            quantize_checkpoint(host, &setting, dataset, scale, seed, &mut v1.as_slice(), &cfg)
+                .unwrap();
+        // The embedding and the conv bank both land on the int8 path.
+        let names: Vec<String> = q1.describe();
+        assert!(names.iter().any(|n| n.starts_with("qembedding")), "{names:?}");
+        assert!(names.iter().any(|n| n.starts_with("qconv1d_bank")), "{names:?}");
+        let mut v2 = Vec::new();
+        save_quantized(&q1.to_entries(), &mut v2).unwrap();
+        let mut q2 =
+            quantize_checkpoint(host, &setting, dataset, scale, seed, &mut v2.as_slice(), &cfg)
+                .unwrap();
+        let shard = calibration_shard(host, &setting, dataset, scale, seed, 8);
+        let a = q1.forward(&shard, false);
+        let b = q2.forward(&shard, false);
+        assert!(a.data().iter().zip(b.data()).all(|(x, y)| x.to_bits() == y.to_bits()));
+        assert_eq!(q1.calibration(), q2.calibration());
+        // The fp32 network and its quantized twin agree on most rows.
+        let y32 = {
+            let mut net = trainer::build_cell_model(host, &setting, dataset, scale, seed);
+            load_parameters(&mut net, &mut v1.as_slice()).unwrap();
+            net.forward(&shard, false)
+        };
+        let agree =
+            y32.argmax_rows().iter().zip(a.argmax_rows()).filter(|(x, y)| **x == *y).count();
+        assert!(agree * 10 >= y32.shape()[0] * 8, "agreement {agree}/{}", y32.shape()[0]);
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! Quantized layer forward paths.
 
 use crate::qtensor::QTensor;
-use dlbench_nn::{Conv2d, Layer, Linear};
+use dlbench_nn::{token_row, Conv1dBank, Conv2d, Embedding, Layer, Linear};
 use dlbench_tensor::{gemm_i8, quantize_i8, Conv2dGeometry, Tensor};
 use dlbench_trace::{span, Category};
 
@@ -357,6 +357,264 @@ impl QConv2d {
     }
 }
 
+/// A quantized token-embedding table: symmetric int8 rows, dequantized
+/// on lookup.
+///
+/// The layer's input is token ids, not activations, so there is no
+/// input quantizer — the lookup maps each id to a table row exactly as
+/// the fp32 layer does (round, clamp, non-finite → row 0) and
+/// dequantizes the gathered row (`scale · q`, zero point 0). Output
+/// bits depend only on the stored table, so batching and thread count
+/// cannot change them.
+#[derive(Debug, Clone)]
+pub struct QEmbedding {
+    vocab: usize,
+    dim: usize,
+    /// The `[vocab, dim]` table, symmetric (`zero_point` 0).
+    table: QTensor,
+}
+
+impl QEmbedding {
+    /// Quantizes a trained fp32 embedding table.
+    pub fn from_fp32(layer: &Embedding) -> Self {
+        let table =
+            QTensor::quantize_symmetric(&[layer.vocab(), layer.dim()], layer.table().data());
+        Self::from_parts(table)
+    }
+
+    /// Assembles the layer from an already-quantized table (the
+    /// checkpoint-load path — stored rows are reused bit-for-bit).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `table` is not rank 2 or is empty.
+    pub fn from_parts(table: QTensor) -> Self {
+        assert_eq!(table.shape().len(), 2, "QEmbedding table must be [vocab, dim]");
+        let (vocab, dim) = (table.shape()[0], table.shape()[1]);
+        assert!(vocab > 0 && dim > 0, "QEmbedding table must be non-empty");
+        Self { vocab, dim, table }
+    }
+
+    /// Vocabulary size (table rows).
+    pub fn vocab(&self) -> usize {
+        self.vocab
+    }
+
+    /// Embedding dimension (table columns).
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// The quantized `[vocab, dim]` table.
+    pub fn table(&self) -> &QTensor {
+        &self.table
+    }
+
+    /// Quantized lookup over `[N, 1, L, 1]` token ids, producing
+    /// `[N, 1, L, dim]` dequantized activations.
+    pub fn forward(&self, input: &Tensor) -> Tensor {
+        assert_eq!(input.rank(), 4, "QEmbedding expects [N, 1, L, 1] token ids");
+        let (n, c, l, w) = (input.shape()[0], input.shape()[1], input.shape()[2], input.shape()[3]);
+        assert_eq!((c, w), (1, 1), "QEmbedding expects one token id per position");
+        let _s = span(Category::Kernel, "qembedding");
+        let dim = self.dim;
+        let s = self.table.scale;
+        let table = self.table.data();
+        let mut out = Tensor::zeros(&[n, 1, l, dim]);
+        for (pos, &v) in input.data().iter().enumerate() {
+            let row = token_row(v, self.vocab);
+            let src = &table[row * dim..(row + 1) * dim];
+            let dst = &mut out.data_mut()[pos * dim..(pos + 1) * dim];
+            for (d, &q) in dst.iter_mut().zip(src) {
+                *d = s * q as f32;
+            }
+        }
+        out
+    }
+}
+
+/// One quantized branch of a [`QConv1dBank`]: symmetric int8 weights in
+/// the `[filters, width·embed_dim]` GEMM layout plus the zero-point
+/// correction sums.
+#[derive(Debug, Clone)]
+struct QConv1dBranch {
+    width: usize,
+    weight: QTensor,
+    wsum: Vec<i32>,
+    bias: Vec<f32>,
+}
+
+/// A quantized sentence-CNN feature bank: per-branch symmetric int8
+/// conv weights lowered through [`im2col_i8`] + [`gemm_i8`] exactly like
+/// [`QConv2d`], one shared affine input quantizer (all branches read the
+/// same embedded sequence), fp32 requantization, then fp32
+/// max-over-time pooling and branch-order concatenation to
+/// `[N, widths.len() · filters]`.
+///
+/// Max-over-time keeps the fp32 layer's tie rule (strict `>`, earliest
+/// time step wins), and the activation quantizer is per-tensor, so the
+/// output is bit-identical across batch partitions and thread counts.
+#[derive(Debug, Clone)]
+pub struct QConv1dBank {
+    filters: usize,
+    embed_dim: usize,
+    branches: Vec<QConv1dBranch>,
+    act_scale: f32,
+    act_zero_point: i8,
+}
+
+impl QConv1dBank {
+    /// Quantizes a trained fp32 bank, given its calibrated input
+    /// quantizer.
+    pub fn from_fp32(bank: &Conv1dBank, act_scale: f32, act_zero_point: i8) -> Self {
+        let convs = bank.convs();
+        let embed_dim = convs[0].embed_dim();
+        let branches = convs
+            .iter()
+            .map(|c| {
+                // The fp32 weight is [filters, 1, width, E]; flattening
+                // rows to width·E matches the (c, kh, kw) im2col row
+                // order with a single input channel.
+                let patch = c.width() * embed_dim;
+                let weight = QTensor::quantize_symmetric(&[c.filters(), patch], c.weight().data());
+                (weight, c.bias().data().to_vec())
+            })
+            .collect::<Vec<_>>();
+        Self::from_parts(bank.filters(), embed_dim, branches, act_scale, act_zero_point)
+    }
+
+    /// Assembles the bank from already-quantized branch parts
+    /// `(weight, bias)` in branch order (the checkpoint-load path).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any branch weight is not `[filters, width·embed_dim]`
+    /// shaped or a bias length disagrees with `filters`.
+    pub fn from_parts(
+        filters: usize,
+        embed_dim: usize,
+        branches: Vec<(QTensor, Vec<f32>)>,
+        act_scale: f32,
+        act_zero_point: i8,
+    ) -> Self {
+        assert!(!branches.is_empty(), "QConv1dBank needs at least one branch");
+        let branches = branches
+            .into_iter()
+            .map(|(weight, bias)| {
+                assert_eq!(weight.shape().len(), 2, "branch weight must be [filters, patch]");
+                let (f, patch) = (weight.shape()[0], weight.shape()[1]);
+                assert_eq!(f, filters, "branch filter count mismatch");
+                assert_eq!(patch % embed_dim, 0, "branch patch not a width multiple");
+                assert_eq!(bias.len(), filters, "branch bias length mismatch");
+                let mut wsum = vec![0i32; f];
+                for (o, s) in wsum.iter_mut().enumerate() {
+                    *s = weight.data()[o * patch..(o + 1) * patch].iter().map(|&v| v as i32).sum();
+                }
+                QConv1dBranch { width: patch / embed_dim, weight, wsum, bias }
+            })
+            .collect();
+        Self { filters, embed_dim, branches, act_scale, act_zero_point }
+    }
+
+    /// Filters per branch.
+    pub fn filters(&self) -> usize {
+        self.filters
+    }
+
+    /// Embedding dimension the kernels span.
+    pub fn embed_dim(&self) -> usize {
+        self.embed_dim
+    }
+
+    /// Branch window widths, in branch order.
+    pub fn widths(&self) -> Vec<usize> {
+        self.branches.iter().map(|b| b.width).collect()
+    }
+
+    /// Total pooled feature count (`widths.len() · filters`).
+    pub fn out_features(&self) -> usize {
+        self.branches.len() * self.filters
+    }
+
+    /// Per-branch `(weight, bias)` views, in branch order.
+    pub fn branch_parts(&self) -> Vec<(&QTensor, &[f32])> {
+        self.branches.iter().map(|b| (&b.weight, b.bias.as_slice())).collect()
+    }
+
+    /// The calibrated input quantizer `(scale, zero_point)` shared by
+    /// all branches.
+    pub fn activation_params(&self) -> (f32, i8) {
+        (self.act_scale, self.act_zero_point)
+    }
+
+    /// Quantized forward over `[N, 1, L, E]` embedded sequences,
+    /// producing pooled `[N, widths.len() · filters]` features.
+    pub fn forward(&self, input: &Tensor) -> Tensor {
+        assert_eq!(input.rank(), 4, "QConv1dBank expects [N, 1, L, E]");
+        let (n, c, l, e) = (input.shape()[0], input.shape()[1], input.shape()[2], input.shape()[3]);
+        assert_eq!(c, 1, "QConv1dBank expects a single input channel");
+        assert_eq!(e, self.embed_dim, "embedding-dimension mismatch");
+        let _s = span(Category::Kernel, "qconv1d_bank");
+
+        // One per-tensor quantization of the shared input: every branch
+        // sees the same int8 sequence, and batching cannot change bits.
+        let mut xq = vec![0i8; input.len()];
+        quantize_i8(input.data(), self.act_scale, self.act_zero_point, &mut xq);
+
+        let f = self.filters;
+        let total = self.out_features();
+        let sample_in = l * e;
+        let zx = self.act_zero_point as i32;
+        let mut out = Tensor::zeros(&[n, total]);
+        for (b, branch) in self.branches.iter().enumerate() {
+            assert!(l >= branch.width, "sequence shorter than kernel window");
+            let geo = Conv2dGeometry {
+                in_channels: 1,
+                in_h: l,
+                in_w: e,
+                kernel_h: branch.width,
+                kernel_w: e,
+                stride: 1,
+                pad: 0,
+            };
+            let plane = geo.out_plane();
+            let patch = geo.patch_len();
+            let s = self.act_scale * branch.weight.scale;
+            let mut cols = vec![0i8; patch * plane];
+            let mut acc = vec![0i32; f * plane];
+            for si in 0..n {
+                im2col_i8(
+                    &geo,
+                    self.act_zero_point,
+                    &xq[si * sample_in..(si + 1) * sample_in],
+                    &mut cols,
+                );
+                acc.fill(0);
+                gemm_i8(f, patch, plane, branch.weight.data(), &cols, &mut acc);
+                let out_row = &mut out.data_mut()[si * total + b * f..si * total + (b + 1) * f];
+                for (oc, o) in out_row.iter_mut().enumerate() {
+                    let corr = zx * branch.wsum[oc];
+                    let bias = branch.bias[oc];
+                    let acc_plane = &acc[oc * plane..(oc + 1) * plane];
+                    // Requantize then max-over-time with the fp32 tie
+                    // rule (strict >, earliest wins). Requantization is
+                    // monotone in the i32 accumulator, but ties must be
+                    // broken on the fp32 values to match the fallback.
+                    let mut best = s * (acc_plane[0] - corr) as f32 + bias;
+                    for &a in &acc_plane[1..] {
+                        let v = s * (a - corr) as f32 + bias;
+                        if v > best {
+                            best = v;
+                        }
+                    }
+                    *o = best;
+                }
+            }
+        }
+        out
+    }
+}
+
 /// One layer of a [`crate::QuantizedNetwork`]: a quantized kernel or an
 /// fp32 fallback for ops int8 does not cover (activations, pools,
 /// normalization, dropout).
@@ -365,6 +623,10 @@ pub enum QLayer {
     Linear(QLinear),
     /// Quantized convolution.
     Conv2d(QConv2d),
+    /// Quantized token-embedding table.
+    Embedding(QEmbedding),
+    /// Quantized sentence-CNN conv bank.
+    Conv1dBank(QConv1dBank),
     /// Unquantized op running its normal fp32 inference path.
     Fallback(Box<dyn Layer>),
 }
@@ -375,6 +637,8 @@ impl QLayer {
         match self {
             QLayer::Linear(l) => l.forward(input),
             QLayer::Conv2d(c) => c.forward(input),
+            QLayer::Embedding(e) => e.forward(input),
+            QLayer::Conv1dBank(b) => b.forward(input),
             QLayer::Fallback(l) => l.forward(input, false),
         }
     }
@@ -384,6 +648,8 @@ impl QLayer {
         match self {
             QLayer::Linear(_) => "qlinear",
             QLayer::Conv2d(_) => "qconv2d",
+            QLayer::Embedding(_) => "qembedding",
+            QLayer::Conv1dBank(_) => "qconv1d_bank",
             QLayer::Fallback(l) => l.name(),
         }
     }
@@ -432,6 +698,50 @@ mod tests {
         assert_eq!(y8.shape(), y32.shape());
         for (a, b) in y32.data().iter().zip(y8.data()) {
             assert!((a - b).abs() < 0.2, "fp32 {a} vs int8 {b}");
+        }
+    }
+
+    #[test]
+    fn qembedding_tracks_fp32_within_half_lsb_and_clamps_hostile_ids() {
+        let mut rng = SeededRng::new(24);
+        let mut emb = Embedding::new(12, 6, Initializer::Xavier, &mut rng);
+        let q = QEmbedding::from_fp32(&emb);
+        let x = Tensor::from_vec(&[1, 1, 6, 1], vec![0.0, 5.0, 11.0, -3.0, 1e9, f32::NAN]).unwrap();
+        let y32 = emb.forward(&x, false);
+        let y8 = q.forward(&x);
+        assert_eq!(y8.shape(), y32.shape());
+        // A pure table lookup: the only error is weight rounding.
+        for (a, b) in y32.data().iter().zip(y8.data()) {
+            assert!((a - b).abs() <= q.table().scale * 0.5 + 1e-6, "fp32 {a} vs int8 {b}");
+        }
+    }
+
+    #[test]
+    fn qconv1d_bank_tracks_fp32_and_is_batch_invariant() {
+        let mut rng = SeededRng::new(25);
+        let mut bank = Conv1dBank::new(3, &[2, 3], 4, Initializer::Xavier, &mut rng);
+        let x = Tensor::randn(&[3, 1, 9, 4], 0.0, 1.0, &mut rng);
+        let y32 = bank.forward(&x, false);
+        let (lo, hi) = x.data().iter().fold((0.0f32, 0.0f32), |(l, h), &v| (l.min(v), h.max(v)));
+        let scale = (hi - lo) / 255.0;
+        let zp = (-128.0 - lo / scale).round() as i8;
+        let q = QConv1dBank::from_fp32(&bank, scale, zp);
+        assert_eq!(q.widths(), vec![2, 3]);
+        assert_eq!(q.out_features(), 6);
+        let y8 = q.forward(&x);
+        assert_eq!(y8.shape(), y32.shape());
+        for (a, b) in y32.data().iter().zip(y8.data()) {
+            assert!((a - b).abs() < 0.25, "fp32 {a} vs int8 {b}");
+        }
+        // Batched forward is bitwise the per-sample forward.
+        let sample = 9 * 4;
+        for s in 0..3 {
+            let xs =
+                Tensor::from_vec(&[1, 1, 9, 4], x.data()[s * sample..(s + 1) * sample].to_vec())
+                    .unwrap();
+            let ys = q.forward(&xs);
+            let row = &y8.data()[s * 6..(s + 1) * 6];
+            assert!(row.iter().zip(ys.data()).all(|(p, q)| p.to_bits() == q.to_bits()));
         }
     }
 

@@ -47,7 +47,7 @@ pub use convert::{
     calibration_shard, cost_split, quantize_checkpoint, quantize_checkpoint_path, quantize_network,
     quantize_trained, QuantConfig,
 };
-pub use layers::{im2col_i8, QConv2d, QLayer, QLinear};
+pub use layers::{im2col_i8, QConv1dBank, QConv2d, QEmbedding, QLayer, QLinear};
 pub use network::{LayerCalibration, QuantizedNetwork};
 pub use observer::RangeObserver;
 pub use qtensor::QTensor;

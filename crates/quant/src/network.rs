@@ -1,9 +1,9 @@
 //! The quantized network container and its checkpoint mapping.
 
-use crate::layers::{QConv2d, QLayer, QLinear};
+use crate::layers::{QConv1dBank, QConv2d, QEmbedding, QLayer, QLinear};
 use crate::qtensor::QTensor;
 use dlbench_json::JsonValue;
-use dlbench_nn::{CheckpointError, Conv2d, Linear, Network, QuantEntry};
+use dlbench_nn::{CheckpointError, Conv1dBank, Conv2d, Embedding, Linear, Network, QuantEntry};
 use dlbench_tensor::Tensor;
 use dlbench_trace::{span, Category};
 
@@ -140,15 +140,44 @@ impl QuantizedNetwork {
         x
     }
 
+    /// Runs layers `start..` forward on an intermediate activation —
+    /// the int8 counterpart of `Network::forward_from`. The text
+    /// robustness bench uses this to replay embedding-space adversarial
+    /// examples (crafted against the fp32 model) through the quantized
+    /// suffix: the first quantized layer re-quantizes the fp32
+    /// activation with its frozen calibration parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `start` exceeds the layer count.
+    pub fn forward_from(&mut self, start: usize, input: &Tensor) -> Tensor {
+        assert!(
+            start <= self.layers.len(),
+            "forward_from({start}) on {} layers",
+            self.layers.len()
+        );
+        let mut x = input.clone();
+        for layer in &mut self.layers[start..] {
+            let _span = span(Category::Layer, layer.name());
+            x = layer.forward(&x);
+        }
+        x
+    }
+
     /// Serializes the network as a version-2 checkpoint entry sequence.
     ///
-    /// Each quantized layer contributes four entries, in order: the
-    /// `i8` weight tensor (symmetric, carrying the weight scale), the
-    /// `f32` bias, a zero-length `i8` marker carrying the activation
-    /// quantizer (scale + zero point), and an `f32` `[5]` statistics
-    /// tensor (`observed_min`, `observed_max`, `range_lo`, `range_hi`,
-    /// `clipped_fraction`). Fallback layers contribute one plain `f32`
-    /// entry per parameter, in `params()` order.
+    /// Each quantized `Linear`/`Conv2d` layer contributes four entries,
+    /// in order: the `i8` weight tensor (symmetric, carrying the weight
+    /// scale), the `f32` bias, a zero-length `i8` marker carrying the
+    /// activation quantizer (scale + zero point), and an `f32` `[5]`
+    /// statistics tensor (`observed_min`, `observed_max`, `range_lo`,
+    /// `range_hi`, `clipped_fraction`). A quantized `Embedding` uses the
+    /// same group with its table as the weight and a zero-length bias
+    /// (the layer has none). A quantized `Conv1dBank` contributes one
+    /// `(i8 weight, f32 bias)` pair per branch in branch order, then the
+    /// shared activation marker and statistics. Fallback layers
+    /// contribute one plain `f32` entry per parameter, in `params()`
+    /// order.
     pub fn to_entries(&mut self) -> Vec<QuantEntry> {
         let mut entries = Vec::new();
         let mut cal = self.calibration.iter();
@@ -183,6 +212,37 @@ impl QuantizedNetwork {
                         data: cv.bias().to_vec(),
                     });
                     push_act_and_stats(&mut entries, cv.activation_params(), c);
+                }
+                QLayer::Embedding(e) => {
+                    let c = cal.next().expect("calibration per quantized layer");
+                    let t = e.table();
+                    entries.push(QuantEntry::I8 {
+                        dims: t.shape().to_vec(),
+                        data: t.data().to_vec(),
+                        scale: t.scale,
+                        zero_point: t.zero_point,
+                    });
+                    // The table has no bias; a zero-length entry keeps
+                    // the four-entry group shape.
+                    entries.push(QuantEntry::F32 { dims: vec![0], data: vec![] });
+                    // The lookup ignores the input quantizer, but the
+                    // marker still records what the observer derived so
+                    // the calibration report round-trips.
+                    push_act_and_stats(&mut entries, (c.scale, c.zero_point), c);
+                }
+                QLayer::Conv1dBank(bank) => {
+                    let c = cal.next().expect("calibration per quantized layer");
+                    for (w, bias) in bank.branch_parts() {
+                        entries.push(QuantEntry::I8 {
+                            dims: w.shape().to_vec(),
+                            data: w.data().to_vec(),
+                            scale: w.scale,
+                            zero_point: w.zero_point,
+                        });
+                        entries
+                            .push(QuantEntry::F32 { dims: vec![bias.len()], data: bias.to_vec() });
+                    }
+                    push_act_and_stats(&mut entries, bank.activation_params(), c);
                 }
                 QLayer::Fallback(l) => {
                     for p in l.params() {
@@ -270,6 +330,56 @@ impl QuantizedNetwork {
                     act.1,
                 )));
                 calibration.push(stats_record(label, act, stats));
+            } else if layer.as_any().is::<Embedding>() {
+                let emb = layer.into_any().downcast::<Embedding>().expect("probed as Embedding");
+                let label = format!("embedding[{li}]");
+                let (table, bias, act, stats) = read_group(&label, &mut next)?;
+                let want = [emb.vocab(), emb.dim()];
+                if table.shape() != want {
+                    return Err(CheckpointError::StructureMismatch(format!(
+                        "{label}: table shape {:?} != expected {want:?}",
+                        table.shape()
+                    )));
+                }
+                if !bias.is_empty() {
+                    return Err(CheckpointError::StructureMismatch(format!(
+                        "{label}: embeddings have no bias, found {} values",
+                        bias.len()
+                    )));
+                }
+                layers.push(QLayer::Embedding(QEmbedding::from_parts(table)));
+                calibration.push(stats_record(label, act, stats));
+            } else if layer.as_any().is::<Conv1dBank>() {
+                let bank = layer.into_any().downcast::<Conv1dBank>().expect("probed as Conv1dBank");
+                let label = format!("conv1d_bank[{li}]");
+                let filters = bank.filters();
+                let embed_dim = bank.convs()[0].embed_dim();
+                let mut branches = Vec::new();
+                for (bi, width) in bank.widths().into_iter().enumerate() {
+                    let blabel = format!("{label} branch {bi}");
+                    let weight = read_i8(&format!("{blabel} int8 weight"), &mut next)?;
+                    let want = [filters, width * embed_dim];
+                    if weight.shape() != want {
+                        return Err(CheckpointError::StructureMismatch(format!(
+                            "{blabel}: weight shape {:?} != expected {want:?}",
+                            weight.shape()
+                        )));
+                    }
+                    let bias = read_f32(&format!("{blabel} bias"), &mut next)?;
+                    if bias.len() != filters {
+                        return Err(CheckpointError::StructureMismatch(format!(
+                            "{blabel}: bias length {} != {filters}",
+                            bias.len()
+                        )));
+                    }
+                    branches.push((weight, bias));
+                }
+                let act = read_act(&label, &mut next)?;
+                let stats = read_stats(&label, &mut next)?;
+                layers.push(QLayer::Conv1dBank(QConv1dBank::from_parts(
+                    filters, embed_dim, branches, act.0, act.1,
+                )));
+                calibration.push(stats_record(label, act, stats));
             } else {
                 let mut layer = layer;
                 for p in layer.params() {
@@ -345,50 +455,75 @@ fn stats_record(layer: String, act: (f32, i8), stats: [f32; 5]) -> LayerCalibrat
 /// activation `(scale, zero_point)`, calibration statistics.
 type LayerGroup = (QTensor, Vec<f32>, (f32, i8), [f32; 5]);
 
+/// Reads one int8 tensor entry.
+fn read_i8<'a, F>(what: &str, next: &mut F) -> Result<QTensor, CheckpointError>
+where
+    F: FnMut(&str) -> Result<(usize, &'a QuantEntry), CheckpointError>,
+{
+    match next(what)? {
+        (_, QuantEntry::I8 { dims, data, scale, zero_point }) => {
+            Ok(QTensor::from_parts(dims, data.clone(), *scale, *zero_point))
+        }
+        (i, _) => Err(CheckpointError::StructureMismatch(format!(
+            "entry {i}: expected {what} (an int8 tensor)"
+        ))),
+    }
+}
+
+/// Reads one fp32 tensor entry.
+fn read_f32<'a, F>(what: &str, next: &mut F) -> Result<Vec<f32>, CheckpointError>
+where
+    F: FnMut(&str) -> Result<(usize, &'a QuantEntry), CheckpointError>,
+{
+    match next(what)? {
+        (_, QuantEntry::F32 { data, .. }) => Ok(data.clone()),
+        (i, _) => Err(CheckpointError::StructureMismatch(format!(
+            "entry {i}: expected {what} (an fp32 tensor)"
+        ))),
+    }
+}
+
+/// Reads the zero-length int8 marker carrying one layer's activation
+/// quantizer.
+fn read_act<'a, F>(label: &str, next: &mut F) -> Result<(f32, i8), CheckpointError>
+where
+    F: FnMut(&str) -> Result<(usize, &'a QuantEntry), CheckpointError>,
+{
+    match next(&format!("{label} activation quantizer"))? {
+        (_, QuantEntry::I8 { data, scale, zero_point, .. }) if data.is_empty() => {
+            Ok((*scale, *zero_point))
+        }
+        (i, _) => Err(CheckpointError::StructureMismatch(format!(
+            "entry {i}: {label} expects a zero-length int8 activation-quantizer marker"
+        ))),
+    }
+}
+
+/// Reads the 5-value fp32 statistics tensor of one quantized layer.
+fn read_stats<'a, F>(label: &str, next: &mut F) -> Result<[f32; 5], CheckpointError>
+where
+    F: FnMut(&str) -> Result<(usize, &'a QuantEntry), CheckpointError>,
+{
+    match next(&format!("{label} calibration statistics"))? {
+        (_, QuantEntry::F32 { data, .. }) if data.len() == 5 => {
+            Ok([data[0], data[1], data[2], data[3], data[4]])
+        }
+        (i, _) => Err(CheckpointError::StructureMismatch(format!(
+            "entry {i}: {label} expects a 5-value fp32 statistics tensor"
+        ))),
+    }
+}
+
 /// Reads the four-entry group of one quantized layer: weight, bias,
 /// activation marker, statistics.
 fn read_group<'a, F>(label: &str, next: &mut F) -> Result<LayerGroup, CheckpointError>
 where
     F: FnMut(&str) -> Result<(usize, &'a QuantEntry), CheckpointError>,
 {
-    let weight = match next(&format!("{label} int8 weight"))? {
-        (_, QuantEntry::I8 { dims, data, scale, zero_point }) => {
-            QTensor::from_parts(dims, data.clone(), *scale, *zero_point)
-        }
-        (i, _) => {
-            return Err(CheckpointError::StructureMismatch(format!(
-                "entry {i}: {label} expects an int8 weight tensor"
-            )))
-        }
-    };
-    let bias = match next(&format!("{label} bias"))? {
-        (_, QuantEntry::F32 { data, .. }) => data.clone(),
-        (i, _) => {
-            return Err(CheckpointError::StructureMismatch(format!(
-                "entry {i}: {label} expects an fp32 bias tensor"
-            )))
-        }
-    };
-    let act = match next(&format!("{label} activation quantizer"))? {
-        (_, QuantEntry::I8 { data, scale, zero_point, .. }) if data.is_empty() => {
-            (*scale, *zero_point)
-        }
-        (i, _) => {
-            return Err(CheckpointError::StructureMismatch(format!(
-                "entry {i}: {label} expects a zero-length int8 activation-quantizer marker"
-            )))
-        }
-    };
-    let stats = match next(&format!("{label} calibration statistics"))? {
-        (_, QuantEntry::F32 { data, .. }) if data.len() == 5 => {
-            [data[0], data[1], data[2], data[3], data[4]]
-        }
-        (i, _) => {
-            return Err(CheckpointError::StructureMismatch(format!(
-                "entry {i}: {label} expects a 5-value fp32 statistics tensor"
-            )))
-        }
-    };
+    let weight = read_i8(&format!("{label} int8 weight"), next)?;
+    let bias = read_f32(&format!("{label} bias"), next)?;
+    let act = read_act(label, next)?;
+    let stats = read_stats(label, next)?;
     Ok((weight, bias, act, stats))
 }
 
@@ -473,6 +608,91 @@ mod tests {
         let mut extra = entries.clone();
         extra.push(QuantEntry::F32 { dims: vec![1], data: vec![0.0] });
         let err = QuantizedNetwork::from_entries(arch(1), &extra).unwrap_err();
+        assert!(matches!(err, CheckpointError::StructureMismatch(_)), "{err}");
+    }
+
+    fn text_arch(seed: u64) -> Network {
+        let mut rng = SeededRng::new(seed);
+        let mut net = Network::new("qtext");
+        net.push(Embedding::new(20, 6, Initializer::Xavier, &mut rng));
+        net.push(Conv1dBank::new(3, &[2, 3], 6, Initializer::Xavier, &mut rng));
+        net.push(Relu::new());
+        net.push(Linear::new(6, 2, Initializer::Xavier, &mut rng));
+        net
+    }
+
+    fn quantize_text_by_hand(net: Network) -> QuantizedNetwork {
+        let name = net.name().to_string();
+        let mut layers = Vec::new();
+        let mut calibration = Vec::new();
+        for (li, layer) in net.into_layers().into_iter().enumerate() {
+            if layer.as_any().is::<Embedding>() {
+                let emb = layer.into_any().downcast::<Embedding>().unwrap();
+                layers.push(QLayer::Embedding(crate::QEmbedding::from_fp32(&emb)));
+                calibration.push(cal(&format!("embedding[{li}]")));
+            } else if layer.as_any().is::<Conv1dBank>() {
+                let bank = layer.into_any().downcast::<Conv1dBank>().unwrap();
+                layers.push(QLayer::Conv1dBank(crate::QConv1dBank::from_fp32(&bank, 0.0122, -30)));
+                calibration.push(cal(&format!("conv1d_bank[{li}]")));
+            } else if layer.as_any().is::<Linear>() {
+                let lin = layer.into_any().downcast::<Linear>().unwrap();
+                layers.push(QLayer::Linear(QLinear::from_fp32(&lin, 0.0122, -30)));
+                calibration.push(cal(&format!("linear[{li}]")));
+            } else {
+                layers.push(QLayer::Fallback(layer));
+            }
+        }
+        QuantizedNetwork::new(name, layers, calibration)
+    }
+
+    fn token_batch() -> Tensor {
+        let tokens: Vec<f32> = (0..2 * 7).map(|i| ((i * 13) % 20) as f32).collect();
+        Tensor::from_vec(&[2, 1, 7, 1], tokens).unwrap()
+    }
+
+    #[test]
+    fn text_entries_roundtrip_preserves_every_output_bit() {
+        let mut q = quantize_text_by_hand(text_arch(41));
+        let x = token_batch();
+        let before = q.forward(&x, false);
+        let entries = q.to_entries();
+        let mut back = QuantizedNetwork::from_entries(text_arch(77), &entries).unwrap();
+        let after = back.forward(&x, false);
+        assert!(before.data().iter().zip(after.data()).all(|(a, b)| a.to_bits() == b.to_bits()));
+        assert_eq!(back.num_quantized(), 3);
+        assert_eq!(back.calibration(), q.calibration());
+    }
+
+    #[test]
+    fn text_entries_reject_mismatched_tables_and_truncation() {
+        let mut q = quantize_text_by_hand(text_arch(41));
+        let entries = q.to_entries();
+        // Wrong vocabulary: the target arch's table disagrees.
+        let mut rng = SeededRng::new(2);
+        let mut other = Network::new("other");
+        other.push(Embedding::new(9, 6, Initializer::Xavier, &mut rng));
+        other.push(Conv1dBank::new(3, &[2, 3], 6, Initializer::Xavier, &mut rng));
+        other.push(Relu::new());
+        other.push(Linear::new(6, 2, Initializer::Xavier, &mut rng));
+        let err = QuantizedNetwork::from_entries(other, &entries).unwrap_err();
+        assert!(matches!(err, CheckpointError::StructureMismatch(_)), "{err}");
+        // Truncated mid-bank: the second branch's bias is missing.
+        let err = QuantizedNetwork::from_entries(text_arch(1), &entries[..7]).unwrap_err();
+        assert!(matches!(err, CheckpointError::StructureMismatch(_)), "{err}");
+        // A non-empty embedding bias is rejected (embeddings have none).
+        let mut forged = entries.clone();
+        forged[1] = QuantEntry::F32 { dims: vec![1], data: vec![0.5] };
+        let err = QuantizedNetwork::from_entries(text_arch(1), &forged).unwrap_err();
+        assert!(matches!(err, CheckpointError::StructureMismatch(_)), "{err}");
+        // A bank branch weight with the wrong window width is rejected.
+        let mut forged = entries.clone();
+        forged[4] = QuantEntry::I8 {
+            dims: vec![3, 4 * 6],
+            data: vec![0; 3 * 4 * 6],
+            scale: 0.01,
+            zero_point: 0,
+        };
+        let err = QuantizedNetwork::from_entries(text_arch(1), &forged).unwrap_err();
         assert!(matches!(err, CheckpointError::StructureMismatch(_)), "{err}");
     }
 

@@ -99,10 +99,10 @@ impl ModelSpec {
         self
     }
 
-    /// `(channels, height, width)` of one input sample.
+    /// `(channels, height, width)` of one input sample: pixel grids
+    /// for image models, `(1, length, 1)` token-id sequences for text.
     pub fn input_dims(&self) -> (usize, usize, usize) {
-        let size = self.scale.image_size(self.dataset);
-        (self.dataset.channels(), size, size)
+        trainer::input_dims(self.dataset, self.scale.image_size(self.dataset))
     }
 
     /// Instantiates the served model, loading parameters from a

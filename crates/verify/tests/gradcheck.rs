@@ -1,12 +1,13 @@
 //! Gradient checks for every backward implementation in `crates/nn`:
-//! the nine layers, the softmax cross-entropy loss, and full networks —
-//! including each framework personality's default architecture.
+//! the layers (image and text), the softmax cross-entropy loss, and
+//! full networks — including each framework personality's default
+//! architecture.
 
 use dlbench_data::DatasetKind;
 use dlbench_frameworks::{trainer, DefaultSetting, FrameworkKind, Scale};
 use dlbench_nn::{
-    AvgPool2d, Conv2d, Dropout, Flatten, Initializer, Layer, LocalResponseNorm, MaxPool2d, Relu,
-    SoftmaxCrossEntropy, Tanh,
+    AvgPool2d, Conv1d, Conv1dBank, Conv2d, Dropout, Embedding, Flatten, Initializer, Layer,
+    LocalResponseNorm, MaxOverTime, MaxPool2d, Relu, SoftmaxCrossEntropy, Tanh,
 };
 use dlbench_tensor::{SeededRng, Tensor};
 use dlbench_verify::{gradcheck_layer, gradcheck_loss, gradcheck_network, GradCheckConfig};
@@ -110,6 +111,43 @@ fn flatten_backward() {
 }
 
 #[test]
+fn embedding_backward() {
+    // Token ids are integers and the probe step is 0.01, so input
+    // probes never cross a rounding boundary: the numeric input slope
+    // is exactly zero, matching the layer's piecewise-constant analytic
+    // gradient. Table probes see a loss linear in each entry.
+    let mut rng = SeededRng::new(120);
+    let mut layer = Embedding::new(9, 5, Initializer::Xavier, &mut rng);
+    let tokens: Vec<f32> = (0..2 * 6).map(|i| ((i * 5) % 9) as f32).collect();
+    let x = Tensor::from_vec(&[2, 1, 6, 1], tokens).unwrap();
+    check(&mut layer, &x);
+}
+
+#[test]
+fn conv1d_backward() {
+    let mut rng = SeededRng::new(121);
+    let mut layer = Conv1d::new(4, 3, 5, Initializer::Xavier, &mut rng);
+    let x = Tensor::randn(&[2, 1, 8, 5], 0.0, 1.0, &mut rng);
+    check(&mut layer, &x);
+}
+
+#[test]
+fn max_over_time_backward() {
+    let mut rng = SeededRng::new(122);
+    let mut layer = MaxOverTime::new();
+    let x = Tensor::randn(&[2, 4, 6, 1], 0.0, 1.0, &mut rng);
+    check(&mut layer, &x);
+}
+
+#[test]
+fn conv1d_bank_backward() {
+    let mut rng = SeededRng::new(123);
+    let mut layer = Conv1dBank::new(3, &[2, 3, 4], 4, Initializer::Xavier, &mut rng);
+    let x = Tensor::randn(&[2, 1, 9, 4], 0.0, 1.0, &mut rng);
+    check(&mut layer, &x);
+}
+
+#[test]
 fn softmax_cross_entropy_backward() {
     let mut rng = SeededRng::new(112);
     let logits = Tensor::randn(&[5, 10], 0.0, 2.0, &mut rng);
@@ -144,13 +182,19 @@ fn check_personality(host: FrameworkKind, dataset: DatasetKind) {
     let setting = DefaultSetting::new(host, dataset);
     let arch = trainer::effective_arch(host, &setting);
     let mut rng = SeededRng::new(202);
-    let c = dataset.channels();
     let size = scale.image_size(dataset);
-    let mut net = arch.build((c, size, size), scale.width_mult(), host.initializer(), &mut rng);
+    let dims = trainer::input_dims(dataset, size);
+    let mut net = arch.build(dims, scale.width_mult(), host.initializer(), &mut rng);
 
     let n = 2usize;
-    let x = Tensor::rand_uniform(&[n, c, size, size], 0.0, 1.0, &mut rng);
-    let labels: Vec<usize> = (0..n).map(|_| rng.index(10)).collect();
+    let x = if dataset.is_text() {
+        let tokens: Vec<f32> =
+            (0..n * size).map(|_| rng.index(dlbench_text::VOCAB) as f32).collect();
+        Tensor::from_vec(&[n, 1, size, 1], tokens).unwrap()
+    } else {
+        Tensor::rand_uniform(&[n, dims.0, size, size], 0.0, 1.0, &mut rng)
+    };
+    let labels: Vec<usize> = (0..n).map(|_| rng.index(dataset.num_classes())).collect();
     // The directional network check has ‖g‖-sized signal, so a smaller
     // step is affordable — and needed: along the gradient direction the
     // cross-entropy is steep and the O(eps²) truncation term of the
@@ -173,4 +217,14 @@ fn caffe_default_network_gradchecks() {
 #[test]
 fn torch_default_network_gradchecks() {
     check_personality(FrameworkKind::Torch, DatasetKind::Cifar10);
+}
+
+#[test]
+fn tensorflow_text_network_gradchecks() {
+    check_personality(FrameworkKind::TensorFlow, DatasetKind::Imdb);
+}
+
+#[test]
+fn torch_text_network_gradchecks() {
+    check_personality(FrameworkKind::Torch, DatasetKind::Imdb);
 }

@@ -100,4 +100,22 @@ cargo bench --bench quant --locked -- --quick > /dev/null
 cmp target/dlbench-reports/BENCH_quant.first.json target/dlbench-reports/BENCH_quant.json
 rm -f target/dlbench-reports/BENCH_quant.first.json
 
+echo "==> text smoke (train -> int8 quantize -> v2 reload on imdb)"
+cargo run -p dlbench-cli --release --locked -q -- quantize --framework torch \
+    --dataset imdb --scale tiny --save target/dlbench-check-text.ckpt > /dev/null
+test -s target/dlbench-check-text.ckpt
+cargo run -p dlbench-cli --release --locked -q -- quantize --framework torch \
+    --dataset imdb --scale tiny --load target/dlbench-check-text.ckpt > /dev/null
+rm -f target/dlbench-check-text.ckpt
+
+echo "==> text determinism gate (IMDB training + batched token serving, 1 vs 4 threads)"
+cargo test -p dlbench-integration-tests --test determinism --locked -q text_
+
+echo "==> text bench (quick, BENCH_text.json, byte-identical across runs)"
+cargo bench --bench text --locked -- --quick > /dev/null
+cp target/dlbench-reports/BENCH_text.json target/dlbench-reports/BENCH_text.first.json
+cargo bench --bench text --locked -- --quick > /dev/null
+cmp target/dlbench-reports/BENCH_text.first.json target/dlbench-reports/BENCH_text.json
+rm -f target/dlbench-reports/BENCH_text.first.json
+
 echo "==> OK"

@@ -303,6 +303,114 @@ fn quantized_serving_is_bit_deterministic_across_batching_and_threads() {
 }
 
 #[test]
+fn text_training_is_bit_identical_across_thread_counts() {
+    let _gate = gate();
+    use dlbench_data::DatasetKind;
+    use dlbench_frameworks::{trainer, FrameworkKind};
+
+    // The text modality's determinism contract: embedding scatter-add
+    // and the conv1d bank's im2col+GEMM lowering keep every reduction
+    // chain fixed, so a full IMDB training run lands on the same
+    // parameter bytes at any worker count.
+    let run = |threads: usize| {
+        at_threads(threads, || {
+            let host = FrameworkKind::Torch;
+            let mut out = trainer::run_training(
+                host,
+                dlbench_frameworks::DefaultSetting::new(host, DatasetKind::Imdb),
+                DatasetKind::Imdb,
+                Scale::Tiny,
+                42,
+            );
+            let mut checkpoint = Vec::new();
+            dlbench_nn::save_parameters(&mut out.model, &mut checkpoint).unwrap();
+            let losses: Vec<u32> = out.loss_curve.iter().map(|&(_, l)| l.to_bits()).collect();
+            (checkpoint, losses, out.accuracy.to_bits())
+        })
+    };
+    assert_eq!(run(1), run(4), "IMDB training differs between 1 and 4 threads");
+}
+
+#[test]
+fn text_batched_serving_matches_single_sample_forwards_bitwise() {
+    let _gate = gate();
+    use dlbench_data::DatasetKind;
+    use dlbench_frameworks::{trainer, FrameworkKind};
+    use dlbench_serve::{loadgen, serve, BatchConfig, ModelRegistry, ModelSpec};
+    use std::time::Duration;
+
+    // Token inputs through the whole serving path: train an IMDB cell,
+    // checkpoint it, and demand the micro-batcher change no bits
+    // relative to single-sample offline forwards — at 4 worker threads.
+    let host = FrameworkKind::TensorFlow;
+    let (scale, seed) = (Scale::Tiny, 42);
+    let mut out = trainer::run_training(
+        host,
+        dlbench_frameworks::DefaultSetting::new(host, DatasetKind::Imdb),
+        DatasetKind::Imdb,
+        scale,
+        seed,
+    );
+    let mut checkpoint = Vec::new();
+    dlbench_nn::save_parameters(&mut out.model, &mut checkpoint).unwrap();
+
+    let spec = ModelSpec::own_default("m", host, DatasetKind::Imdb, scale, seed);
+    let inputs = loadgen::sample_inputs(DatasetKind::Imdb, scale, seed, 12);
+
+    // Reference: one forward per token sequence (batch size 1) offline,
+    // single-threaded.
+    let reference: Vec<Vec<u32>> = at_threads(1, || {
+        let solo = spec.instantiate_from(&mut checkpoint.as_slice()).unwrap();
+        let mut model = solo.model;
+        let (c, h, w) = spec.input_dims();
+        inputs
+            .iter()
+            .map(|input| {
+                let raw = Tensor::from_vec(&[1, c, h, w], input.clone()).unwrap();
+                let x = solo.preprocessing.apply(&raw, &solo.channel_means);
+                model.forward(&x, false).data().iter().map(|v| v.to_bits()).collect()
+            })
+            .collect()
+    });
+
+    let served = spec.instantiate_from(&mut checkpoint.as_slice()).unwrap();
+    let mut registry = ModelRegistry::new();
+    let config =
+        BatchConfig { max_batch: 4, max_wait: Duration::from_millis(50), queue_capacity: 64 };
+    registry.register(served, config).unwrap();
+    par::set_threads(4);
+    let server = serve(registry, "127.0.0.1:0").unwrap();
+    let addr = server.addr();
+    let (replies, max_batch_seen) = std::thread::scope(|scope| {
+        let handles: Vec<_> = inputs
+            .iter()
+            .map(|input| scope.spawn(move || loadgen::predict(addr, "m", input).unwrap()))
+            .collect();
+        let mut replies = Vec::new();
+        let mut max_batch_seen = 0usize;
+        for h in handles {
+            let (status, body) = h.join().unwrap();
+            assert_eq!(status, 200, "predict failed: {}", body.pretty());
+            max_batch_seen =
+                max_batch_seen.max(body["batch_size"].as_f64().unwrap_or(0.0) as usize);
+            let logits: Vec<u32> = body["logits"]
+                .as_array()
+                .unwrap()
+                .iter()
+                .map(|v| (v.as_f64().unwrap() as f32).to_bits())
+                .collect();
+            replies.push(logits);
+        }
+        (replies, max_batch_seen)
+    });
+    server.shutdown();
+    par::set_threads(1);
+
+    assert_eq!(replies, reference, "batched token serving diverged from offline forwards");
+    assert!(max_batch_seen >= 2, "deadline batching never formed a multi-request batch");
+}
+
+#[test]
 fn fleet_serving_is_bit_transparent_across_routing_replicas_and_scaling() {
     let _gate = gate();
     use dlbench_data::DatasetKind;

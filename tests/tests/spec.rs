@@ -73,6 +73,22 @@ fn shipped_spec_expands_to_golden_plan() {
 }
 
 #[test]
+fn shipped_text_sweep_spec_expands_to_golden_plan() {
+    let text = std::fs::read_to_string(repo_path("../examples/specs/text_sweep.json"))
+        .expect("shipped text sweep readable");
+    let spec = ExperimentSpec::parse(&text).expect("text sweep parses");
+    let plan = spec.expand().expect("text sweep expands");
+    // 3 personalities x {mnist, imdb} x {fp32, int8} serve cells.
+    assert_eq!(plan.cells.len(), 12, "text sweep must cover the full cross");
+    let imdb_cells = plan.cells.iter().filter(|c| c.params["dataset"] == "imdb").count();
+    assert_eq!(imdb_cells, 6, "half the cells serve the text modality");
+    let rendered = plan.to_json().pretty() + "\n";
+    let golden = std::fs::read_to_string(repo_path("goldens/text_sweep_plan.json"))
+        .expect("golden plan readable");
+    assert_eq!(rendered, golden, "plan drifted from tests/goldens/text_sweep_plan.json");
+}
+
+#[test]
 fn resume_retrains_only_missing_cells() {
     let cache = ScratchCache::new("resume");
     let plan = small_grid().expand().unwrap();
